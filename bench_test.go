@@ -1,0 +1,217 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// figure panel / table row family; each iteration runs one full
+// scenario trial, so ns/op is the cost of one experiment trial and
+// the reported custom metrics summarise the protocol outcomes across
+// the iterations the harness chose to run.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+package silenttracker
+
+import (
+	"testing"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/channel"
+	"silenttracker/internal/core"
+	"silenttracker/internal/experiments"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/handover"
+	"silenttracker/internal/mac"
+	"silenttracker/internal/mobility"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+	"silenttracker/internal/stats"
+	"silenttracker/internal/ue"
+)
+
+// --- Figure 2a: directional search under mobility -------------------
+
+func benchSearch(b *testing.B, cfg experiments.BeamConfig) {
+	opts := experiments.DefaultFig2aOpts()
+	var succ stats.Rate
+	var dwells stats.Online
+	for i := 0; i < b.N; i++ {
+		ok, d := experiments.SearchTrial(cfg, opts.Seed+int64(i)*7919, opts)
+		succ.Record(ok)
+		if ok {
+			dwells.Add(float64(d))
+		}
+	}
+	b.ReportMetric(succ.Percent(), "success%")
+	b.ReportMetric(dwells.Mean(), "dwells/search")
+}
+
+func BenchmarkFig2aSearchNarrow(b *testing.B) { benchSearch(b, experiments.Narrow) }
+func BenchmarkFig2aSearchWide(b *testing.B)   { benchSearch(b, experiments.Wide) }
+func BenchmarkFig2aSearchOmni(b *testing.B)   { benchSearch(b, experiments.Omni) }
+
+// --- Figure 2c: soft handover completion time -----------------------
+
+func benchHandover(b *testing.B, sc experiments.Scenario) {
+	var done stats.Rate
+	var latency stats.Online
+	for i := 0; i < b.N; i++ {
+		rec, ok := experiments.HandoverTrial(sc, 2000+int64(i)*104729)
+		done.Record(ok)
+		if ok {
+			latency.Add(rec.Latency().Millis())
+		}
+	}
+	b.ReportMetric(done.Percent(), "completed%")
+	b.ReportMetric(latency.Mean(), "latency_ms")
+}
+
+func BenchmarkFig2cWalk(b *testing.B)      { benchHandover(b, experiments.Walk) }
+func BenchmarkFig2cRotation(b *testing.B)  { benchHandover(b, experiments.Rotation) }
+func BenchmarkFig2cVehicular(b *testing.B) { benchHandover(b, experiments.Vehicular) }
+
+// --- §3 claim: alignment held until handover conclusion -------------
+
+func BenchmarkMobilityAlignment(b *testing.B) {
+	rows := make([]experiments.MobilityRow, 1)
+	opts := experiments.DefaultMobilityOpts()
+	opts.Trials = b.N
+	if opts.Trials > 0 {
+		rows = experiments.RunMobility(experiments.MobilityOpts{Trials: b.N, Seed: opts.Seed})
+	}
+	var aligned float64
+	for i := range rows {
+		aligned += rows[i].AlignedFrac.Percent()
+	}
+	b.ReportMetric(aligned/float64(len(rows)), "aligned%")
+}
+
+// --- Ablations -------------------------------------------------------
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	rows := experiments.RunThreshold(experiments.ThresholdOpts{
+		Margins: []float64{3},
+		Trials:  b.N,
+		Seed:    4000,
+		Horizon: 12 * sim.Second,
+	})
+	b.ReportMetric(rows[0].PingPongs.Mean(), "pingpongs/trial")
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	rows := experiments.RunHysteresis(experiments.HysteresisOpts{
+		Triggers: []float64{3},
+		Trials:   b.N,
+		Seed:     5000,
+	})
+	b.ReportMetric(rows[0].Switches.Mean(), "switches/trial")
+}
+
+// --- Baseline comparison ---------------------------------------------
+
+func benchBaseline(b *testing.B, v experiments.Variant) {
+	rows := experiments.RunBaselineVariant(v, experiments.BaselineOpts{
+		Trials: b.N, Seed: 6000, Horizon: 8 * sim.Second,
+	})
+	b.ReportMetric(rows.InterruptMs.Mean(), "interrupt_ms")
+	b.ReportMetric(100*rows.LossRate.Mean(), "loss%")
+}
+
+func BenchmarkBaselineSilentTracker(b *testing.B) { benchBaseline(b, experiments.SilentTracker) }
+func BenchmarkBaselineReactive(b *testing.B)      { benchBaseline(b, experiments.Reactive) }
+func BenchmarkBaselineGenie(b *testing.B)         { benchBaseline(b, experiments.Genie) }
+
+// --- Micro-benchmarks: substrate hot paths ---------------------------
+
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(sim.Microsecond, tick)
+		}
+	}
+	e.After(sim.Microsecond, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkChannelMeasure(b *testing.B) {
+	l := channel.NewLink(channel.DefaultParams(), 1, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Measure(float64(i)*1e-4, 15, 23, 20, 5)
+	}
+}
+
+func BenchmarkAirBurstRow(b *testing.B) {
+	// One full 16-beacon burst measurement through a device, the inner
+	// loop of every experiment.
+	cfg := phy.DefaultConfig()
+	bsBook := antenna.StandardBS(0)
+	ueBook := antenna.NarrowMobile()
+	ch := channel.NewLink(channel.DefaultParams(), 1, "bench-burst")
+	link := phy.NewAirLink(cfg, 1, bsBook, ueBook, ch, 1, "bench-burst")
+	ci := &ue.CellInfo{
+		ID:    1,
+		Pose:  geom.Pose{Pos: geom.V(0, 0)},
+		Sched: phy.NewSchedule(cfg, 0, bsBook.Size()),
+		Book:  bsBook,
+		Link:  link,
+	}
+	d := ue.NewDevice(7, mobility.Static(geom.Pose{Pos: geom.V(12, 0)}), ueBook)
+	d.AddCell(ci)
+	rx := d.BestRxOracle(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		burst := ci.Sched.NextBurst(sim.Time(i) * 20 * sim.Millisecond)
+		d.MeasureBurst(1, burst, rx)
+	}
+}
+
+func BenchmarkCodebookBestBeam(b *testing.B) {
+	cb := antenna.NarrowMobile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.BestBeam(float64(i%628) / 100)
+	}
+}
+
+func BenchmarkMessageMarshalUnmarshal(b *testing.B) {
+	m := mac.Message{
+		Header:  mac.Header{Type: mac.TypeBeamSwitchReq, Cell: 1, UE: 7, Seq: 42},
+		Payload: mac.BeamSwitchReq{CurrentTx: 3, ProposedTx: 4, RSSdBmQ8: -12800}.Marshal(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := m.Marshal()
+		if _, err := mac.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRicianDraw(b *testing.B) {
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Rician(10)
+	}
+}
+
+func BenchmarkHandoverAudit(b *testing.B) {
+	aud := handover.NewAuditor(1, 0)
+	h := aud.Hook(nil)
+	cycle := []core.EventType{
+		core.EvSearchStarted, core.EvNeighborFound,
+		core.EvHandoverTriggered, core.EvHandoverComplete,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h(core.Event{
+			At:   sim.Time(i) * sim.Millisecond,
+			Type: cycle[i%len(cycle)],
+			Cell: 2,
+		})
+	}
+}

@@ -1,0 +1,127 @@
+// Command stbench regenerates every table and figure of the paper's
+// evaluation (and the ablations DESIGN.md adds). With no flags it runs
+// everything at full fidelity; -exp selects one experiment and -quick
+// cuts the trial counts for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silenttracker/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2a, fig2c, mobility, ablation-threshold, ablation-hysteresis, ablation-pattern, ablation-codebook, baseline, all")
+	quick := flag.Bool("quick", false, "reduced trial counts (smoke run)")
+	csv := flag.Bool("csv", false, "emit raw CSV samples instead of tables (fig2a/fig2c)")
+	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
+	flag.Parse()
+
+	out := os.Stdout
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	div := func(n, q int) int {
+		if *quick {
+			return q
+		}
+		return n
+	}
+
+	if run("fig2a") {
+		opts := experiments.DefaultFig2aOpts()
+		opts.Trials = div(opts.Trials, 25)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		rows := experiments.RunFig2a(opts)
+		if *csv {
+			experiments.WriteFig2aCSV(out, rows)
+		} else {
+			experiments.Banner(out, "Figure 2a — directional search under mobility")
+			experiments.WriteFig2a(out, rows)
+		}
+	}
+	if run("fig2c") {
+		opts := experiments.DefaultFig2cOpts()
+		opts.Trials = div(opts.Trials, 20)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		series := experiments.RunFig2c(opts)
+		if *csv {
+			experiments.WriteFig2cCSV(out, series)
+		} else {
+			experiments.Banner(out, "Figure 2c — soft handover completion time CDF")
+			experiments.WriteFig2c(out, series)
+		}
+	}
+	if run("mobility") {
+		opts := experiments.DefaultMobilityOpts()
+		opts.Trials = div(opts.Trials, 10)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Alignment held until handover conclusion (§3 claim)")
+		experiments.WriteMobility(out, experiments.RunMobility(opts))
+	}
+	if run("ablation-threshold") {
+		opts := experiments.DefaultThresholdOpts()
+		opts.Trials = div(opts.Trials, 6)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Ablation — handover margin T")
+		experiments.WriteThreshold(out, experiments.RunThreshold(opts))
+	}
+	if run("ablation-hysteresis") {
+		opts := experiments.DefaultHysteresisOpts()
+		opts.Trials = div(opts.Trials, 6)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Ablation — adjacent-switch trigger (3 dB rule)")
+		experiments.WriteHysteresis(out, experiments.RunHysteresis(opts))
+	}
+	if run("baseline") {
+		opts := experiments.DefaultBaselineOpts()
+		opts.Trials = div(opts.Trials, 6)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Baseline comparison — soft vs reactive vs genie")
+		experiments.WriteBaseline(out, experiments.RunBaseline(opts))
+	}
+	if run("ablation-pattern") {
+		opts := experiments.DefaultPatternOpts()
+		opts.Trials = div(opts.Trials, 8)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Ablation — beam pattern model (Gaussian vs ULA)")
+		experiments.WritePatterns(out, experiments.RunPatterns(opts))
+	}
+	if run("ablation-codebook") {
+		opts := experiments.DefaultCodebookOpts()
+		opts.Trials = div(opts.Trials, 8)
+		if *seed != 0 {
+			opts.Seed = *seed
+		}
+		experiments.Banner(out, "Codebook-size sweep — where 1.28 s comes from")
+		experiments.WriteCodebook(out, experiments.RunCodebook(opts))
+	}
+	if *exp != "all" && !anyKnown(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func anyKnown(e string) bool {
+	switch e {
+	case "fig2a", "fig2c", "mobility", "ablation-threshold",
+		"ablation-hysteresis", "ablation-pattern", "ablation-codebook", "baseline":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Command stmachine dumps and validates the Silent Tracker protocol
+// state machine (the paper's Fig. 2b).
+//
+//	stmachine          # human-readable transition table + validation
+//	stmachine -dot     # Graphviz DOT on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silenttracker/internal/core"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	flag.Parse()
+
+	if err := core.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "state machine INVALID: %v\n", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(core.DOT())
+		return
+	}
+	fmt.Println("Silent Tracker state machine (paper Fig. 2b) — validated OK")
+	fmt.Println()
+	fmt.Printf("%-6s %-7s %-7s %s\n", "label", "from", "to", "guard")
+	for _, tr := range core.Machine {
+		fmt.Printf("%-6s %-7s %-7s %s\n", tr.Label, tr.From, tr.To, tr.Guard)
+	}
+	fmt.Println()
+	fmt.Println("states:")
+	for _, s := range core.AllStates() {
+		fmt.Printf("  %-6s", s)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,125 @@
+// Command stsim runs a single Silent Tracker scenario and reports what
+// happened: either a human-readable timeline, a JSONL trace for
+// post-processing, or a one-line summary.
+//
+// Examples:
+//
+//	stsim -scenario walk -seed 7
+//	stsim -scenario rotation -beams wide -duration 6s -timeline
+//	stsim -scenario vehicular -jsonl > trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"silenttracker/internal/core"
+	"silenttracker/internal/experiments"
+	"silenttracker/internal/handover"
+	"silenttracker/internal/netem"
+	"silenttracker/internal/sim"
+	"silenttracker/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "walk", "walk, rotation, or vehicular")
+	beams := flag.String("beams", "narrow", "mobile codebook: narrow, wide, or omni")
+	seed := flag.Int64("seed", 1, "random seed (same seed = same run)")
+	duration := flag.Duration("duration", 8*time.Second, "simulated time to run")
+	timeline := flag.Bool("timeline", false, "print the full event timeline")
+	jsonl := flag.Bool("jsonl", false, "emit the event trace as JSONL on stdout")
+	withFlow := flag.Bool("flow", true, "attach a 1000 pkt/s downlink flow")
+	flag.Parse()
+
+	sc, ok := parseScenario(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	bc, ok := parseBeams(*beams)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown beam config %q\n", *beams)
+		os.Exit(2)
+	}
+
+	w := experiments.EdgeWorld(sc, bc, *seed)
+	rec := trace.NewRecorder()
+	aud := handover.NewAuditor(w.Tracker.ServingCell(), 0)
+	w.Tracker.SetEventHook(aud.Hook(rec.Hook(w.Tracker)))
+
+	var flow *netem.Flow
+	if *withFlow {
+		flow = netem.Attach(w, sim.Millisecond)
+	}
+	w.Run(sim.Time(*duration))
+	if flow != nil {
+		flow.Stop()
+	}
+
+	if *jsonl {
+		if err := rec.Flush(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario=%s beams=%s seed=%d duration=%s\n", sc, bc, *seed, *duration)
+	fmt.Printf("final state: %s, serving cell %d\n", w.Tracker.PaperState(), w.Tracker.ServingCell())
+	fmt.Printf("handovers: %d completed (%d soft, %d hard), %d ping-pongs\n",
+		aud.Completed(), aud.SoftCount(), aud.HardCount(), aud.PingPongs())
+	if first, ok := aud.First(); ok {
+		fmt.Printf("first handover: %s\n", first)
+	}
+	if flow != nil {
+		fmt.Printf("traffic: %s\n", flow)
+	}
+	fmt.Printf("radio: %d bursts listened, %d skipped (contention), %d uplink drops, %d downlink drops\n",
+		w.Device.BurstsListened, w.SkippedBursts, w.UplinkDrops, w.DownlinkDrops)
+	if total := w.ServingListens + w.NeighborListens; total > 0 {
+		fmt.Printf("measurement budget: %.0f%% serving, %.0f%% neighbor (silent tracking overhead)\n",
+			100*float64(w.ServingListens)/float64(total),
+			100*float64(w.NeighborListens)/float64(total))
+	}
+
+	dwell := trace.StateDwell(rec.Records(), sim.Time(*duration).Millis())
+	fmt.Printf("state dwell (ms):")
+	for _, s := range core.AllStates() {
+		if v, ok := dwell[s.String()]; ok {
+			fmt.Printf(" %s=%.0f", s, v)
+		}
+	}
+	fmt.Println()
+
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		trace.Timeline(rec.Records(), os.Stdout)
+	}
+}
+
+func parseScenario(s string) (experiments.Scenario, bool) {
+	switch strings.ToLower(s) {
+	case "walk":
+		return experiments.Walk, true
+	case "rotation", "rotate":
+		return experiments.Rotation, true
+	case "vehicular", "vehicle", "drive":
+		return experiments.Vehicular, true
+	}
+	return 0, false
+}
+
+func parseBeams(s string) (experiments.BeamConfig, bool) {
+	switch strings.ToLower(s) {
+	case "narrow", "20":
+		return experiments.Narrow, true
+	case "wide", "60":
+		return experiments.Wide, true
+	case "omni":
+		return experiments.Omni, true
+	}
+	return 0, false
+}

@@ -1,0 +1,75 @@
+// Command sttrace analyses a JSONL protocol trace produced by
+// `stsim -jsonl` (or any trace.Recorder flush): it prints the
+// timeline, per-state dwell times, and event counts.
+//
+//	stsim -scenario walk -jsonl | sttrace
+//	sttrace -timeline < trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"silenttracker/internal/trace"
+)
+
+func main() {
+	timeline := flag.Bool("timeline", false, "print the full event timeline")
+	flag.Parse()
+
+	records, err := trace.Read(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sttrace: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	first, last := records[0].TMs, records[len(records)-1].TMs
+	fmt.Printf("%d events over %.0f ms (%.1f–%.1f ms)\n",
+		len(records), last-first, first, last)
+
+	// Event counts.
+	counts := map[string]int{}
+	for _, r := range records {
+		counts[r.Event]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("\nevent counts:")
+	for _, n := range names {
+		fmt.Printf("  %-22s %d\n", n, counts[n])
+	}
+
+	// State dwell.
+	dwell := trace.StateDwell(records, last)
+	states := make([]string, 0, len(dwell))
+	for s := range dwell {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	fmt.Println("\nstate dwell:")
+	for _, s := range states {
+		fmt.Printf("  %-8s %8.0f ms (%.1f%%)\n", s, dwell[s], 100*dwell[s]/(last-first))
+	}
+
+	// Handover chain.
+	fmt.Println("\nhandovers:")
+	for _, r := range records {
+		if r.Event == "handover-complete" {
+			fmt.Printf("  %8.0f ms → cell %d\n", r.TMs, r.Cell)
+		}
+	}
+
+	if *timeline {
+		fmt.Println("\ntimeline:")
+		trace.Timeline(records, os.Stdout)
+	}
+}

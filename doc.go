@@ -1,0 +1,30 @@
+// Package silenttracker is a from-scratch Go reproduction of "Silent
+// Tracker: In-band Beam Management for Soft Handover for mm-Wave
+// Networks" (Ganji, Lin, Kim, Kumar — SIGCOMM '21 Posters & Demos).
+//
+// Silent Tracker lets a mm-wave mobile at a cell edge keep a receive
+// beam silently aligned to a neighboring base station — one it has no
+// connection to and receives no assistance from — using nothing but
+// in-band RSS, while the BeamSurfer protocol maintains the serving
+// link. Holding that alignment until random access completes is what
+// turns an otherwise hard handover into a soft one.
+//
+// The paper evaluated the protocol on a 60 GHz SDR testbed; this
+// module substitutes a calibrated discrete-event simulation of the
+// whole stack (antenna codebooks, 60 GHz channel with blockage and
+// multipath self-interference, SSB-style beacon sweeps, RACH, base
+// stations, a single-RF-chain mobile) so that every figure and table
+// in the evaluation regenerates from `go test -bench` or cmd/stbench.
+//
+// Layout:
+//
+//   - internal/core        — the Silent Tracker protocol (Fig. 2b machine)
+//   - internal/beamsurfer  — the serving-link protocol it builds on
+//   - internal/{antenna, channel, phy, mac, cell, ue, mobility} — substrates
+//   - internal/{world, experiments, handover, netem, trace} — harness
+//   - cmd/{stbench, stsim, stmachine} — executables
+//   - examples/ — runnable scenarios
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package silenttracker

@@ -1,0 +1,267 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"silenttracker/internal/geom"
+)
+
+func TestGaussianPeakAtBoresight(t *testing.T) {
+	g := NewGaussianPattern(geom.Deg(20))
+	if g.GainDB(0) != g.PeakDBi() {
+		t.Errorf("peak not at boresight")
+	}
+	// 3 dB down at half the beamwidth.
+	down := g.GainDB(0) - g.GainDB(geom.Deg(10))
+	if math.Abs(down-3) > 0.01 {
+		t.Errorf("half-beamwidth attenuation = %v dB, want 3", down)
+	}
+}
+
+func TestGaussianSidelobeFloor(t *testing.T) {
+	g := NewGaussianPattern(geom.Deg(20))
+	back := g.GainDB(math.Pi)
+	if math.Abs((g.PeakDBi()-back)-25) > 1e-9 {
+		t.Errorf("side-lobe floor = %v dB below peak, want 25", g.PeakDBi()-back)
+	}
+}
+
+func TestGaussianSymmetricMonotone(t *testing.T) {
+	g := NewGaussianPattern(geom.Deg(30))
+	f := func(off float64) bool {
+		if math.Abs(off) > 10 {
+			return true
+		}
+		return math.Abs(g.GainDB(off)-g.GainDB(-off)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Monotone non-increasing away from boresight until the floor.
+	prev := g.GainDB(0)
+	for th := 0.01; th < math.Pi; th += 0.01 {
+		cur := g.GainDB(th)
+		if cur > prev+1e-9 {
+			t.Fatalf("gain increased away from boresight at %v", th)
+		}
+		prev = cur
+	}
+}
+
+func TestDirectivityOrdering(t *testing.T) {
+	narrow := DirectivityDBi(geom.Deg(20))
+	wide := DirectivityDBi(geom.Deg(60))
+	if narrow <= wide {
+		t.Errorf("narrow directivity %v should exceed wide %v", narrow, wide)
+	}
+	// Sanity: 20°×20° aperture ≈ 20 dBi with our 20° elevation fan.
+	if narrow < 18 || narrow > 22 {
+		t.Errorf("narrow directivity = %v dBi, expected ~20", narrow)
+	}
+}
+
+func TestULACalibration(t *testing.T) {
+	u := NewULAPattern(geom.Deg(20))
+	bw := geom.Rad(u.Beamwidth())
+	if bw < 12 || bw > 30 {
+		t.Errorf("ULA beamwidth = %v°, want roughly 20°", bw)
+	}
+	if u.GainDB(0) != u.PeakDBi() {
+		t.Errorf("ULA peak not at boresight")
+	}
+	// Half-power point near half the measured beamwidth.
+	down := u.GainDB(0) - u.GainDB(u.Beamwidth()/2)
+	if math.Abs(down-3) > 0.5 {
+		t.Errorf("ULA half-power calibration: %v dB", down)
+	}
+	// Back lobe heavily attenuated.
+	if u.PeakDBi()-u.GainDB(math.Pi) < 25 {
+		t.Errorf("ULA back lobe too strong")
+	}
+}
+
+func TestULAHasSidelobes(t *testing.T) {
+	u := NewULAPattern(geom.Deg(20))
+	// First null then a side lobe: gain must be non-monotonic.
+	nullFound := false
+	prev := u.GainDB(0)
+	rising := false
+	for th := 0.001; th < math.Pi/2; th += 0.001 {
+		cur := u.GainDB(th)
+		if cur > prev+1e-9 {
+			rising = true
+		}
+		if cur < u.PeakDBi()-25 {
+			nullFound = true
+		}
+		prev = cur
+	}
+	if !nullFound || !rising {
+		t.Errorf("ULA pattern should exhibit nulls and side lobes (null=%v rising=%v)",
+			nullFound, rising)
+	}
+}
+
+func TestOmniPattern(t *testing.T) {
+	o := &OmniPattern{Gain: 2}
+	for _, th := range []float64{0, 1, math.Pi, -2} {
+		if o.GainDB(th) != 2 {
+			t.Errorf("omni gain at %v = %v", th, o.GainDB(th))
+		}
+	}
+}
+
+func TestRingCodebookTiling(t *testing.T) {
+	cb := NarrowMobile()
+	if cb.Size() != 18 {
+		t.Fatalf("narrow codebook size = %d, want 18", cb.Size())
+	}
+	// Every direction must be within half a beamwidth of some beam.
+	for th := -math.Pi; th < math.Pi; th += 0.01 {
+		best := cb.BestBeam(th)
+		if d := geom.AngleDist(th, cb.Boresight(best)); d > cb.Beamwidth()/2+1e-9 {
+			t.Fatalf("direction %v is %v from best boresight, beamwidth %v",
+				th, d, cb.Beamwidth())
+		}
+	}
+}
+
+func TestBestBeamIsArgmaxGain(t *testing.T) {
+	cb := WideMobile()
+	f := func(th float64) bool {
+		if math.Abs(th) > 10 {
+			return true
+		}
+		best := cb.BestBeam(th)
+		g := cb.GainDB(best, th)
+		for _, b := range cb.AllBeams() {
+			if cb.GainDB(b, th) > g+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingAdjacencyWraps(t *testing.T) {
+	cb := NewRingCodebook("t", 6, geom.Deg(60), ModelGaussian)
+	adj := cb.Adjacent(0)
+	if len(adj) != 2 {
+		t.Fatalf("ring adjacency size = %d", len(adj))
+	}
+	if adj[0] != 5 || adj[1] != 1 {
+		t.Errorf("Adjacent(0) = %v, want [5 1]", adj)
+	}
+	// Adjacency is symmetric.
+	for _, b := range cb.AllBeams() {
+		for _, a := range cb.Adjacent(b) {
+			found := false
+			for _, back := range cb.Adjacent(a) {
+				if back == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", b, a)
+			}
+		}
+	}
+}
+
+func TestSectorAdjacencyEdges(t *testing.T) {
+	cb := NewSectorCodebook("s", 0, geom.Deg(120), 8, geom.Deg(15), ModelGaussian)
+	if got := cb.Adjacent(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("edge adjacency = %v", got)
+	}
+	if got := cb.Adjacent(7); len(got) != 1 || got[0] != 6 {
+		t.Errorf("edge adjacency = %v", got)
+	}
+	if got := cb.Adjacent(3); len(got) != 2 {
+		t.Errorf("interior adjacency = %v", got)
+	}
+}
+
+func TestSingleBeamNoAdjacency(t *testing.T) {
+	cb := OmniMobile()
+	if got := cb.Adjacent(0); got != nil {
+		t.Errorf("omni adjacency = %v, want nil", got)
+	}
+}
+
+func TestNeighborhoodOrderedByHops(t *testing.T) {
+	cb := NewRingCodebook("t", 12, geom.Deg(30), ModelGaussian)
+	nb := cb.Neighborhood(0, 2)
+	want := []BeamID{0, 11, 1, 10, 2}
+	if len(nb) != len(want) {
+		t.Fatalf("neighborhood = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("neighborhood = %v, want %v", nb, want)
+		}
+	}
+}
+
+func TestNeighborhoodCoversRing(t *testing.T) {
+	cb := NewRingCodebook("t", 8, geom.Deg(45), ModelGaussian)
+	nb := cb.Neighborhood(3, 4)
+	if len(nb) != 8 {
+		t.Errorf("full neighborhood size = %d, want 8", len(nb))
+	}
+}
+
+func TestSectorBoresightsSpanSector(t *testing.T) {
+	center := geom.Deg(90)
+	cb := NewSectorCodebook("s", center, geom.Deg(120), 16, geom.Deg(10), ModelGaussian)
+	first, last := cb.Boresight(0), cb.Boresight(15)
+	if geom.AngleDist(first, center-geom.Deg(60)) > 1e-9 {
+		t.Errorf("first boresight = %v", geom.Rad(first))
+	}
+	if geom.AngleDist(last, center+geom.Deg(60)) > 1e-9 {
+		t.Errorf("last boresight = %v", geom.Rad(last))
+	}
+}
+
+func TestInvalidBeamPanics(t *testing.T) {
+	cb := WideMobile()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range beam did not panic")
+		}
+	}()
+	cb.GainDB(99, 0)
+}
+
+func TestValid(t *testing.T) {
+	cb := WideMobile()
+	if cb.Valid(NoBeam) {
+		t.Error("NoBeam should be invalid")
+	}
+	if !cb.Valid(0) || !cb.Valid(5) || cb.Valid(6) {
+		t.Error("Valid boundaries wrong")
+	}
+}
+
+func TestCodebookGainOrdering(t *testing.T) {
+	// Narrow codebook should offer more peak gain than wide, omni least.
+	n, w, o := NarrowMobile(), WideMobile(), OmniMobile()
+	if !(n.PeakDBi() > w.PeakDBi() && w.PeakDBi() > o.PeakDBi()) {
+		t.Errorf("peak gains not ordered: narrow=%v wide=%v omni=%v",
+			n.PeakDBi(), w.PeakDBi(), o.PeakDBi())
+	}
+}
+
+func TestStandardBSSector(t *testing.T) {
+	cb := StandardBS(0)
+	if cb.Size() != 16 {
+		t.Errorf("BS codebook size = %d", cb.Size())
+	}
+	if cb.IsRing() {
+		t.Error("BS codebook should be a sector")
+	}
+}

@@ -1,0 +1,244 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+
+	"silenttracker/internal/geom"
+)
+
+// BeamID identifies a beam within one codebook. IDs are dense indices
+// in [0, Size).
+type BeamID int
+
+// NoBeam is the sentinel for "no beam selected".
+const NoBeam BeamID = -1
+
+// Model selects the beam pattern implementation for a codebook.
+type Model int
+
+// Pattern model choices.
+const (
+	ModelGaussian Model = iota // 3GPP-style parabolic main lobe
+	ModelULA                   // uniform linear array factor
+)
+
+// Codebook is a set of beams with fixed boresights in the device body
+// frame. Codebooks are immutable after construction and safe for
+// concurrent readers.
+type Codebook struct {
+	name        string
+	boresights  []float64 // body frame, radians, sorted ascending
+	pattern     Pattern
+	ring        bool // covers the full circle (adjacency wraps)
+	selectivity float64
+}
+
+// NewRingCodebook builds a codebook whose beams tile the full circle:
+// n beams with boresights spaced 2π/n apart, each with the given
+// half-power beamwidth. This is the mobile-side codebook shape: the
+// mobile does not know a priori where base stations are, so it must be
+// able to look anywhere.
+func NewRingCodebook(name string, n int, hpbw float64, model Model) *Codebook {
+	if n < 1 {
+		panic("antenna: ring codebook needs at least one beam")
+	}
+	cb := &Codebook{name: name, ring: true, pattern: newPattern(hpbw, model)}
+	for i := 0; i < n; i++ {
+		cb.boresights = append(cb.boresights, geom.WrapAngle(float64(i)*geom.TwoPi/float64(n)-math.Pi))
+	}
+	cb.selectivity = SelectivityDB(cb.pattern)
+	return cb
+}
+
+// NewSectorCodebook builds a codebook covering the sector
+// [center-span/2, center+span/2] with n beams. This is the base
+// station shape: a cell serves a bounded angular sector.
+func NewSectorCodebook(name string, center, span float64, n int, hpbw float64, model Model) *Codebook {
+	if n < 1 {
+		panic("antenna: sector codebook needs at least one beam")
+	}
+	cb := &Codebook{name: name, ring: false, pattern: newPattern(hpbw, model)}
+	cb.selectivity = SelectivityDB(cb.pattern)
+	if n == 1 {
+		cb.boresights = []float64{geom.WrapAngle(center)}
+		return cb
+	}
+	step := span / float64(n-1)
+	start := center - span/2
+	for i := 0; i < n; i++ {
+		cb.boresights = append(cb.boresights, geom.WrapAngle(start+float64(i)*step))
+	}
+	return cb
+}
+
+// NewOmni builds a single-"beam" codebook with an isotropic element,
+// the paper's omni-directional mobile baseline.
+func NewOmni(name string, gainDBi float64) *Codebook {
+	return &Codebook{
+		name:       name,
+		ring:       true,
+		pattern:    &OmniPattern{Gain: gainDBi},
+		boresights: []float64{0},
+	}
+}
+
+func newPattern(hpbw float64, model Model) Pattern {
+	switch model {
+	case ModelULA:
+		return NewULAPattern(hpbw)
+	default:
+		return NewGaussianPattern(hpbw)
+	}
+}
+
+// Name returns the codebook's diagnostic name.
+func (cb *Codebook) Name() string { return cb.name }
+
+// Size returns the number of beams.
+func (cb *Codebook) Size() int { return len(cb.boresights) }
+
+// Beamwidth returns the half-power beamwidth shared by all beams.
+func (cb *Codebook) Beamwidth() float64 { return cb.pattern.Beamwidth() }
+
+// PeakDBi returns the boresight gain shared by all beams.
+func (cb *Codebook) PeakDBi() float64 { return cb.pattern.PeakDBi() }
+
+// SelectivityDB returns the codebook's suppression of diffuse
+// multipath relative to boresight (see antenna.SelectivityDB).
+// Precomputed at construction; codebooks stay immutable.
+func (cb *Codebook) SelectivityDB() float64 { return cb.selectivity }
+
+// AvgGainDBi returns the azimuth-average gain of a beam: the gain the
+// pattern offers to diffuse (direction-uniform) energy.
+func (cb *Codebook) AvgGainDBi() float64 { return cb.pattern.PeakDBi() - cb.selectivity }
+
+// IsRing reports whether beam adjacency wraps around the circle.
+func (cb *Codebook) IsRing() bool { return cb.ring }
+
+// Boresight returns the body-frame boresight angle of beam b.
+func (cb *Codebook) Boresight(b BeamID) float64 {
+	cb.check(b)
+	return cb.boresights[b]
+}
+
+// Valid reports whether b names a beam in this codebook.
+func (cb *Codebook) Valid(b BeamID) bool {
+	return b >= 0 && int(b) < len(cb.boresights)
+}
+
+func (cb *Codebook) check(b BeamID) {
+	if !cb.Valid(b) {
+		panic(fmt.Sprintf("antenna: beam %d out of range for codebook %q (size %d)",
+			b, cb.name, len(cb.boresights)))
+	}
+}
+
+// GainDB returns the gain of beam b toward a body-frame angle.
+func (cb *Codebook) GainDB(b BeamID, bodyAngle float64) float64 {
+	cb.check(b)
+	return cb.pattern.GainDB(geom.WrapAngle(bodyAngle - cb.boresights[b]))
+}
+
+// BestBeam returns the beam whose boresight is closest to the given
+// body-frame angle.
+func (cb *Codebook) BestBeam(bodyAngle float64) BeamID {
+	best, bestDist := BeamID(0), math.Inf(1)
+	for i, bs := range cb.boresights {
+		if d := geom.AngleDist(bodyAngle, bs); d < bestDist {
+			best, bestDist = BeamID(i), d
+		}
+	}
+	return best
+}
+
+// Adjacent returns the directionally adjacent beams of b: the beams
+// with the nearest boresights on either side. A ring codebook always
+// returns two; a sector codebook returns one at the sector edge; a
+// single-beam codebook returns none.
+func (cb *Codebook) Adjacent(b BeamID) []BeamID {
+	cb.check(b)
+	n := len(cb.boresights)
+	if n == 1 {
+		return nil
+	}
+	var out []BeamID
+	if cb.ring {
+		out = append(out, BeamID((int(b)+n-1)%n), BeamID((int(b)+1)%n))
+		return out
+	}
+	if b > 0 {
+		out = append(out, b-1)
+	}
+	if int(b) < n-1 {
+		out = append(out, b+1)
+	}
+	return out
+}
+
+// Neighborhood returns b plus all beams within k adjacency hops,
+// ordered by hop distance then beam ID. Used by re-acquisition, which
+// searches outward from the last known good beam.
+func (cb *Codebook) Neighborhood(b BeamID, k int) []BeamID {
+	cb.check(b)
+	seen := map[BeamID]bool{b: true}
+	out := []BeamID{b}
+	frontier := []BeamID{b}
+	for hop := 0; hop < k; hop++ {
+		var next []BeamID
+		for _, f := range frontier {
+			for _, a := range cb.Adjacent(f) {
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+					next = append(next, a)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// AllBeams returns every beam ID, in sweep order (ascending boresight).
+func (cb *Codebook) AllBeams() []BeamID {
+	out := make([]BeamID, len(cb.boresights))
+	for i := range out {
+		out[i] = BeamID(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (cb *Codebook) String() string {
+	return fmt.Sprintf("codebook %q: %d beams, %.0f° HPBW, %.1f dBi peak",
+		cb.name, cb.Size(), geom.Rad(cb.Beamwidth()), cb.PeakDBi())
+}
+
+// Standard mobile codebooks from the paper's evaluation: 20° (narrow),
+// 60° (wide), and omni.
+
+// NarrowMobile returns the paper's narrow (20°) mobile codebook:
+// 18 beams tiling the circle.
+func NarrowMobile() *Codebook {
+	return NewRingCodebook("mobile-narrow-20", 18, geom.Deg(20), ModelGaussian)
+}
+
+// WideMobile returns the paper's wide (60°) mobile codebook: 6 beams
+// tiling the circle.
+func WideMobile() *Codebook {
+	return NewRingCodebook("mobile-wide-60", 6, geom.Deg(60), ModelGaussian)
+}
+
+// OmniMobile returns the paper's omni baseline: a single 2 dBi
+// element.
+func OmniMobile() *Codebook {
+	return NewOmni("mobile-omni", 2)
+}
+
+// StandardBS returns a base-station codebook: 16 narrow beams covering
+// a 120° sector facing the given world-frame direction (the BS body
+// frame is the world frame; base stations do not rotate).
+func StandardBS(facing float64) *Codebook {
+	return NewSectorCodebook("bs-sector-120", facing, geom.Deg(120), 16, geom.Deg(10), ModelGaussian)
+}

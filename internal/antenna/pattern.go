@@ -1,0 +1,214 @@
+// Package antenna models phased-array beams and codebooks.
+//
+// Silent Tracker needs exactly two things from an antenna: the gain a
+// beam offers at a given angular offset from its boresight, and a
+// notion of "directionally adjacent" beams to switch to when RSS
+// drops. This package provides both, with two pattern models:
+//
+//   - GaussianPattern: the 3GPP-style parabolic-in-dB main lobe with a
+//     side-lobe floor. Cheap, smooth, and the default.
+//   - ULAPattern: the array factor of an N-element uniform linear
+//     array. Physically grounded; exhibits real side lobes and nulls.
+//
+// Both are calibrated so the half-power beamwidth matches the
+// requested codebook beamwidth, which is what the paper's 20° and 60°
+// codebooks specify.
+package antenna
+
+import (
+	"fmt"
+	"math"
+
+	"silenttracker/internal/geom"
+)
+
+// Pattern maps an angular offset from boresight (radians) to a gain in
+// dB relative to isotropic (dBi). Implementations must be symmetric in
+// the offset and maximal at zero offset.
+type Pattern interface {
+	// GainDB returns the gain at the given offset from boresight.
+	GainDB(offset float64) float64
+	// PeakDBi returns the boresight gain.
+	PeakDBi() float64
+	// Beamwidth returns the half-power (3 dB) beamwidth in radians.
+	Beamwidth() float64
+}
+
+// AvgGainDBi returns the pattern's azimuth-average gain in dBi,
+// computed by numeric integration of the linear pattern. Diffuse
+// multipath arrives from all azimuths, so this is the gain the
+// receiver offers to scattered interference.
+func AvgGainDBi(p Pattern) float64 {
+	const steps = 720
+	var sum float64
+	for i := 0; i < steps; i++ {
+		th := -math.Pi + geom.TwoPi*float64(i)/steps
+		sum += math.Pow(10, p.GainDB(th)/10)
+	}
+	return 10 * math.Log10(sum/steps)
+}
+
+// SelectivityDB returns how many dB the pattern suppresses diffuse
+// (azimuth-uniform) energy relative to its boresight response. An
+// omni element has zero selectivity; a 20° beam has ~15 dB. This is
+// the quantity that makes directional receivers multipath-robust and
+// omni receivers self-interference limited at mm-wave.
+func SelectivityDB(p Pattern) float64 {
+	return p.PeakDBi() - AvgGainDBi(p)
+}
+
+// GaussianPattern is the 3GPP TR 38.901-style pattern: attenuation
+// grows quadratically in dB with the offset, floored at the side-lobe
+// level below peak.
+type GaussianPattern struct {
+	Peak    float64 // boresight gain, dBi
+	HPBW    float64 // half-power beamwidth, radians
+	SLLdB   float64 // side-lobe attenuation below peak (positive), dB
+	backDBi float64
+}
+
+// NewGaussianPattern builds a Gaussian pattern with the given
+// half-power beamwidth. Peak gain defaults to the aperture directivity
+// for that beamwidth (see DirectivityDBi); side lobes sit 25 dB below
+// peak.
+func NewGaussianPattern(hpbw float64) *GaussianPattern {
+	return &GaussianPattern{
+		Peak:  DirectivityDBi(hpbw),
+		HPBW:  hpbw,
+		SLLdB: 25,
+	}
+}
+
+// GainDB implements Pattern.
+func (g *GaussianPattern) GainDB(offset float64) float64 {
+	offset = math.Abs(geom.WrapAngle(offset))
+	// 3 dB down at offset = HPBW/2 requires the quadratic coefficient
+	// 12 when offset is normalised by HPBW (3GPP's A(θ) formula).
+	att := 12 * (offset / g.HPBW) * (offset / g.HPBW)
+	if att > g.SLLdB {
+		att = g.SLLdB
+	}
+	return g.Peak - att
+}
+
+// PeakDBi implements Pattern.
+func (g *GaussianPattern) PeakDBi() float64 { return g.Peak }
+
+// Beamwidth implements Pattern.
+func (g *GaussianPattern) Beamwidth() float64 { return g.HPBW }
+
+// ULAPattern is the normalised array factor of an N-element uniform
+// linear array with half-wavelength spacing, scaled to a peak
+// directivity consistent with its beamwidth.
+type ULAPattern struct {
+	N    int     // number of elements
+	Peak float64 // boresight gain, dBi
+	hpbw float64
+}
+
+// NewULAPattern builds a ULA whose half-power beamwidth approximates
+// the requested value. The element count follows the classical
+// approximation HPBW ≈ 1.78/N radians for a broadside λ/2-spaced ULA
+// (about 102°/N).
+func NewULAPattern(hpbw float64) *ULAPattern {
+	n := int(math.Round(1.78 / hpbw))
+	if n < 2 {
+		n = 2
+	}
+	u := &ULAPattern{N: n}
+	u.hpbw = u.measureHPBW()
+	u.Peak = DirectivityDBi(u.hpbw)
+	return u
+}
+
+// arrayFactor returns the normalised (peak = 1) power array factor at
+// the given offset from broadside.
+func (u *ULAPattern) arrayFactor(offset float64) float64 {
+	// ψ = π sin(θ) for λ/2 spacing, broadside steering.
+	psi := math.Pi * math.Sin(offset)
+	if math.Abs(psi) < 1e-12 {
+		return 1
+	}
+	num := math.Sin(float64(u.N) * psi / 2)
+	den := float64(u.N) * math.Sin(psi/2)
+	if math.Abs(den) < 1e-12 {
+		return 1
+	}
+	af := num / den
+	return af * af
+}
+
+func (u *ULAPattern) measureHPBW() float64 {
+	// Scan outward for the half-power point.
+	const step = 1e-4
+	for th := 0.0; th < math.Pi/2; th += step {
+		if u.arrayFactor(th) < 0.5 {
+			return 2 * th
+		}
+	}
+	return math.Pi
+}
+
+// GainDB implements Pattern.
+func (u *ULAPattern) GainDB(offset float64) float64 {
+	offset = geom.WrapAngle(offset)
+	// Behind the array (|offset| > π/2) there is no main response;
+	// model a 30 dB front-to-back floor.
+	if math.Abs(offset) > math.Pi/2 {
+		return u.Peak - 30
+	}
+	af := u.arrayFactor(offset)
+	const floor = 1e-3 // -30 dB
+	if af < floor {
+		af = floor
+	}
+	return u.Peak + 10*math.Log10(af)
+}
+
+// PeakDBi implements Pattern.
+func (u *ULAPattern) PeakDBi() float64 { return u.Peak }
+
+// Beamwidth implements Pattern.
+func (u *ULAPattern) Beamwidth() float64 { return u.hpbw }
+
+// OmniPattern is an isotropic-in-azimuth element, the paper's
+// "omni-directional/single antenna" mobile configuration.
+type OmniPattern struct {
+	Gain float64 // dBi
+}
+
+// GainDB implements Pattern.
+func (o *OmniPattern) GainDB(offset float64) float64 { return o.Gain }
+
+// PeakDBi implements Pattern.
+func (o *OmniPattern) PeakDBi() float64 { return o.Gain }
+
+// Beamwidth implements Pattern. An omni element covers the full
+// circle.
+func (o *OmniPattern) Beamwidth() float64 { return geom.TwoPi }
+
+// DirectivityDBi estimates boresight directivity from an azimuth
+// half-power beamwidth, assuming the array confines elevation to a
+// fixed 20° fan (the testbed's planar arrays steer azimuth only).
+// It uses the classical approximation D ≈ 41253/(θ_az·θ_el) with
+// angles in degrees.
+func DirectivityDBi(hpbw float64) float64 {
+	azDeg := geom.Rad(hpbw)
+	if azDeg < 1 {
+		azDeg = 1
+	}
+	if azDeg > 360 {
+		azDeg = 360
+	}
+	const elDeg = 20.0
+	return 10 * math.Log10(41253/(azDeg*elDeg))
+}
+
+func init() {
+	// Sanity guards on calibration constants; a broken pattern model
+	// silently corrupts every experiment, so fail loudly at start-up.
+	g := NewGaussianPattern(geom.Deg(20))
+	if d := g.GainDB(0) - g.GainDB(geom.Deg(10)); math.Abs(d-3) > 0.01 {
+		panic(fmt.Sprintf("antenna: Gaussian 3dB calibration off: %v", d))
+	}
+}

@@ -1,0 +1,383 @@
+// Package beamsurfer implements the BeamSurfer protocol (Ganji et al.,
+// SIGCOMM '20): in-band beam management for the link a mobile is
+// *connected* to. Silent Tracker runs it unchanged for the serving
+// cell while silently tracking a neighbor.
+//
+// The protocol has two rules, both driven purely by RSS:
+//
+//	(i)  Mobile-side: when the serving RSS drops 3 dB below its
+//	     reference level, probe the two directionally adjacent receive
+//	     beams and switch to the best.
+//	(ii) Base-station-side (CABM): when (i) no longer suffices, ask the
+//	     serving cell to switch to a directionally adjacent transmit
+//	     beam. This requires an uplink message and an acknowledgement —
+//	     which is exactly what stops working at the cell edge, and why
+//	     the neighbor side of Silent Tracker must be silent.
+//
+// The tracker is a passive state machine: the UE runtime asks it which
+// receive beam to use for each serving-cell sync burst (PlanBurst),
+// feeds it the resulting per-transmit-beam measurement row (OnBurst),
+// and drains pending uplink actions (Actions).
+package beamsurfer
+
+import (
+	"fmt"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/sim"
+)
+
+// Config holds the protocol constants.
+type Config struct {
+	AdjustTriggerDB float64  // rule (i)/(ii) trigger: the paper's 3 dB
+	TriggerBursts   int      // drop must persist this many bursts (fade debounce)
+	SwitchMarginDB  float64  // a probe must beat the current beam by this to be adopted
+	RefAlpha        float64  // slow EWMA weight for the reference RSS
+	CurAlpha        float64  // fast EWMA weight for the current RSS
+	AckTimeout      sim.Time // CABM request retransmission timeout
+	MaxSwitchTries  int      // CABM attempts before declaring the link lost
+	MissLimit       int      // consecutive undetected bursts before loss
+	MissPenaltyDB   float64  // RSS penalty applied for an undetected burst
+}
+
+// DefaultConfig returns the paper's constants.
+func DefaultConfig() Config {
+	return Config{
+		AdjustTriggerDB: 3,
+		TriggerBursts:   2,
+		SwitchMarginDB:  1,
+		RefAlpha:        0.05,
+		CurAlpha:        0.6,
+		AckTimeout:      30 * sim.Millisecond,
+		MaxSwitchTries:  3,
+		// 15 bursts = 300 ms at the default sweep period: long enough
+		// to ride out a typical transient body blockage (~350 ms mean,
+		// exponentially distributed), short enough to react to a real
+		// link death — the same trade RLF timers make in LTE/NR.
+		MissLimit:     15,
+		MissPenaltyDB: 10,
+	}
+}
+
+// Phase is the tracker's internal mode.
+type Phase int
+
+// Tracker phases.
+const (
+	PhaseSteady   Phase = iota // healthy, listening on the chosen pair
+	PhaseProbeA                // probing the first adjacent receive beam
+	PhaseProbeB                // probing the second adjacent receive beam
+	PhaseAwaitAck              // CABM request outstanding
+	PhaseLost                  // serving link lost (rule (ii) failed)
+)
+
+var phaseNames = map[Phase]string{
+	PhaseSteady: "steady", PhaseProbeA: "probe-a", PhaseProbeB: "probe-b",
+	PhaseAwaitAck: "await-ack", PhaseLost: "lost",
+}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if s, ok := phaseNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Action is an uplink transmission the tracker wants performed.
+type Action struct {
+	SwitchReq *SwitchReq
+}
+
+// SwitchReq is a CABM transmit-beam switch proposal.
+type SwitchReq struct {
+	Cell       int
+	CurrentTx  antenna.BeamID
+	ProposedTx antenna.BeamID
+	RSSdBm     float64
+}
+
+// Tracker maintains one serving link.
+type Tracker struct {
+	Cfg  Config
+	Cell int
+
+	ueBook *antenna.Codebook
+	bsBook *antenna.Codebook
+
+	tx, rx antenna.BeamID
+	ref    float64 // reference RSS (dBm): level at beam selection, slow EWMA
+	cur    float64 // current RSS (dBm): fast EWMA
+	phase  Phase
+
+	probeBeams []antenna.BeamID
+	probeRSS   []float64
+	probeIdx   int
+	baseRSS    float64 // RSS on the incumbent rx beam when probing began
+
+	pendingTx antenna.BeamID
+	reqSentAt sim.Time
+	reqTries  int
+	misses    int
+	trigCount int
+	everHeard bool
+	actions   []Action
+
+	// Counters for experiments.
+	MobileSwitches int // rule (i) receive-beam switches
+	SwitchReqsSent int // rule (ii) requests
+	BSSwitchesAckd int // rule (ii) completions
+}
+
+// New builds a tracker for a serving link already established on
+// (tx, rx) with the given initial RSS as reference.
+func New(cfg Config, cellID int, ueBook, bsBook *antenna.Codebook, tx, rx antenna.BeamID, initRSS float64) *Tracker {
+	return &Tracker{
+		Cfg:    cfg,
+		Cell:   cellID,
+		ueBook: ueBook,
+		bsBook: bsBook,
+		tx:     tx,
+		rx:     rx,
+		ref:    initRSS,
+		cur:    initRSS,
+	}
+}
+
+// Beams returns the current serving beam pair.
+func (t *Tracker) Beams() (tx, rx antenna.BeamID) { return t.tx, t.rx }
+
+// RSS returns the tracker's current serving RSS estimate (dBm).
+func (t *Tracker) RSS() float64 { return t.cur }
+
+// Ref returns the reference RSS the 3 dB rule compares against.
+func (t *Tracker) Ref() float64 { return t.ref }
+
+// CurrentPhase returns the tracker's mode.
+func (t *Tracker) CurrentPhase() Phase { return t.phase }
+
+// Lost reports whether the serving link is lost: rule (ii) exhausted
+// its retries or the beam went undetected too long. This is the
+// condition under which Silent Tracker switches to the tracked
+// neighbor.
+func (t *Tracker) Lost() bool { return t.phase == PhaseLost }
+
+// Actions drains pending uplink actions.
+func (t *Tracker) Actions() []Action {
+	a := t.actions
+	t.actions = nil
+	return a
+}
+
+// PlanBurst returns the receive beam to listen with during the next
+// serving-cell sync burst.
+func (t *Tracker) PlanBurst(now sim.Time) antenna.BeamID {
+	t.checkAckTimeout(now)
+	switch t.phase {
+	case PhaseProbeA, PhaseProbeB:
+		return t.probeBeams[t.probeIdx]
+	default:
+		return t.rx
+	}
+}
+
+// OnBurst feeds the tracker the measurement row from a serving-cell
+// burst listened to with the beam PlanBurst returned.
+func (t *Tracker) OnBurst(now sim.Time, row []phy.Measurement) {
+	t.checkAckTimeout(now)
+	if t.phase == PhaseLost {
+		return
+	}
+	m, ok := findBeam(row, t.tx)
+	switch t.phase {
+	case PhaseSteady, PhaseAwaitAck:
+		t.steadyUpdate(now, m, ok, row)
+	case PhaseProbeA, PhaseProbeB:
+		t.probeUpdate(now, m, ok, row)
+	}
+}
+
+func findBeam(row []phy.Measurement, tx antenna.BeamID) (phy.Measurement, bool) {
+	for _, m := range row {
+		if m.TxBeam == tx && m.Detected {
+			return m, true
+		}
+	}
+	return phy.Measurement{}, false
+}
+
+func (t *Tracker) steadyUpdate(now sim.Time, m phy.Measurement, ok bool, row []phy.Measurement) {
+	if !ok {
+		t.misses++
+		t.cur -= t.Cfg.MissPenaltyDB * t.Cfg.CurAlpha
+		if t.misses >= t.Cfg.MissLimit {
+			t.phase = PhaseLost
+		}
+		return
+	}
+	t.misses = 0
+	t.everHeard = true
+	t.cur = t.cur*(1-t.Cfg.CurAlpha) + m.RSSdBm*t.Cfg.CurAlpha
+	// The reference is a slow symmetric average: fast fading wanders
+	// around it without tripping the 3 dB rule, while a sustained
+	// geometry change opens a persistent gap below it.
+	t.ref = t.ref*(1-t.Cfg.RefAlpha) + t.cur*t.Cfg.RefAlpha
+	if t.phase == PhaseAwaitAck {
+		return // adaptation is paused while a CABM request is in flight
+	}
+	if t.ref-t.cur > t.Cfg.AdjustTriggerDB {
+		t.trigCount++
+		if t.trigCount >= t.Cfg.TriggerBursts {
+			t.trigCount = 0
+			t.beginProbe(row)
+		}
+	} else {
+		t.trigCount = 0
+	}
+}
+
+func (t *Tracker) beginProbe(row []phy.Measurement) {
+	adj := t.ueBook.Adjacent(t.rx)
+	if len(adj) == 0 {
+		// No adjacent receive beams (omni): go straight to rule (ii),
+		// using whatever transmit-beam information this row carries.
+		t.proposeBSSwitch(row)
+		return
+	}
+	t.probeBeams = adj
+	t.probeRSS = make([]float64, len(adj))
+	t.probeIdx = 0
+	t.baseRSS = t.cur
+	t.phase = PhaseProbeA
+}
+
+func (t *Tracker) probeUpdate(now sim.Time, m phy.Measurement, ok bool, row []phy.Measurement) {
+	rss := t.baseRSS - t.Cfg.MissPenaltyDB
+	if ok {
+		rss = m.RSSdBm
+	}
+	t.probeRSS[t.probeIdx] = rss
+	t.probeIdx++
+	if t.probeIdx < len(t.probeBeams) {
+		t.phase = PhaseProbeB
+		return
+	}
+	// All probes done: adopt the best adjacent beam if it helps.
+	bestIdx, bestRSS := -1, t.baseRSS+t.Cfg.SwitchMarginDB
+	for i, r := range t.probeRSS {
+		if r > bestRSS {
+			bestIdx, bestRSS = i, r
+		}
+	}
+	if bestIdx >= 0 {
+		t.rx = t.probeBeams[bestIdx]
+		t.cur = bestRSS
+		t.MobileSwitches++
+		if t.ref-t.cur <= t.Cfg.AdjustTriggerDB {
+			// Rule (i) sufficed.
+			t.phase = PhaseSteady
+			return
+		}
+	}
+	// Rule (i) insufficient: rule (ii), propose a BS-side switch using
+	// the last row (it carries every transmit beam's RSS).
+	t.proposeBSSwitch(row)
+}
+
+// proposeBSSwitch emits a CABM request for the best adjacent transmit
+// beam observed in row. The burst row carries every transmit beam, so
+// the proposal is evidence-based: if no adjacent beam actually looks
+// better than the incumbent, no request goes out — asking the cell to
+// switch to a worse beam only destabilises the link.
+func (t *Tracker) proposeBSSwitch(row []phy.Measurement) {
+	adj := t.bsBook.Adjacent(t.tx)
+	if len(adj) == 0 {
+		t.phase = PhaseLost
+		return
+	}
+	incumbent := t.cur
+	if m, ok := findBeam(row, t.tx); ok {
+		incumbent = m.RSSdBm
+	}
+	best := antenna.NoBeam
+	bestRSS := incumbent + t.Cfg.SwitchMarginDB
+	for _, cand := range adj {
+		if m, ok := findBeam(row, cand); ok && m.RSSdBm > bestRSS {
+			best, bestRSS = cand, m.RSSdBm
+		}
+	}
+	if best == antenna.NoBeam {
+		// Nothing better to ask for: stay put and let the trigger (or
+		// the miss counter, if the link is really dying) re-fire.
+		t.phase = PhaseSteady
+		return
+	}
+	t.pendingTx = best
+	t.reqTries++
+	t.SwitchReqsSent++
+	t.phase = PhaseAwaitAck
+	t.reqSentAt = sim.Never // set on first checkAckTimeout call with now
+	t.actions = append(t.actions, Action{SwitchReq: &SwitchReq{
+		Cell:       t.Cell,
+		CurrentTx:  t.tx,
+		ProposedTx: best,
+		RSSdBm:     t.cur,
+	}})
+}
+
+func (t *Tracker) checkAckTimeout(now sim.Time) {
+	if t.phase != PhaseAwaitAck {
+		return
+	}
+	if t.reqSentAt == sim.Never {
+		t.reqSentAt = now
+		return
+	}
+	if now-t.reqSentAt < t.Cfg.AckTimeout {
+		return
+	}
+	if t.reqTries >= t.Cfg.MaxSwitchTries {
+		// The serving cell cannot be reached: the paper's transition G /
+		// cell-edge loss condition.
+		t.phase = PhaseLost
+		return
+	}
+	// Retransmit.
+	t.reqTries++
+	t.SwitchReqsSent++
+	t.reqSentAt = now
+	t.actions = append(t.actions, Action{SwitchReq: &SwitchReq{
+		Cell:       t.Cell,
+		CurrentTx:  t.tx,
+		ProposedTx: t.pendingTx,
+		RSSdBm:     t.cur,
+	}})
+}
+
+// OnSwitchAck handles the serving cell's confirmation of a CABM
+// switch.
+func (t *Tracker) OnSwitchAck(now sim.Time, newTx antenna.BeamID) {
+	if t.phase != PhaseAwaitAck || newTx != t.pendingTx {
+		return
+	}
+	t.tx = newTx
+	t.reqTries = 0
+	t.BSSwitchesAckd++
+	t.phase = PhaseSteady
+	// The beam pair changed; re-anchor the reference at the next
+	// measurements rather than comparing against the old beam's level.
+	t.ref = t.cur
+}
+
+// Reinit rebases the tracker onto a new serving link (after handover).
+func (t *Tracker) Reinit(cellID int, bsBook *antenna.Codebook, tx, rx antenna.BeamID, rss float64) {
+	t.Cell = cellID
+	t.bsBook = bsBook
+	t.tx, t.rx = tx, rx
+	t.ref, t.cur = rss, rss
+	t.phase = PhaseSteady
+	t.misses = 0
+	t.reqTries = 0
+	t.actions = nil
+}

@@ -1,0 +1,346 @@
+// Package cell models a mm-wave base station: its sync-burst
+// schedule, connection table, random-access responder, and the
+// serving-side half of cell-assisted beam management (CABM).
+//
+// A Cell is a passive, message-driven state machine. The world runtime
+// delivers uplink messages that survived the directional link and
+// drains the cell's downlink outbox; the cell itself never touches the
+// channel model, which keeps its logic unit-testable without radio
+// state.
+package cell
+
+import (
+	"fmt"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mac"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/sim"
+)
+
+// Conn is the per-mobile connection state a cell maintains.
+type Conn struct {
+	UE       uint16
+	TxBeam   antenna.BeamID // current serving transmit beam
+	LastSeen sim.Time
+	Ctx      mac.Context
+	// EstablishedAt records when the connection completed (Msg4).
+	EstablishedAt sim.Time
+}
+
+// Downlink is a message the cell wants transmitted on a specific beam.
+type Downlink struct {
+	Msg    mac.Message
+	TxBeam antenna.BeamID
+	At     sim.Time // earliest transmit time
+	To     uint16   // destination mobile
+}
+
+// Backhaul lets a cell fetch a mobile's context from another cell
+// during handover (the X2 interface). The world provides an
+// implementation with a configurable one-way delay.
+type Backhaul interface {
+	// FetchContext asks cell src for ue's context. done is invoked
+	// (possibly later) with the context and whether it existed.
+	FetchContext(src int, ue uint16, done func(mac.Context, bool))
+}
+
+// Config holds cell behaviour constants.
+type Config struct {
+	RARDelay     sim.Time // processing delay before the RAR goes out
+	SetupDelay   sim.Time // processing delay before ConnSetup
+	ConnTimeout  sim.Time // drop a connection not heard from in this long
+	MaxAdjacency int      // max hops a BeamSwitchReq may move the beam
+}
+
+// DefaultConfig returns production-like cell constants.
+func DefaultConfig() Config {
+	return Config{
+		RARDelay:   2 * sim.Millisecond,
+		SetupDelay: 2 * sim.Millisecond,
+		// Must exceed a typical transient blockage plus the mobile's
+		// own loss-detection time, or the cell drops connections the
+		// mobile still considers alive.
+		ConnTimeout:  1 * sim.Second,
+		MaxAdjacency: 2,
+	}
+}
+
+// Cell is one base station.
+type Cell struct {
+	ID    int
+	Pose  geom.Pose // position; facing defines the sector centre
+	Book  *antenna.Codebook
+	Sched phy.Schedule
+	Cfg   Config
+
+	conns            map[uint16]*Conn
+	outbox           []Downlink
+	backhaul         Backhaul
+	seq              uint32
+	nextTemp         uint16
+	lastPreambleBeam map[uint16]antenna.BeamID
+
+	// Counters for experiments.
+	PreamblesHeard int
+	RARsSent       int
+	BeamSwitches   int
+	HandoversIn    int
+}
+
+// New constructs a cell with the given identity, pose, codebook and
+// burst schedule.
+func New(id int, pose geom.Pose, book *antenna.Codebook, sched phy.Schedule, cfg Config) *Cell {
+	return &Cell{
+		ID:               id,
+		Pose:             pose,
+		Book:             book,
+		Sched:            sched,
+		Cfg:              cfg,
+		conns:            make(map[uint16]*Conn),
+		nextTemp:         0x8000, // temporary IDs live in the high range
+		lastPreambleBeam: make(map[uint16]antenna.BeamID),
+	}
+}
+
+// SetBackhaul wires the inter-cell context-transfer path.
+func (c *Cell) SetBackhaul(b Backhaul) { c.backhaul = b }
+
+// Conn returns the connection for a mobile, or nil.
+func (c *Cell) Conn(ue uint16) *Conn { return c.conns[ue] }
+
+// Connected reports whether the mobile has an established connection.
+func (c *Cell) Connected(ue uint16) bool { return c.conns[ue] != nil }
+
+// NumConns returns the number of live connections.
+func (c *Cell) NumConns() int { return len(c.conns) }
+
+// Admit creates a connection directly (initial attach at scenario
+// setup, when the mobile is already registered with its first cell).
+func (c *Cell) Admit(now sim.Time, ue uint16, txBeam antenna.BeamID, ctx mac.Context) *Conn {
+	conn := &Conn{UE: ue, TxBeam: txBeam, LastSeen: now, Ctx: ctx, EstablishedAt: now}
+	c.conns[ue] = conn
+	return conn
+}
+
+// Release drops a connection (source-side after handover, or timeout).
+func (c *Cell) Release(ue uint16) { delete(c.conns, ue) }
+
+// TakeContext removes and returns the mobile's context, for transfer
+// to a target cell.
+func (c *Cell) TakeContext(ue uint16) (mac.Context, bool) {
+	conn := c.conns[ue]
+	if conn == nil {
+		return mac.Context{}, false
+	}
+	ctx := conn.Ctx
+	delete(c.conns, ue)
+	return ctx, true
+}
+
+// PeekContext returns the mobile's context without releasing.
+func (c *Cell) PeekContext(ue uint16) (mac.Context, bool) {
+	conn := c.conns[ue]
+	if conn == nil {
+		return mac.Context{}, false
+	}
+	return conn.Ctx, true
+}
+
+// Outbox drains and returns pending downlink messages.
+func (c *Cell) Outbox() []Downlink {
+	out := c.outbox
+	c.outbox = nil
+	return out
+}
+
+func (c *Cell) push(d Downlink) {
+	d.Msg.Cell = uint16(c.ID)
+	d.Msg.Seq = c.seq
+	c.seq++
+	c.outbox = append(c.outbox, d)
+}
+
+// Tick expires stale connections. The world calls it periodically.
+func (c *Cell) Tick(now sim.Time) {
+	for ue, conn := range c.conns {
+		if now-conn.LastSeen > c.Cfg.ConnTimeout {
+			delete(c.conns, ue)
+		}
+	}
+}
+
+// OnUplink processes one uplink message that the radio successfully
+// delivered at time now.
+func (c *Cell) OnUplink(now sim.Time, m mac.Message) {
+	switch m.Type {
+	case mac.TypePreamble:
+		c.onPreamble(now, m)
+	case mac.TypeConnReq:
+		c.onConnReq(now, m)
+	case mac.TypeBeamSwitchReq:
+		c.onBeamSwitch(now, m)
+	case mac.TypeMeasReport:
+		c.onMeasReport(now, m)
+	case mac.TypeKeepAlive:
+		c.onKeepAlive(now, m)
+	}
+}
+
+// onPreamble answers a RACH preamble: allocate a temporary ID and send
+// the RAR on the transmit beam the preamble was associated with.
+func (c *Cell) onPreamble(now sim.Time, m mac.Message) {
+	req, err := mac.UnmarshalMeasReport(m.Payload) // preamble carries the SSB beam index
+	if err != nil {
+		return
+	}
+	tx := antenna.BeamID(req.TxBeam)
+	if !c.Book.Valid(tx) {
+		return
+	}
+	c.PreamblesHeard++
+	c.lastPreambleBeam[m.UE] = tx
+	temp := c.nextTemp
+	c.nextTemp++
+	rar := mac.RAR{
+		TimingAdvanceNs: 0, // the world computes true propagation; TA is cosmetic here
+		TempUE:          temp,
+		TxBeam:          req.TxBeam,
+	}
+	c.RARsSent++
+	c.push(Downlink{
+		Msg:    mac.Message{Header: mac.Header{Type: mac.TypeRAR, UE: m.UE}, Payload: rar.Marshal()},
+		TxBeam: tx,
+		At:     now + c.Cfg.RARDelay,
+		To:     m.UE,
+	})
+}
+
+// onConnReq completes access. For a handover the request names the
+// source cell; the context is fetched over the backhaul before the
+// setup goes out.
+func (c *Cell) onConnReq(now sim.Time, m mac.Message) {
+	req, err := mac.UnmarshalContext(m.Payload)
+	if err != nil {
+		return
+	}
+	// Retransmitted Msg3 (the previous Msg4 was lost): the connection
+	// already exists, so just resend the setup.
+	if conn := c.conns[m.UE]; conn != nil {
+		conn.LastSeen = now
+		c.push(Downlink{
+			Msg:    mac.Message{Header: mac.Header{Type: mac.TypeConnSetup, UE: m.UE}},
+			TxBeam: conn.TxBeam,
+			At:     now + c.Cfg.SetupDelay,
+			To:     m.UE,
+		})
+		return
+	}
+	tx := c.bestKnownBeam(m.UE)
+	finish := func(ctx mac.Context, ok bool) {
+		if !ok {
+			// No context: treat as fresh attach with an empty bearer.
+			ctx = mac.Context{UE: m.UE}
+		}
+		c.Admit(now, m.UE, tx, ctx)
+		if req.SourceCell != uint16(c.ID) && ok {
+			c.HandoversIn++
+		}
+		c.push(Downlink{
+			Msg:    mac.Message{Header: mac.Header{Type: mac.TypeConnSetup, UE: m.UE}},
+			TxBeam: tx,
+			At:     now + c.Cfg.SetupDelay,
+			To:     m.UE,
+		})
+	}
+	if req.SourceCell != uint16(c.ID) && c.backhaul != nil {
+		c.backhaul.FetchContext(int(req.SourceCell), req.UE, finish)
+		return
+	}
+	finish(mac.Context{UE: m.UE}, false)
+}
+
+// bestKnownBeam returns the tx beam to use toward a mobile we have
+// heard a preamble from. Pending RARs recorded it; fall back to the
+// sector centre.
+func (c *Cell) bestKnownBeam(ue uint16) antenna.BeamID {
+	if conn := c.conns[ue]; conn != nil {
+		return conn.TxBeam
+	}
+	if b, ok := c.lastPreambleBeam[ue]; ok && c.Book.Valid(b) {
+		return b
+	}
+	return antenna.BeamID(c.Book.Size() / 2)
+}
+
+// onBeamSwitch services the BeamSurfer base-station adjustment:
+// switch this connection's tx beam to a directionally adjacent one.
+func (c *Cell) onBeamSwitch(now sim.Time, m mac.Message) {
+	conn := c.conns[m.UE]
+	if conn == nil {
+		return
+	}
+	req, err := mac.UnmarshalBeamSwitchReq(m.Payload)
+	if err != nil {
+		return
+	}
+	proposed := antenna.BeamID(req.ProposedTx)
+	if !c.Book.Valid(proposed) {
+		return
+	}
+	// Only allow moves within the adjacency budget: the protocol's
+	// whole point is small incremental corrections.
+	if !c.withinHops(conn.TxBeam, proposed, c.Cfg.MaxAdjacency) {
+		return
+	}
+	old := conn.TxBeam
+	conn.TxBeam = proposed
+	conn.LastSeen = now
+	c.BeamSwitches++
+	c.push(Downlink{
+		Msg: mac.Message{
+			Header: mac.Header{Type: mac.TypeBeamSwitchAck, UE: m.UE},
+			Payload: mac.BeamSwitchReq{
+				CurrentTx: int16(old), ProposedTx: int16(proposed),
+			}.Marshal(),
+		},
+		TxBeam: proposed,
+		At:     now,
+		To:     m.UE,
+	})
+}
+
+func (c *Cell) withinHops(from, to antenna.BeamID, hops int) bool {
+	for _, b := range c.Book.Neighborhood(from, hops) {
+		if b == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cell) onMeasReport(now sim.Time, m mac.Message) {
+	if conn := c.conns[m.UE]; conn != nil {
+		conn.LastSeen = now
+	}
+}
+
+func (c *Cell) onKeepAlive(now sim.Time, m mac.Message) {
+	conn := c.conns[m.UE]
+	if conn == nil {
+		return
+	}
+	conn.LastSeen = now
+	c.push(Downlink{
+		Msg:    mac.Message{Header: mac.Header{Type: mac.TypeKeepAlive, UE: m.UE}},
+		TxBeam: conn.TxBeam,
+		At:     now,
+		To:     m.UE,
+	})
+}
+
+// String implements fmt.Stringer.
+func (c *Cell) String() string {
+	return fmt.Sprintf("cell %d at %v (%d conns)", c.ID, c.Pose.Pos, len(c.conns))
+}

@@ -1,0 +1,259 @@
+package cell
+
+import (
+	"testing"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mac"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/sim"
+)
+
+func newCell() *Cell {
+	book := antenna.StandardBS(0)
+	sched := phy.NewSchedule(phy.DefaultConfig(), 0, book.Size())
+	return New(1, geom.Pose{Pos: geom.V(0, 0)}, book, sched, DefaultConfig())
+}
+
+func preamble(ue uint16, beam int16) mac.Message {
+	return mac.Message{
+		Header:  mac.Header{Type: mac.TypePreamble, UE: ue},
+		Payload: mac.MeasReport{TxBeam: beam}.Marshal(),
+	}
+}
+
+func connReq(ue, src uint16) mac.Message {
+	return mac.Message{
+		Header:  mac.Header{Type: mac.TypeConnReq, UE: ue},
+		Payload: mac.Context{UE: ue, SourceCell: src}.Marshal(),
+	}
+}
+
+func TestPreambleGetsRAR(t *testing.T) {
+	c := newCell()
+	c.OnUplink(10*sim.Millisecond, preamble(5, 3))
+	out := c.Outbox()
+	if len(out) != 1 {
+		t.Fatalf("outbox = %d messages", len(out))
+	}
+	d := out[0]
+	if d.Msg.Type != mac.TypeRAR || d.To != 5 {
+		t.Errorf("RAR wrong: %+v", d)
+	}
+	if d.TxBeam != 3 {
+		t.Errorf("RAR tx beam = %d, want the preamble's SSB beam 3", d.TxBeam)
+	}
+	if d.At != 10*sim.Millisecond+c.Cfg.RARDelay {
+		t.Errorf("RAR at %v", d.At)
+	}
+	rar, err := mac.UnmarshalRAR(d.Msg.Payload)
+	if err != nil || rar.TxBeam != 3 {
+		t.Errorf("RAR payload: %+v err=%v", rar, err)
+	}
+	if c.PreamblesHeard != 1 || c.RARsSent != 1 {
+		t.Errorf("counters: %d %d", c.PreamblesHeard, c.RARsSent)
+	}
+}
+
+func TestPreambleInvalidBeamIgnored(t *testing.T) {
+	c := newCell()
+	c.OnUplink(0, preamble(5, 99))
+	if len(c.Outbox()) != 0 {
+		t.Error("invalid-beam preamble answered")
+	}
+}
+
+func TestConnReqFreshAttach(t *testing.T) {
+	c := newCell()
+	c.OnUplink(0, preamble(5, 4))
+	c.Outbox()
+	c.OnUplink(5*sim.Millisecond, connReq(5, 1)) // source == this cell: fresh
+	out := c.Outbox()
+	if len(out) != 1 || out[0].Msg.Type != mac.TypeConnSetup {
+		t.Fatalf("outbox: %+v", out)
+	}
+	if !c.Connected(5) {
+		t.Error("connection not created")
+	}
+	if c.Conn(5).TxBeam != 4 {
+		t.Errorf("serving beam = %d, want preamble beam 4", c.Conn(5).TxBeam)
+	}
+	if c.HandoversIn != 0 {
+		t.Error("fresh attach counted as handover")
+	}
+}
+
+type instantBackhaul struct {
+	ctx   mac.Context
+	ok    bool
+	calls int
+	src   int
+	ue    uint16
+}
+
+func (b *instantBackhaul) FetchContext(src int, ue uint16, done func(mac.Context, bool)) {
+	b.calls++
+	b.src, b.ue = src, ue
+	done(b.ctx, b.ok)
+}
+
+func TestConnReqHandoverFetchesContext(t *testing.T) {
+	c := newCell()
+	bh := &instantBackhaul{ctx: mac.Context{UE: 5, SourceCell: 2, BearerID: 77}, ok: true}
+	c.SetBackhaul(bh)
+	c.OnUplink(0, preamble(5, 4))
+	c.Outbox()
+	c.OnUplink(5*sim.Millisecond, connReq(5, 2)) // source cell 2: handover
+	if bh.calls != 1 || bh.src != 2 || bh.ue != 5 {
+		t.Fatalf("backhaul not consulted correctly: %+v", bh)
+	}
+	if !c.Connected(5) {
+		t.Fatal("handover connection missing")
+	}
+	if c.Conn(5).Ctx.BearerID != 77 {
+		t.Error("context not adopted")
+	}
+	if c.HandoversIn != 1 {
+		t.Errorf("HandoversIn = %d", c.HandoversIn)
+	}
+	out := c.Outbox()
+	if len(out) != 1 || out[0].Msg.Type != mac.TypeConnSetup {
+		t.Fatalf("no setup after handover: %+v", out)
+	}
+}
+
+func TestBeamSwitchAdjacent(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 8, mac.Context{UE: 5})
+	req := mac.Message{
+		Header:  mac.Header{Type: mac.TypeBeamSwitchReq, UE: 5},
+		Payload: mac.BeamSwitchReq{CurrentTx: 8, ProposedTx: 9}.Marshal(),
+	}
+	c.OnUplink(sim.Millisecond, req)
+	if c.Conn(5).TxBeam != 9 {
+		t.Errorf("beam = %d, want 9", c.Conn(5).TxBeam)
+	}
+	out := c.Outbox()
+	if len(out) != 1 || out[0].Msg.Type != mac.TypeBeamSwitchAck || out[0].TxBeam != 9 {
+		t.Errorf("ack: %+v", out)
+	}
+	if c.BeamSwitches != 1 {
+		t.Errorf("BeamSwitches = %d", c.BeamSwitches)
+	}
+}
+
+func TestBeamSwitchTooFarRejected(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 2, mac.Context{UE: 5})
+	req := mac.Message{
+		Header:  mac.Header{Type: mac.TypeBeamSwitchReq, UE: 5},
+		Payload: mac.BeamSwitchReq{CurrentTx: 2, ProposedTx: 9}.Marshal(),
+	}
+	c.OnUplink(0, req)
+	if c.Conn(5).TxBeam != 2 {
+		t.Errorf("non-adjacent switch applied: beam=%d", c.Conn(5).TxBeam)
+	}
+	if len(c.Outbox()) != 0 {
+		t.Error("rejected switch was acked")
+	}
+}
+
+func TestBeamSwitchUnknownUEIgnored(t *testing.T) {
+	c := newCell()
+	req := mac.Message{
+		Header:  mac.Header{Type: mac.TypeBeamSwitchReq, UE: 42},
+		Payload: mac.BeamSwitchReq{CurrentTx: 0, ProposedTx: 1}.Marshal(),
+	}
+	c.OnUplink(0, req)
+	if len(c.Outbox()) != 0 {
+		t.Error("unknown UE got a response")
+	}
+}
+
+func TestKeepAliveEcho(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5})
+	c.OnUplink(50*sim.Millisecond, mac.Message{Header: mac.Header{Type: mac.TypeKeepAlive, UE: 5}})
+	out := c.Outbox()
+	if len(out) != 1 || out[0].Msg.Type != mac.TypeKeepAlive || out[0].TxBeam != 6 {
+		t.Errorf("keep-alive echo: %+v", out)
+	}
+	if c.Conn(5).LastSeen != 50*sim.Millisecond {
+		t.Error("LastSeen not updated")
+	}
+}
+
+func TestConnectionTimeout(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5})
+	c.Tick(c.Cfg.ConnTimeout / 2)
+	if !c.Connected(5) {
+		t.Fatal("connection dropped too early")
+	}
+	c.Tick(c.Cfg.ConnTimeout * 2)
+	if c.Connected(5) {
+		t.Error("stale connection not dropped")
+	}
+}
+
+func TestTakeContext(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5, BearerID: 9})
+	ctx, ok := c.TakeContext(5)
+	if !ok || ctx.BearerID != 9 {
+		t.Fatalf("TakeContext: %+v %v", ctx, ok)
+	}
+	if c.Connected(5) {
+		t.Error("TakeContext should release the connection")
+	}
+	if _, ok := c.TakeContext(5); ok {
+		t.Error("second TakeContext should fail")
+	}
+}
+
+func TestPeekContext(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5, BearerID: 9})
+	if _, ok := c.PeekContext(5); !ok {
+		t.Fatal("PeekContext failed")
+	}
+	if !c.Connected(5) {
+		t.Error("PeekContext should not release")
+	}
+	if _, ok := c.PeekContext(99); ok {
+		t.Error("PeekContext invented a context")
+	}
+}
+
+func TestMeasReportRefreshesLiveness(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5})
+	c.OnUplink(90*sim.Millisecond, mac.Message{
+		Header:  mac.Header{Type: mac.TypeMeasReport, UE: 5},
+		Payload: mac.MeasReport{TxBeam: 6, RxBeam: 1, RSSdBmQ8: -100}.Marshal(),
+	})
+	if c.Conn(5).LastSeen != 90*sim.Millisecond {
+		t.Error("meas report did not refresh liveness")
+	}
+}
+
+func TestOutboxSequencing(t *testing.T) {
+	c := newCell()
+	c.Admit(0, 5, 6, mac.Context{UE: 5})
+	c.OnUplink(0, mac.Message{Header: mac.Header{Type: mac.TypeKeepAlive, UE: 5}})
+	c.OnUplink(1, mac.Message{Header: mac.Header{Type: mac.TypeKeepAlive, UE: 5}})
+	out := c.Outbox()
+	if len(out) != 2 {
+		t.Fatalf("outbox = %d", len(out))
+	}
+	if out[0].Msg.Seq >= out[1].Msg.Seq {
+		t.Error("sequence numbers not increasing")
+	}
+	if out[0].Msg.Cell != 1 {
+		t.Error("cell ID not stamped")
+	}
+	if len(c.Outbox()) != 0 {
+		t.Error("outbox not drained")
+	}
+}

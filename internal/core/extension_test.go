@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+)
+
+func TestForceTrackEntersTracking(t *testing.T) {
+	tr := newTestTracker(false)
+	tr.ForceTrack(50*sim.Millisecond, 2, 5, 9, -40)
+	st, cellID, tx, rx := tr.Neighbor()
+	if st != NTracking || cellID != 2 || tx != 5 || rx != 9 {
+		t.Fatalf("force-track state: %v %d %d %d", st, cellID, tx, rx)
+	}
+	if tr.NeighborRSS() != -40 {
+		t.Errorf("rss = %v", tr.NeighborRSS())
+	}
+	if tr.FoundAt != 50*sim.Millisecond {
+		t.Errorf("FoundAt = %v", tr.FoundAt)
+	}
+	// Tracking proceeds normally from here.
+	tr.OnBurst(70*sim.Millisecond, 2, row(2, map[antenna.BeamID]float64{5: -40}))
+	if tr.PaperState() != NRBA {
+		t.Errorf("paper state = %v", tr.PaperState())
+	}
+}
+
+func TestNeighborRefreshAbandonsUselessCell(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlwaysSearch = true
+	cfg.NeighborRefresh = 200 * sim.Millisecond
+	tr := NewTracker(cfg, antenna.NarrowMobile(), 1, antenna.StandardBS(0), 8, 0, -50, 1)
+	tr.AddCell(2, antenna.StandardBS(0))
+	tr.AddCell(3, antenna.StandardBS(0))
+
+	var events []Event
+	tr.SetEventHook(func(e Event) { events = append(events, e) })
+
+	// Track cell 2 at a level far below serving (-50): useless.
+	now := 20 * sim.Millisecond
+	serveTick(tr, now, -50)
+	now += 5 * sim.Millisecond
+	tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -65, 6: -68}))
+	if st, _, _, _ := tr.Neighbor(); st != NTracking {
+		t.Fatal("setup: not tracking")
+	}
+	// Keep it useless past the refresh window.
+	for i := 0; i < 15; i++ {
+		now += 20 * sim.Millisecond
+		tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -65}))
+	}
+	if st, _, _, _ := tr.Neighbor(); st != NSearching {
+		t.Fatalf("state = %v, want searching after refresh", st)
+	}
+	if tr.Refreshes != 1 {
+		t.Errorf("Refreshes = %d", tr.Refreshes)
+	}
+	refreshed := false
+	for _, e := range events {
+		if e.Type == EvNeighborRefresh && e.Cell == 2 {
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.Error("no refresh event")
+	}
+	// The abandoned cell is ignored while the avoid window is open...
+	now += 5 * sim.Millisecond
+	tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -60, 6: -62}))
+	if st, _, _, _ := tr.Neighbor(); st == NTracking {
+		t.Error("re-found the avoided cell immediately")
+	}
+	// ...but a different cell is welcome.
+	now += 5 * sim.Millisecond
+	tr.OnBurst(now, 3, row(3, map[antenna.BeamID]float64{4: -45, 5: -48}))
+	if st, cellID, _, _ := tr.Neighbor(); st != NTracking || cellID != 3 {
+		t.Errorf("state=%v cell=%d, want tracking cell 3", st, cellID)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	tr := newTestTracker(true)
+	now := 20 * sim.Millisecond
+	serveTick(tr, now, -50)
+	now += 5 * sim.Millisecond
+	tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -65, 6: -68}))
+	// A uselessly weak neighbor is tracked indefinitely with the
+	// paper-faithful default.
+	for i := 0; i < 200; i++ {
+		now += 20 * sim.Millisecond
+		tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -65}))
+	}
+	if st, _, _, _ := tr.Neighbor(); st != NTracking {
+		t.Errorf("state = %v, default config must not refresh", st)
+	}
+	if tr.Refreshes != 0 {
+		t.Errorf("Refreshes = %d", tr.Refreshes)
+	}
+}
+
+func TestRefreshNotWhileUseful(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlwaysSearch = true
+	cfg.NeighborRefresh = 100 * sim.Millisecond
+	cfg.TriggerBursts = 1000 // keep E from firing in this test
+	tr := NewTracker(cfg, antenna.NarrowMobile(), 1, antenna.StandardBS(0), 8, 0, -50, 1)
+	tr.AddCell(2, antenna.StandardBS(0))
+	now := 20 * sim.Millisecond
+	serveTick(tr, now, -50)
+	now += 5 * sim.Millisecond
+	// Neighbor comparable to serving: useful, must not be refreshed.
+	tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -49, 6: -52}))
+	for i := 0; i < 30; i++ {
+		now += 20 * sim.Millisecond
+		tr.OnBurst(now, 2, row(2, map[antenna.BeamID]float64{5: -49}))
+	}
+	if tr.Refreshes != 0 {
+		t.Errorf("useful neighbor refreshed %d times", tr.Refreshes)
+	}
+}
+
+func TestSearchRandomizedStart(t *testing.T) {
+	// Different seeds must start the initial scan at different beams —
+	// otherwise Fig. 2a's latency distribution collapses to the
+	// geometry's fixed beam index.
+	starts := map[antenna.BeamID]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		s := NewSearch(antenna.NarrowMobile(), 20*sim.Millisecond, searchSrc(seed))
+		s.Begin(0, antenna.NoBeam)
+		starts[s.Beam(0)] = true
+	}
+	if len(starts) < 4 {
+		t.Errorf("only %d distinct start beams across 12 seeds", len(starts))
+	}
+}
+
+func TestSearchReacquisitionDeterministicOrder(t *testing.T) {
+	// Re-acquisition must ignore the random start and spiral outward
+	// from the last good beam.
+	s := NewSearch(antenna.NarrowMobile(), 20*sim.Millisecond, searchSrc(1))
+	s.Begin(0, 7)
+	if got := s.Beam(0); got != 7 {
+		t.Errorf("first re-acquisition dwell = %d, want 7", got)
+	}
+}
+
+// searchSrc builds the rng stream NewTracker would use for a seed.
+func searchSrc(seed int64) *rng.Source { return rng.Stream(seed, "core/search") }

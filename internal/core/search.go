@@ -1,0 +1,88 @@
+package core
+
+import (
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+)
+
+// Search drives the N-A/R state: directional neighbor-cell search by
+// receive-beam dwells. The mobile does not know the neighbor's burst
+// timing, so it parks a receive beam for one full sweep period — long
+// enough to contain exactly one sync burst of every cell, whatever its
+// offset — and then moves to the next beam. One dwell is one "beam
+// search" in the paper's Fig. 2a accounting.
+//
+// Initial acquisition scans the whole codebook. Re-acquisition (after
+// transition D) scans outward from the last good beam first: under
+// continuous motion the beam rarely jumps far, so the neighborhood
+// order recovers in one or two dwells instead of a full scan.
+type Search struct {
+	book     *antenna.Codebook
+	dwellDur sim.Time
+	src      *rng.Source
+
+	order      []antenna.BeamID
+	idx        int
+	dwellStart sim.Time
+	active     bool
+
+	// Dwells counts completed+current dwells of the current procedure.
+	Dwells    int
+	StartedAt sim.Time
+}
+
+// NewSearch builds a search driver for the mobile codebook; dwellDur
+// should be the sweep period. src randomises where an initial
+// acquisition starts its scan — a mobile has no idea which way the
+// neighbor lies, so a fixed scan origin would bias the latency.
+func NewSearch(book *antenna.Codebook, dwellDur sim.Time, src *rng.Source) *Search {
+	return &Search{book: book, dwellDur: dwellDur, src: src}
+}
+
+// Active reports whether a search procedure is in progress.
+func (s *Search) Active() bool { return s.active }
+
+// Begin starts a search procedure. If from is a valid beam the dwell
+// order is the hop-distance neighborhood of from (re-acquisition);
+// otherwise it is the full sweep order (initial acquisition).
+func (s *Search) Begin(now sim.Time, from antenna.BeamID) {
+	if s.book.Valid(from) {
+		s.order = s.book.Neighborhood(from, s.book.Size())
+	} else {
+		all := s.book.AllBeams()
+		off := 0
+		if s.src != nil && len(all) > 1 {
+			off = s.src.Intn(len(all))
+		}
+		s.order = make([]antenna.BeamID, len(all))
+		for i := range all {
+			s.order[i] = all[(i+off)%len(all)]
+		}
+	}
+	s.idx = 0
+	s.dwellStart = now
+	s.active = true
+	s.Dwells = 1
+	s.StartedAt = now
+}
+
+// Stop ends the procedure (beam found or abandoned).
+func (s *Search) Stop() { s.active = false }
+
+// Beam returns the receive beam to listen with at time now, advancing
+// to the next dwell when the current one has run its course.
+func (s *Search) Beam(now sim.Time) antenna.BeamID {
+	if !s.active {
+		return antenna.NoBeam
+	}
+	for now >= s.dwellStart+s.dwellDur {
+		s.dwellStart += s.dwellDur
+		s.idx = (s.idx + 1) % len(s.order)
+		s.Dwells++
+	}
+	return s.order[s.idx]
+}
+
+// Elapsed returns how long the current procedure has been running.
+func (s *Search) Elapsed(now sim.Time) sim.Time { return now - s.StartedAt }

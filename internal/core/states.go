@@ -1,0 +1,132 @@
+// Package core implements Silent Tracker: the paper's in-band
+// beam-management protocol that lets a mobile at a cell edge keep a
+// receive beam aligned to a neighbor base station it has no connection
+// to — using nothing but RSS — while BeamSurfer maintains the serving
+// link, so that when the serving link finally dies the mobile can
+// complete random access to the neighbor immediately and hand over
+// softly.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is one of the five protocol states of the paper's Fig. 2b.
+type State int
+
+// The paper's states.
+const (
+	EO   State = iota // Edge Operation: serving connectivity, monitoring
+	SRBA              // Serving-cell Receive Beam Adaptation (mobile-side)
+	CABM              // Cell-Assisted Beam Management (BS-side switch)
+	NAR               // Neighbor cell Acquisition / Re-acquisition
+	NRBA              // Neighbor-cell Receive Beam Adaptation (silent tracking)
+)
+
+var stateNames = map[State]string{
+	EO: "EO", SRBA: "S-RBA", CABM: "CABM", NAR: "N-A/R", NRBA: "N-RBA",
+}
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// AllStates lists the machine's states in declaration order.
+func AllStates() []State { return []State{EO, SRBA, CABM, NAR, NRBA} }
+
+// Transition is one labelled edge of the Fig. 2b machine.
+type Transition struct {
+	Label string // the paper's A–H label
+	From  State
+	To    State
+	Guard string // human-readable guard condition
+}
+
+// Machine is the paper's Fig. 2b state machine, transcribed edge by
+// edge. The executable Tracker maps its composite status onto these
+// states; TestTrackerVisitsMachineStates keeps the two in sync.
+var Machine = []Transition{
+	{Label: "A", From: EO, To: EO, Guard: "serving ΔRSS < 3 dB"},
+	{Label: "B", From: EO, To: NAR, Guard: "initiate neighbor cell beam search"},
+	{Label: "C", From: NAR, To: NRBA, Guard: "found cell beam"},
+	{Label: "D", From: NRBA, To: NAR, Guard: "neighbor ΔRSS > 10 dB (lost beam)"},
+	{Label: "E", From: NRBA, To: EO, Guard: "RSS_N > RSS_S + T (handover trigger)"},
+	{Label: "F", From: SRBA, To: CABM, Guard: "mobile-side adaptation insufficient"},
+	{Label: "G", From: CABM, To: SRBA, Guard: "cell assistance delayed or lost (ΔRSS > 3 dB)"},
+	{Label: "H", From: NRBA, To: NRBA, Guard: "RSS_N dropped 3 dB: adjacent receive beam"},
+	// Serving-side adaptation entry/exit (drawn in the figure as the
+	// S-RBA ↔ EO coupling).
+	{Label: "S", From: EO, To: SRBA, Guard: "serving ΔRSS > 3 dB"},
+	{Label: "R", From: SRBA, To: EO, Guard: "mobile-side adaptation restored RSS"},
+	{Label: "K", From: CABM, To: EO, Guard: "BS switched transmit beam (ack)"},
+}
+
+// Validate model-checks the machine: every state reachable from EO,
+// every state has an outgoing edge, labels unique, endpoints valid.
+func Validate() error {
+	valid := make(map[State]bool)
+	for _, s := range AllStates() {
+		valid[s] = true
+	}
+	labels := make(map[string]bool)
+	outgoing := make(map[State]int)
+	adj := make(map[State][]State)
+	for _, tr := range Machine {
+		if !valid[tr.From] || !valid[tr.To] {
+			return fmt.Errorf("transition %s has invalid endpoint", tr.Label)
+		}
+		if labels[tr.Label] {
+			return fmt.Errorf("duplicate transition label %s", tr.Label)
+		}
+		labels[tr.Label] = true
+		outgoing[tr.From]++
+		adj[tr.From] = append(adj[tr.From], tr.To)
+	}
+	// Reachability from EO.
+	seen := map[State]bool{EO: true}
+	stack := []State{EO}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[s] {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	for _, s := range AllStates() {
+		if !seen[s] {
+			return fmt.Errorf("state %v unreachable from EO", s)
+		}
+		if outgoing[s] == 0 {
+			return fmt.Errorf("state %v is a dead end", s)
+		}
+	}
+	return nil
+}
+
+// DOT renders the machine in Graphviz DOT format (the Fig. 2b
+// artifact).
+func DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph SilentTracker {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse];\n")
+	for _, s := range AllStates() {
+		fmt.Fprintf(&b, "  %q;\n", s.String())
+	}
+	trs := append([]Transition(nil), Machine...)
+	sort.Slice(trs, func(i, j int) bool { return trs[i].Label < trs[j].Label })
+	for _, tr := range trs {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s: %s\"];\n",
+			tr.From.String(), tr.To.String(), tr.Label, tr.Guard)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"silenttracker/internal/core"
+	"silenttracker/internal/handover"
+	"silenttracker/internal/netem"
+	"silenttracker/internal/sim"
+	"silenttracker/internal/stats"
+	"silenttracker/internal/world"
+)
+
+// ThresholdRow is one row of the handover-margin (T) ablation: the
+// trade-off between ping-pong instability (T too small) and late,
+// interruption-prone handover (T too large).
+type ThresholdRow struct {
+	MarginDB    float64
+	Trials      int
+	Handovers   stats.Sample // completed handovers per trial
+	PingPongs   stats.Sample // ping-pongs per trial
+	InterruptMs stats.Sample // total interruption per trial, ms
+	LossRate    stats.Sample // packet loss fraction per trial
+	NoHandover  stats.Rate   // trials that never handed over at all
+}
+
+// ThresholdOpts configures the margin sweep.
+type ThresholdOpts struct {
+	Margins []float64
+	Trials  int
+	Seed    int64
+	Horizon sim.Time
+}
+
+// DefaultThresholdOpts returns the full sweep.
+func DefaultThresholdOpts() ThresholdOpts {
+	return ThresholdOpts{
+		Margins: []float64{0, 3, 6, 9},
+		Trials:  40,
+		Seed:    4000,
+		Horizon: 12 * sim.Second,
+	}
+}
+
+// RunThreshold regenerates the T ablation. The workload is the
+// boundary walk with a packet flow attached, run long enough for the
+// mobile to dwell in the crossover region.
+func RunThreshold(opts ThresholdOpts) []ThresholdRow {
+	out := make([]ThresholdRow, 0, len(opts.Margins))
+	for _, margin := range opts.Margins {
+		row := ThresholdRow{MarginDB: margin, Trials: opts.Trials}
+		for i := 0; i < opts.Trials; i++ {
+			seed := opts.Seed + int64(i)*27644437
+			b := EdgeBuilder(seed)
+			b.Cfg.HandoverMarginDB = margin
+			b.Mob = MobilityFor(Walk, seed)
+			w := b.Build()
+			aud := handover.NewAuditor(1, 0)
+			w.Tracker.SetEventHook(aud.Hook(nil))
+			flow := netem.Attach(w, sim.Millisecond)
+			w.Run(opts.Horizon)
+			flow.Stop()
+			row.Handovers.Add(float64(aud.Completed()))
+			row.PingPongs.Add(float64(aud.PingPongs()))
+			row.InterruptMs.Add(aud.TotalInterruption().Millis())
+			row.LossRate.Add(flow.LossRate())
+			row.NoHandover.Record(aud.Completed() == 0)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// HysteresisRow is one row of the adjacent-switch trigger ablation:
+// the paper's 3 dB rule swept. Too sensitive → constant probing (lost
+// measurement occasions, noise-chasing switches); too numb → the beam
+// decays to loss before the tracker reacts.
+type HysteresisRow struct {
+	TriggerDB   float64
+	Trials      int
+	Switches    stats.Sample // H switches per trial
+	Losses      stats.Sample // D losses per trial
+	MisalignDeg stats.Sample // mean misalignment while tracking, degrees
+	HandoverOK  stats.Rate   // first handover concluded
+}
+
+// HysteresisOpts configures the trigger sweep.
+type HysteresisOpts struct {
+	Triggers []float64
+	Trials   int
+	Seed     int64
+}
+
+// DefaultHysteresisOpts returns the full sweep. Rotation is the
+// stress workload: 120°/s forces continuous re-alignment.
+func DefaultHysteresisOpts() HysteresisOpts {
+	return HysteresisOpts{
+		Triggers: []float64{1, 3, 6, 10},
+		Trials:   40,
+		Seed:     5000,
+	}
+}
+
+// RunHysteresis regenerates the 3 dB rule ablation under rotation.
+func RunHysteresis(opts HysteresisOpts) []HysteresisRow {
+	out := make([]HysteresisRow, 0, len(opts.Triggers))
+	for _, trig := range opts.Triggers {
+		row := HysteresisRow{TriggerDB: trig, Trials: opts.Trials}
+		for i := 0; i < opts.Trials; i++ {
+			seed := opts.Seed + int64(i)*6700417
+			b := EdgeBuilder(seed)
+			b.Cfg.TrackTriggerDB = trig
+			b.Mob = MobilityFor(Rotation, seed)
+			w := b.Build()
+			runHysteresisTrial(w, &row)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func runHysteresisTrial(w *world.World, row *HysteresisRow) {
+	tracking := false
+	var trackedCell int
+	done := false
+	var misalign stats.Online
+	w.Tracker.SetEventHook(func(e core.Event) {
+		switch e.Type {
+		case core.EvNeighborFound:
+			tracking, trackedCell = true, e.Cell
+		case core.EvNeighborLost:
+			tracking = false
+		case core.EvHandoverComplete:
+			done = true
+			tracking = false
+		}
+	})
+	w.Engine.Every(10*sim.Millisecond, func() {
+		if tracking && !done {
+			if errRad := w.AlignmentError(trackedCell); errRad < 6 {
+				misalign.Add(errRad * 180 / 3.141592653589793)
+			}
+		}
+	})
+	horizon := HorizonFor(Rotation)
+	for w.Engine.Now() < horizon && !done {
+		w.Run(w.Engine.Now() + 100*sim.Millisecond)
+	}
+	row.Switches.Add(float64(w.Tracker.NeighborSwitches))
+	row.Losses.Add(float64(w.Tracker.NeighborLosses))
+	if misalign.N() > 0 {
+		row.MisalignDeg.Add(misalign.Mean())
+	}
+	row.HandoverOK.Record(done)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/stats"
+)
+
+// CodebookRow is one row of the codebook-size sweep: how directional
+// search latency scales with the number of receive beams. The paper's
+// introduction cites 1.28 s for 5G initial search — exactly a 64-beam
+// codebook at the 20 ms sweep period; this experiment shows where that
+// number comes from and what the paper's 18-beam mobile pays instead.
+type CodebookRow struct {
+	Beams   int
+	HPBWDeg float64
+	Success stats.Rate
+	Dwells  stats.Sample // over successful searches
+	MsP50   float64      // derived: dwells × sweep period
+	MsMax   float64
+	FullMs  float64 // worst-case exhaustive scan (beams × sweep period)
+}
+
+// CodebookOpts configures the sweep.
+type CodebookOpts struct {
+	Sizes  []int
+	Trials int
+	Seed   int64
+}
+
+// DefaultCodebookOpts returns the full sweep, ending at the 5G-like
+// 64-beam configuration.
+func DefaultCodebookOpts() CodebookOpts {
+	return CodebookOpts{
+		Sizes:  []int{6, 12, 18, 36, 64},
+		Trials: 60,
+		Seed:   8000,
+	}
+}
+
+// RunCodebook regenerates the codebook-size sweep under the human-walk
+// workload.
+func RunCodebook(opts CodebookOpts) []CodebookRow {
+	sOpts := DefaultFig2aOpts()
+	out := make([]CodebookRow, 0, len(opts.Sizes))
+	for _, n := range opts.Sizes {
+		hpbw := 360.0 / float64(n)
+		row := CodebookRow{Beams: n, HPBWDeg: hpbw}
+		for i := 0; i < opts.Trials; i++ {
+			seed := opts.Seed + int64(i)*7919
+			b := EdgeBuilder(seed)
+			b.UEBook = antenna.NewRingCodebook(
+				fmt.Sprintf("mobile-%d", n), n, geom.Deg(hpbw), antenna.ModelGaussian)
+			b.Mob = MobilityFor(Walk, seed)
+			ok, dwells := searchTrialWith(b, sOpts)
+			row.Success.Record(ok)
+			if ok {
+				row.Dwells.Add(float64(dwells))
+			}
+		}
+		row.MsP50 = row.Dwells.Median() * 20
+		row.MsMax = row.Dwells.Quantile(1) * 20
+		row.FullMs = float64(n) * 20
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteCodebook renders the sweep.
+func WriteCodebook(w io.Writer, rows []CodebookRow) {
+	fmt.Fprintln(w, "Codebook-size sweep — search latency scaling (human walk)")
+	fmt.Fprintln(w, "(the paper cites 1.28 s for 5G initial search: a 64-beam exhaustive scan)")
+	fmt.Fprintf(w, "%-7s %7s %9s %10s %10s %10s %12s\n",
+		"beams", "HPBW", "success", "dwells p50", "p50 (ms)", "max (ms)", "full scan")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %6.1f° %8.1f%% %10.1f %10.0f %10.0f %9.0f ms\n",
+			r.Beams, r.HPBWDeg, r.Success.Percent(), r.Dwells.Median(),
+			r.MsP50, r.MsMax, r.FullMs)
+	}
+}

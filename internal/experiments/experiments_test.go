@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silenttracker/internal/sim"
+)
+
+func TestFig2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	rows := RunFig2a(Fig2aQuick(30))
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var narrow, wide, omni Fig2aRow
+	for _, r := range rows {
+		switch r.Config {
+		case Narrow:
+			narrow = r
+		case Wide:
+			wide = r
+		case Omni:
+			omni = r
+		}
+	}
+	// The paper's headline: narrow beams succeed far more often than
+	// omni, despite searching longer.
+	if narrow.Success.Value() <= omni.Success.Value() {
+		t.Errorf("narrow success %.2f should exceed omni %.2f",
+			narrow.Success.Value(), omni.Success.Value())
+	}
+	if narrow.Success.Value() < 0.8 {
+		t.Errorf("narrow success %.2f suspiciously low", narrow.Success.Value())
+	}
+	if omni.Success.Value() > 0.8 {
+		t.Errorf("omni success %.2f suspiciously high", omni.Success.Value())
+	}
+	// Narrow searches take more dwells than wide (more beams to scan).
+	if narrow.Dwells.Mean() <= wide.Dwells.Mean() {
+		t.Errorf("narrow dwells %.1f should exceed wide %.1f",
+			narrow.Dwells.Mean(), wide.Dwells.Mean())
+	}
+}
+
+func TestFig2cShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	series := RunFig2c(Fig2cQuick(15))
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if s.CompletionRate() < 0.6 {
+			t.Errorf("%v completion rate %.2f too low", s.Scenario, s.CompletionRate())
+		}
+		if s.Completed > 0 && (s.Latency.Median() < 50 || s.Latency.Median() > 5000) {
+			t.Errorf("%v median latency %.0f ms implausible", s.Scenario, s.Latency.Median())
+		}
+		// Nearly all completed handovers must be soft — that is the
+		// protocol's purpose.
+		if s.Completed > 0 && float64(s.SoftCount)/float64(s.Completed) < 0.7 {
+			t.Errorf("%v soft fraction %.2f", s.Scenario, float64(s.SoftCount)/float64(s.Completed))
+		}
+	}
+	// CDF is monotone and scaled by the completion rate.
+	cdf := series[0].CDF(200, 2000, 8)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P < cdf[i-1].P {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if last := cdf[len(cdf)-1].P; last > series[0].CompletionRate()+1e-9 {
+		t.Errorf("CDF exceeds completion rate: %v", last)
+	}
+}
+
+func TestMobilityAlignmentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	opts := DefaultMobilityOpts()
+	opts.Trials = 8
+	rows := RunMobility(opts)
+	for _, r := range rows {
+		if r.AlignedFrac.Value() < 0.6 {
+			t.Errorf("%v aligned fraction %.2f too low — the paper's claim fails",
+				r.Scenario, r.AlignedFrac.Value())
+		}
+		if r.HandoverRate.Value() < 0.6 {
+			t.Errorf("%v handover rate %.2f", r.Scenario, r.HandoverRate.Value())
+		}
+	}
+}
+
+func TestBaselineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	opts := DefaultBaselineOpts()
+	opts.Trials = 8
+	rows := RunBaseline(opts)
+	var st, re BaselineRow
+	for _, r := range rows {
+		switch r.Variant {
+		case SilentTracker:
+			st = r
+		case Reactive:
+			re = r
+		}
+	}
+	// Reactive's handovers are hard; Silent Tracker's mostly soft.
+	if re.HandoverOK.Value() > 0 && re.HardRate.Value() < 0.8 {
+		t.Errorf("reactive hard rate %.2f, expected ~1", re.HardRate.Value())
+	}
+	if st.HardRate.Value() > 0.4 {
+		t.Errorf("silent tracker hard rate %.2f, expected low", st.HardRate.Value())
+	}
+	// Silent tracker suffers less interruption than reactive.
+	if st.InterruptMs.Mean() >= re.InterruptMs.Mean() {
+		t.Errorf("interruption: ST %.0f ms should beat reactive %.0f ms",
+			st.InterruptMs.Mean(), re.InterruptMs.Mean())
+	}
+}
+
+func TestScenarioHelpers(t *testing.T) {
+	if Walk.String() != "Walk" || Rotation.String() != "Rotation" || Vehicular.String() != "Vehicular" {
+		t.Error("scenario names")
+	}
+	if Narrow.String() != "Narrow" || Wide.String() != "Wide" || Omni.String() != "Omni" {
+		t.Error("beam config names")
+	}
+	if Narrow.Book().Size() != 18 || Wide.Book().Size() != 6 || Omni.Book().Size() != 1 {
+		t.Error("codebook sizes")
+	}
+	if len(AllScenarios()) != 3 {
+		t.Error("AllScenarios")
+	}
+	if HorizonFor(Vehicular) >= HorizonFor(Walk) {
+		t.Error("vehicular horizon should be shortest")
+	}
+}
+
+func TestMobilityForDiffersAcrossSeeds(t *testing.T) {
+	a := MobilityFor(Walk, 1).PoseAt(0)
+	b := MobilityFor(Walk, 2).PoseAt(0)
+	if a.Pos == b.Pos {
+		t.Error("trial starts identical across seeds")
+	}
+	r := MobilityFor(Rotation, 3).PoseAt(0)
+	if r.Pos.X < 11 || r.Pos.X > 14 {
+		t.Errorf("rotation position %v outside the boundary band", r.Pos)
+	}
+}
+
+func TestShuffledSeeds(t *testing.T) {
+	s := ShuffledSeeds(1, 10)
+	if len(s) != 10 {
+		t.Fatal("wrong length")
+	}
+	seen := map[int64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate seed")
+		}
+		seen[v] = true
+	}
+	s2 := ShuffledSeeds(1, 10)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("not reproducible")
+		}
+	}
+}
+
+func TestTableWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	rows := RunFig2a(Fig2aQuick(5))
+	var buf bytes.Buffer
+	WriteFig2a(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Narrow") || !strings.Contains(out, "Omni") {
+		t.Errorf("fig2a table incomplete:\n%s", out)
+	}
+	buf.Reset()
+	WriteFig2aCSV(&buf, rows)
+	if !strings.HasPrefix(buf.String(), "config,dwells") {
+		t.Error("fig2a CSV header")
+	}
+
+	series := RunFig2c(Fig2cQuick(4))
+	buf.Reset()
+	WriteFig2c(&buf, series)
+	if !strings.Contains(buf.String(), "Rotation") {
+		t.Error("fig2c table incomplete")
+	}
+	buf.Reset()
+	WriteFig2cCSV(&buf, series)
+	if !strings.HasPrefix(buf.String(), "scenario,latency_ms") {
+		t.Error("fig2c CSV header")
+	}
+
+	buf.Reset()
+	Banner(&buf, "test")
+	if !strings.Contains(buf.String(), "test") {
+		t.Error("banner")
+	}
+}
+
+func TestEdgeWorldConstruction(t *testing.T) {
+	w := EdgeWorld(Walk, Narrow, 42)
+	if len(w.Cells) != 2 {
+		t.Fatalf("%d cells", len(w.Cells))
+	}
+	if w.Tracker.ServingCell() != 1 {
+		t.Error("serving cell")
+	}
+	// Burst offsets must not collide (staggered by construction).
+	if w.Cells[1].Sched.Overlaps(w.Cells[2].Sched) {
+		t.Error("cell bursts overlap; measurement interleaving impossible")
+	}
+	w.Run(100 * sim.Millisecond)
+	if w.Engine.Fired() == 0 {
+		t.Error("world inert")
+	}
+}
+
+func TestPatternModelsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	rows := RunPatterns(PatternOpts{Trials: 10, Seed: 7000})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := range rows {
+		r := &rows[i]
+		if r.Success.Value() < 0.7 {
+			t.Errorf("%s search success %.2f: protocol should not depend on the pattern model",
+				r.Model, r.Success.Value())
+		}
+		if r.HandoverOK.Value() < 0.7 {
+			t.Errorf("%s handover rate %.2f", r.Model, r.HandoverOK.Value())
+		}
+	}
+}
+
+func TestCodebookSweepScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial experiment")
+	}
+	rows := RunCodebook(CodebookOpts{Sizes: []int{6, 18, 64}, Trials: 12, Seed: 8000})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Latency (in dwells) must grow with codebook size.
+	if !(rows[0].Dwells.Median() < rows[1].Dwells.Median() &&
+		rows[1].Dwells.Median() < rows[2].Dwells.Median()) {
+		t.Errorf("dwell medians not increasing: %v %v %v",
+			rows[0].Dwells.Median(), rows[1].Dwells.Median(), rows[2].Dwells.Median())
+	}
+	// The 64-beam worst-case full scan is the paper's 1.28 s.
+	if rows[2].FullMs != 1280 {
+		t.Errorf("64-beam full scan = %v ms, want 1280", rows[2].FullMs)
+	}
+	// Search under mobility gets less reliable as beams narrow.
+	if rows[2].Success.Value() > rows[0].Success.Value()+1e-9 &&
+		rows[2].Success.Value() == 1 {
+		t.Errorf("64-beam search should not beat 6-beam under mobility")
+	}
+	var buf bytes.Buffer
+	WriteCodebook(&buf, rows)
+	if !strings.Contains(buf.String(), "1280") {
+		t.Error("codebook table missing the 1.28 s row")
+	}
+	buf.Reset()
+	WritePatterns(&buf, RunPatterns(PatternOpts{Trials: 2, Seed: 1}))
+	if !strings.Contains(buf.String(), "ULA") {
+		t.Error("patterns table missing ULA row")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"silenttracker/internal/core"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+	"silenttracker/internal/stats"
+	"silenttracker/internal/world"
+)
+
+// Fig2aRow is one bar group of the paper's Fig. 2a: directional
+// neighbor-cell search under human walk at the cell edge, for one
+// mobile codebook configuration.
+type Fig2aRow struct {
+	Config BeamConfig
+	Trials int
+
+	// Search success rate (right panel): the fraction of search
+	// procedures that confirm a usable neighbor beam within the
+	// deadline and hold it for the verification window.
+	Success stats.Rate
+
+	// Search latency in beam searches, i.e. receive-beam dwells of one
+	// sweep period each (left panel), over successful searches.
+	Dwells stats.Sample
+
+	// Search latency in milliseconds (derived; one dwell = 20 ms).
+	LatencyMs stats.Sample
+}
+
+// Fig2aOpts configures the Fig. 2a run.
+type Fig2aOpts struct {
+	Trials int   // search procedures per configuration
+	Seed   int64 // base seed
+
+	// ScanBudget bounds one search procedure at this many complete
+	// codebook sweeps (dwell budget = ScanBudget × codebook size).
+	// A procedure that has swept every receive beam twice without
+	// confirming a cell has failed — this is what makes "success rate"
+	// comparable across codebooks of different sizes.
+	ScanBudget int
+
+	Verify sim.Time // found beam must survive this long to count
+}
+
+// DefaultFig2aOpts returns the full-fidelity settings.
+func DefaultFig2aOpts() Fig2aOpts {
+	return Fig2aOpts{
+		Trials:     150,
+		Seed:       1000,
+		ScanBudget: 2,
+		Verify:     100 * sim.Millisecond,
+	}
+}
+
+// RunFig2a regenerates both panels of Fig. 2a.
+func RunFig2a(opts Fig2aOpts) []Fig2aRow {
+	rows := make([]Fig2aRow, 0, 3)
+	for _, cfgB := range []BeamConfig{Narrow, Wide, Omni} {
+		row := Fig2aRow{Config: cfgB, Trials: opts.Trials}
+		for i := 0; i < opts.Trials; i++ {
+			seed := opts.Seed + int64(i)*7919
+			ok, dwells := SearchTrial(cfgB, seed, opts)
+			row.Success.Record(ok)
+			if ok {
+				row.Dwells.Add(float64(dwells))
+				row.LatencyMs.Add(float64(dwells) * 20)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SearchTrial runs a single Fig. 2a search procedure under the
+// paper's human-walk scenario and reports whether it succeeded and
+// how many receive-beam dwells it took.
+func SearchTrial(cfgB BeamConfig, seed int64, opts Fig2aOpts) (success bool, dwells int) {
+	b := EdgeBuilder(seed)
+	b.UEBook = cfgB.Book()
+	b.Mob = MobilityFor(Walk, seed)
+	return searchTrialWith(b, opts)
+}
+
+// searchTrialWith runs a search procedure on an already-configured
+// scenario builder (shared by SearchTrial and the pattern ablation).
+func searchTrialWith(b *world.Builder, opts Fig2aOpts) (success bool, dwells int) {
+	w := b.Build()
+	budget := opts.ScanBudget * b.UEBook.Size()
+	// The dwell clock runs in sweep periods; the search itself starts
+	// after the first serving burst, so pad the wall-clock deadline.
+	deadline := sim.Time(budget)*w.Tracker.Cfg.SweepPeriod + 100*sim.Millisecond
+
+	var foundAt sim.Time = sim.Never
+	var lostAfter sim.Time = sim.Never
+	w.Tracker.SetEventHook(func(e core.Event) {
+		switch e.Type {
+		case core.EvNeighborFound:
+			if foundAt == sim.Never {
+				foundAt = e.At
+				dwells = int(e.Value)
+			}
+		case core.EvNeighborLost:
+			if foundAt != sim.Never && lostAfter == sim.Never {
+				lostAfter = e.At
+			}
+		}
+	})
+
+	// Run until the verification window after discovery, or the
+	// deadline.
+	for w.Engine.Now() < deadline+opts.Verify {
+		w.Run(w.Engine.Now() + 50*sim.Millisecond)
+		if foundAt != sim.Never && w.Engine.Now() >= foundAt+opts.Verify {
+			break
+		}
+	}
+	if foundAt == sim.Never || dwells > budget {
+		return false, 0
+	}
+	// Verification: the beam must not be lost within the window —
+	// a sidelobe ghost "discovery" dies immediately.
+	if lostAfter != sim.Never && lostAfter-foundAt < opts.Verify {
+		return false, 0
+	}
+	return true, dwells
+}
+
+// Fig2aQuick returns reduced-trial options for tests and smoke runs.
+func Fig2aQuick(trials int) Fig2aOpts {
+	o := DefaultFig2aOpts()
+	o.Trials = trials
+	return o
+}
+
+// ShuffledSeeds is a helper for experiments that want decorrelated
+// trial seeds.
+func ShuffledSeeds(base int64, n int) []int64 {
+	src := rng.Stream(base, "experiments/seeds")
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = src.Int63()
+	}
+	return out
+}

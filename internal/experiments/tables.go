@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFig2a renders both panels of Fig. 2a as text tables.
+func WriteFig2a(w io.Writer, rows []Fig2aRow) {
+	fmt.Fprintln(w, "Fig. 2a (left) — Search latency under human walk (number of beam searches)")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %8s %10s\n", "Config", "mean", "median", "p90", "max", "trials(ok)")
+	for _, r := range rows {
+		if r.Config == Omni {
+			continue // the paper plots latency for Narrow and Wide only
+		}
+		fmt.Fprintf(w, "%-8s %8.1f %8.1f %8.1f %8.0f %6d(%d)\n",
+			r.Config, r.Dwells.Mean(), r.Dwells.Median(),
+			r.Dwells.Quantile(0.9), r.Dwells.Quantile(1), r.Trials, r.Dwells.N())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Fig. 2a (right) — Search success rate (%)")
+	fmt.Fprintf(w, "%-8s %10s %18s\n", "Config", "success", "95% CI")
+	for _, r := range rows {
+		lo, hi := r.Success.WilsonCI()
+		fmt.Fprintf(w, "%-8s %9.1f%% %8.1f%%–%.1f%%\n",
+			r.Config, r.Success.Percent(), 100*lo, 100*hi)
+	}
+}
+
+// WriteFig2aCSV emits the raw latency samples for plotting.
+func WriteFig2aCSV(w io.Writer, rows []Fig2aRow) {
+	fmt.Fprintln(w, "config,dwells")
+	for _, r := range rows {
+		for _, v := range r.Dwells.Values() {
+			fmt.Fprintf(w, "%s,%g\n", r.Config, v)
+		}
+	}
+}
+
+// WriteFig2c renders the per-scenario CDF summary plus a shared-grid
+// CDF table matching the paper's 400–1800 ms axis.
+func WriteFig2c(w io.Writer, series []Fig2cSeries) {
+	fmt.Fprintln(w, "Fig. 2c — Soft handover completion time (search start → access complete)")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s %9s %6s\n",
+		"Scenario", "p10(ms)", "p50(ms)", "p90(ms)", "max(ms)", "done", "soft", "dwells")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-10s %8.0f %8.0f %8.0f %8.0f %7.0f%% %7d %6.1f\n",
+			s.Scenario, s.Latency.Quantile(0.1), s.Latency.Median(),
+			s.Latency.Quantile(0.9), s.Latency.Quantile(1),
+			100*s.CompletionRate(), s.SoftCount, s.Dwells.Mean())
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "CDF grid (P[latency <= t]):")
+	fmt.Fprintf(w, "%8s", "t(ms)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%12s", s.Scenario)
+	}
+	fmt.Fprintln(w)
+	const lo, hi, pts = 200.0, 2000.0, 10
+	grids := make([][]float64, len(series))
+	for i := range series {
+		g := series[i].CDF(lo, hi, pts)
+		grids[i] = make([]float64, len(g))
+		for j, p := range g {
+			grids[i][j] = p.P
+		}
+	}
+	for j := 0; j < pts; j++ {
+		t := lo + (hi-lo)*float64(j)/float64(pts-1)
+		fmt.Fprintf(w, "%8.0f", t)
+		for i := range series {
+			fmt.Fprintf(w, "%12.2f", grids[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig2cCSV emits raw latency samples for plotting.
+func WriteFig2cCSV(w io.Writer, series []Fig2cSeries) {
+	fmt.Fprintln(w, "scenario,latency_ms,interrupt_ms")
+	for _, s := range series {
+		lat := s.Latency.Values()
+		intr := s.Interrupt.Values()
+		for i := range lat {
+			v := 0.0
+			if i < len(intr) {
+				v = intr[i]
+			}
+			fmt.Fprintf(w, "%s,%g,%g\n", s.Scenario, lat[i], v)
+		}
+	}
+}
+
+// WriteMobility renders the alignment-held table.
+func WriteMobility(w io.Writer, rows []MobilityRow) {
+	fmt.Fprintln(w, "Alignment maintained while silently tracking (narrow codebook)")
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %8s\n",
+		"Scenario", "aligned", "misalign p50", "misalign p90", "HO done", "hard")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9.1f%% %10.1f°  %10.1f°  %9.1f%% %7.1f%%\n",
+			r.Scenario, r.AlignedFrac.Percent(),
+			r.MisalignDeg.Median(), r.MisalignDeg.Quantile(0.9),
+			r.HandoverRate.Percent(), r.HardRate.Percent())
+	}
+}
+
+// WriteThreshold renders the handover-margin ablation.
+func WriteThreshold(w io.Writer, rows []ThresholdRow) {
+	fmt.Fprintln(w, "Ablation — handover margin T (boundary walk, packet flow attached)")
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s %10s\n",
+		"T (dB)", "handovers", "ping-pongs", "interrupt", "loss", "no-HO")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8.0f %10.2f %10.2f %9.0f ms %9.2f%% %9.1f%%\n",
+			r.MarginDB, r.Handovers.Mean(), r.PingPongs.Mean(),
+			r.InterruptMs.Mean(), 100*r.LossRate.Mean(), r.NoHandover.Percent())
+	}
+}
+
+// WriteHysteresis renders the adjacent-switch trigger ablation.
+func WriteHysteresis(w io.Writer, rows []HysteresisRow) {
+	fmt.Fprintln(w, "Ablation — adjacent-switch trigger (device rotation)")
+	fmt.Fprintf(w, "%-12s %10s %10s %14s %10s\n",
+		"trigger(dB)", "switches", "losses", "misalign(deg)", "HO done")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12.0f %10.1f %10.2f %14.1f %9.1f%%\n",
+			r.TriggerDB, r.Switches.Mean(), r.Losses.Mean(),
+			r.MisalignDeg.Mean(), r.HandoverOK.Percent())
+	}
+}
+
+// WriteBaseline renders the strategy comparison.
+func WriteBaseline(w io.Writer, rows []BaselineRow) {
+	fmt.Fprintln(w, "Baseline comparison — walk out of the serving cell's coverage")
+	fmt.Fprintf(w, "%-14s %8s %8s %12s %12s %12s %9s %12s\n",
+		"Strategy", "HO done", "hard", "latency p50", "interrupt", "recovery", "loss", "worst outage")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %7.1f%% %7.1f%% %9.0f ms %9.0f ms %9.0f ms %8.2f%% %9.0f ms\n",
+			r.Variant, r.HandoverOK.Percent(), r.HardRate.Percent(),
+			r.LatencyMs.Median(), r.InterruptMs.Mean(), r.RecoveryMs.Mean(),
+			100*r.LossRate.Mean(), r.OutageMs.Quantile(0.9))
+	}
+}
+
+// Banner writes a section header.
+func Banner(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)+4))
+	fmt.Fprintf(w, "  %s\n", title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)+4))
+	fmt.Fprintln(w)
+}
+
+// WritePatterns renders the beam-pattern-model ablation.
+func WritePatterns(w io.Writer, rows []PatternRow) {
+	fmt.Fprintln(w, "Ablation — beam pattern model (narrow codebook, walk)")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %12s\n",
+		"Model", "success", "dwells", "HO done", "latency p50")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9.1f%% %10.1f %9.1f%% %9.0f ms\n",
+			r.Model, r.Success.Percent(), r.Dwells.Mean(),
+			r.HandoverOK.Percent(), r.LatencyMs.Median())
+	}
+}

@@ -1,0 +1,143 @@
+// Package geom provides the small amount of planar geometry the
+// simulator needs: 2-D vectors, headings, and angle arithmetic on the
+// circle. All angles are radians unless a name says otherwise; the
+// Deg/Rad helpers convert.
+//
+// The package is deliberately 2-D: the paper's testbed places the
+// mobile and the base stations in a horizontal plane and steers beams
+// in azimuth only, so elevation adds nothing to the reproduced
+// behaviour.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoPi is 2π, the full circle in radians.
+const TwoPi = 2 * math.Pi
+
+// Deg converts degrees to radians.
+func Deg(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad converts radians to degrees.
+func Rad(r float64) float64 { return r * 180 / math.Pi }
+
+// WrapAngle reduces an angle to the half-open interval [-π, π).
+func WrapAngle(a float64) float64 {
+	a = math.Mod(a+math.Pi, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	return a - math.Pi
+}
+
+// Wrap2Pi reduces an angle to [0, 2π).
+func Wrap2Pi(a float64) float64 {
+	a = math.Mod(a, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	return a
+}
+
+// AngleDist returns the absolute angular distance between a and b on
+// the circle, in [0, π].
+func AngleDist(a, b float64) float64 {
+	return math.Abs(WrapAngle(a - b))
+}
+
+// AngleLerp interpolates from a towards b along the shorter arc.
+// t=0 yields a, t=1 yields b.
+func AngleLerp(a, b, t float64) float64 {
+	return WrapAngle(a + WrapAngle(b-a)*t)
+}
+
+// Vec is a point or displacement in the plane, in meters.
+type Vec struct {
+	X, Y float64
+}
+
+// V constructs a Vec.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// FromPolar builds the vector with the given length and heading.
+func FromPolar(r, theta float64) Vec {
+	return Vec{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.X * k, v.Y * k} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Len returns the Euclidean length |v|.
+func (v Vec) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns |v - w|.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// Heading returns the direction of v in radians in [-π, π).
+// The zero vector has heading 0 by convention.
+func (v Vec) Heading() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return math.Atan2(v.Y, v.X)
+}
+
+// Unit returns v normalised to length 1. The zero vector is returned
+// unchanged.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Rotate returns v rotated by theta radians counter-clockwise.
+func (v Vec) Rotate(theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{X: v.X*c - v.Y*s, Y: v.X*s + v.Y*c}
+}
+
+// BearingTo returns the heading of the ray from v to w.
+func (v Vec) BearingTo(w Vec) float64 { return w.Sub(v).Heading() }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// Pose is a position plus a facing direction. The mobile's antenna
+// boresight is defined relative to Facing, so device rotation changes
+// which codebook beam points at a base station even when the position
+// is fixed.
+type Pose struct {
+	Pos    Vec
+	Facing float64 // radians, world frame
+}
+
+// BearingTo returns the world-frame bearing from the pose's position
+// to the target point.
+func (p Pose) BearingTo(target Vec) float64 { return p.Pos.BearingTo(target) }
+
+// LocalBearingTo returns the bearing to target expressed in the body
+// frame of the pose (0 = straight ahead).
+func (p Pose) LocalBearingTo(target Vec) float64 {
+	return WrapAngle(p.BearingTo(target) - p.Facing)
+}
+
+// ToWorld converts a body-frame angle to the world frame.
+func (p Pose) ToWorld(local float64) float64 { return WrapAngle(local + p.Facing) }
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pos=%v facing=%.1f°", p.Pos, Rad(p.Facing))
+}

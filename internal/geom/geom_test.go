@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWrapAngleRange(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, -math.Pi},
+		{-math.Pi, -math.Pi},
+		{3 * math.Pi, -math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{-3 * math.Pi / 2, math.Pi / 2},
+		{TwoPi, 0},
+		{5 * TwoPi, 0},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true // skip degenerate inputs
+		}
+		w := WrapAngle(a)
+		if w < -math.Pi || w >= math.Pi {
+			return false
+		}
+		// Wrapped angle must be congruent to the input mod 2π.
+		diff := math.Mod(a-w, TwoPi)
+		if diff < 0 {
+			diff += TwoPi
+		}
+		return diff < 1e-6 || TwoPi-diff < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrap2Pi(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true
+		}
+		w := Wrap2Pi(a)
+		return w >= 0 && w < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDistSymmetricBounded(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.Abs(a) > 1e9 || math.Abs(b) > 1e9 {
+			return true
+		}
+		d1, d2 := AngleDist(a, b), AngleDist(b, a)
+		return almostEq(d1, d2, 1e-6) && d1 >= 0 && d1 <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDistKnown(t *testing.T) {
+	if got := AngleDist(Deg(350), Deg(10)); !almostEq(got, Deg(20), 1e-9) {
+		t.Errorf("AngleDist(350°,10°) = %v°, want 20°", Rad(got))
+	}
+	if got := AngleDist(0, math.Pi); !almostEq(got, math.Pi, 1e-9) {
+		t.Errorf("AngleDist(0,π) = %v, want π", got)
+	}
+}
+
+func TestAngleLerp(t *testing.T) {
+	// Interpolation across the wrap boundary takes the short way.
+	got := AngleLerp(Deg(350), Deg(10), 0.5)
+	if !almostEq(WrapAngle(got-Deg(0)), 0, 1e-9) {
+		t.Errorf("AngleLerp(350°,10°,0.5) = %v°, want 0°", Rad(got))
+	}
+	if got := AngleLerp(1, 2, 0); !almostEq(got, 1, 1e-9) {
+		t.Errorf("lerp t=0: got %v", got)
+	}
+	if got := AngleLerp(1, 2, 1); !almostEq(got, 2, 1e-9) {
+		t.Errorf("lerp t=1: got %v", got)
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	f := func(d float64) bool {
+		if math.Abs(d) > 1e9 {
+			return true
+		}
+		return almostEq(Rad(Deg(d)), d, math.Abs(d)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := V(3, 4)
+	if v.Len() != 5 {
+		t.Errorf("Len = %v, want 5", v.Len())
+	}
+	if got := v.Add(V(1, 1)); got != V(4, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(V(3, 4)); got != V(0, 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(V(1, 0)); got != 3 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V(0, 0).Unit(); got != V(0, 0) {
+		t.Errorf("Unit(0) = %v", got)
+	}
+	if got := v.Unit().Len(); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Unit len = %v", got)
+	}
+}
+
+func TestVecRotate(t *testing.T) {
+	got := V(1, 0).Rotate(math.Pi / 2)
+	if !almostEq(got.X, 0, 1e-12) || !almostEq(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate(π/2) = %v", got)
+	}
+	// Rotation preserves length.
+	f := func(x, y, th float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.Abs(th) > 1e3 {
+			return true
+		}
+		v := V(x, y)
+		return almostEq(v.Rotate(th).Len(), v.Len(), 1e-6*(1+v.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadingAndBearing(t *testing.T) {
+	if got := V(0, 1).Heading(); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("Heading = %v", got)
+	}
+	if got := V(0, 0).Heading(); got != 0 {
+		t.Errorf("zero Heading = %v", got)
+	}
+	if got := V(0, 0).BearingTo(V(-1, 0)); !almostEq(AngleDist(got, math.Pi), 0, 1e-12) {
+		t.Errorf("BearingTo = %v", got)
+	}
+}
+
+func TestPoseLocalBearing(t *testing.T) {
+	// Mobile at origin facing +y; base station at +x is 90° clockwise,
+	// i.e. -π/2 in the body frame.
+	p := Pose{Pos: V(0, 0), Facing: math.Pi / 2}
+	got := p.LocalBearingTo(V(10, 0))
+	if !almostEq(got, -math.Pi/2, 1e-12) {
+		t.Errorf("LocalBearingTo = %v, want -π/2", got)
+	}
+	// ToWorld inverts LocalBearingTo.
+	world := p.ToWorld(got)
+	if !almostEq(AngleDist(world, 0), 0, 1e-12) {
+		t.Errorf("ToWorld = %v, want 0", world)
+	}
+}
+
+func TestPoseWorldLocalRoundTrip(t *testing.T) {
+	f := func(px, py, facing, tx, ty float64) bool {
+		if math.Abs(px) > 1e6 || math.Abs(py) > 1e6 || math.Abs(facing) > 1e3 ||
+			math.Abs(tx) > 1e6 || math.Abs(ty) > 1e6 {
+			return true
+		}
+		p := Pose{Pos: V(px, py), Facing: facing}
+		target := V(tx, ty)
+		if p.Pos.Dist(target) < 1e-9 {
+			return true
+		}
+		local := p.LocalBearingTo(target)
+		return AngleDist(p.ToWorld(local), p.BearingTo(target)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromPolar(t *testing.T) {
+	v := FromPolar(2, math.Pi/2)
+	if !almostEq(v.X, 0, 1e-12) || !almostEq(v.Y, 2, 1e-12) {
+		t.Errorf("FromPolar = %v", v)
+	}
+	f := func(r, th float64) bool {
+		if r < 0 || r > 1e6 || math.Abs(th) > 1e3 {
+			return true
+		}
+		return almostEq(FromPolar(r, th).Len(), r, 1e-6*(1+r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if V(1, 2).String() == "" {
+		t.Error("Vec.String empty")
+	}
+	p := Pose{Pos: V(1, 2), Facing: 0.5}
+	if p.String() == "" {
+		t.Error("Pose.String empty")
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	a, b := V(1, 2), V(4, 6)
+	if a.Dist(b) != 5 || b.Dist(a) != 5 {
+		t.Errorf("Dist = %v/%v", a.Dist(b), b.Dist(a))
+	}
+}
+
+func TestWrap2PiKnown(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {-math.Pi / 2, 3 * math.Pi / 2}, {TwoPi + 1, 1},
+	}
+	for _, c := range cases {
+		if got := Wrap2Pi(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Wrap2Pi(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRadKnown(t *testing.T) {
+	if !almostEq(Rad(math.Pi), 180, 1e-12) {
+		t.Errorf("Rad(π) = %v", Rad(math.Pi))
+	}
+}

@@ -1,0 +1,193 @@
+// Package handover provides handover accounting: it turns the
+// protocol's event stream into per-handover records with latencies,
+// interruption times, soft/hard classification, and ping-pong
+// detection. The experiment harness builds every table from these
+// records.
+package handover
+
+import (
+	"fmt"
+
+	"silenttracker/internal/core"
+	"silenttracker/internal/sim"
+)
+
+// Kind classifies a completed handover.
+type Kind int
+
+// Handover kinds.
+const (
+	// Soft: triggered by the E margin with the serving link alive, or
+	// by serving loss while a silently tracked beam was already
+	// aligned — either way, no service gap from beam search.
+	Soft Kind = iota
+	// Hard: the serving link died with no aligned neighbor beam; the
+	// mobile had to search from scratch while disconnected.
+	Hard
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Soft {
+		return "soft"
+	}
+	return "hard"
+}
+
+// Record is one completed handover.
+type Record struct {
+	Seq          int
+	From, To     int
+	Kind         Kind
+	SearchStart  sim.Time // B (most recent before completion)
+	Found        sim.Time // C
+	Triggered    sim.Time // E
+	Completed    sim.Time
+	ServingLost  sim.Time // sim.Never if the serving link never died
+	Interruption sim.Time // time without any usable serving link
+	Dwells       int      // beam-search dwells of the preceding search
+}
+
+// Latency returns search-start-to-completion — the paper's Fig. 2c
+// quantity.
+func (r Record) Latency() sim.Time { return r.Completed - r.SearchStart }
+
+// AccessLatency returns trigger-to-completion (the random access part).
+func (r Record) AccessLatency() sim.Time { return r.Completed - r.Triggered }
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	return fmt.Sprintf("HO#%d %d→%d %s: search=%v trigger=%v done=%v (latency %v, interruption %v)",
+		r.Seq, r.From, r.To, r.Kind, r.SearchStart, r.Triggered, r.Completed,
+		r.Latency(), r.Interruption)
+}
+
+// Auditor consumes tracker events and accumulates handover records.
+// Install with tracker.SetEventHook(auditor.Hook(prevHook)).
+type Auditor struct {
+	Records []Record
+
+	servingCell  int
+	searchStart  sim.Time
+	found        sim.Time
+	triggered    sim.Time
+	servingLost  sim.Time
+	dwells       int
+	lostWasHard  bool
+	pingPongSpan sim.Time
+}
+
+// NewAuditor builds an auditor; servingCell is the mobile's initial
+// cell. pingPongSpan is the window within which an A→B→A pair counts
+// as a ping-pong (0 selects the 5 s default).
+func NewAuditor(servingCell int, pingPongSpan sim.Time) *Auditor {
+	if pingPongSpan == 0 {
+		pingPongSpan = 5 * sim.Second
+	}
+	return &Auditor{
+		servingCell:  servingCell,
+		servingLost:  sim.Never,
+		pingPongSpan: pingPongSpan,
+	}
+}
+
+// Hook returns an event hook that feeds the auditor and then chains to
+// next (which may be nil).
+func (a *Auditor) Hook(next func(core.Event)) func(core.Event) {
+	return func(e core.Event) {
+		a.consume(e)
+		if next != nil {
+			next(e)
+		}
+	}
+}
+
+func (a *Auditor) consume(e core.Event) {
+	switch e.Type {
+	case core.EvSearchStarted:
+		a.searchStart = e.At
+	case core.EvNeighborFound:
+		a.found = e.At
+		a.dwells = int(e.Value)
+	case core.EvHandoverTriggered:
+		a.triggered = e.At
+	case core.EvServingLost:
+		if a.servingLost == sim.Never {
+			a.servingLost = e.At
+		}
+	case core.EvHardHandover:
+		a.lostWasHard = true
+	case core.EvHandoverComplete:
+		rec := Record{
+			Seq:         len(a.Records),
+			From:        a.servingCell,
+			To:          e.Cell,
+			Kind:        Soft,
+			SearchStart: a.searchStart,
+			Found:       a.found,
+			Triggered:   a.triggered,
+			Completed:   e.At,
+			ServingLost: a.servingLost,
+			Dwells:      a.dwells,
+		}
+		if a.lostWasHard {
+			rec.Kind = Hard
+		}
+		if a.servingLost != sim.Never {
+			rec.Interruption = e.At - a.servingLost
+		}
+		a.Records = append(a.Records, rec)
+		a.servingCell = e.Cell
+		a.servingLost = sim.Never
+		a.lostWasHard = false
+	}
+}
+
+// Completed returns the number of completed handovers.
+func (a *Auditor) Completed() int { return len(a.Records) }
+
+// SoftCount returns the number of soft handovers.
+func (a *Auditor) SoftCount() int {
+	n := 0
+	for _, r := range a.Records {
+		if r.Kind == Soft {
+			n++
+		}
+	}
+	return n
+}
+
+// HardCount returns the number of hard handovers.
+func (a *Auditor) HardCount() int { return len(a.Records) - a.SoftCount() }
+
+// PingPongs counts A→B→A sequences whose B-dwell was shorter than the
+// configured span — the classic instability metric for the handover
+// margin T.
+func (a *Auditor) PingPongs() int {
+	n := 0
+	for i := 1; i < len(a.Records); i++ {
+		prev, cur := a.Records[i-1], a.Records[i]
+		if cur.To == prev.From && cur.Completed-prev.Completed < a.pingPongSpan {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the first handover record, if any. Fig. 2c measures
+// exactly this one (the scenario's designed crossing).
+func (a *Auditor) First() (Record, bool) {
+	if len(a.Records) == 0 {
+		return Record{}, false
+	}
+	return a.Records[0], true
+}
+
+// TotalInterruption sums interruption time across all handovers.
+func (a *Auditor) TotalInterruption() sim.Time {
+	var total sim.Time
+	for _, r := range a.Records {
+		total += r.Interruption
+	}
+	return total
+}

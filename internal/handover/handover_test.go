@@ -1,0 +1,154 @@
+package handover
+
+import (
+	"testing"
+
+	"silenttracker/internal/core"
+	"silenttracker/internal/sim"
+)
+
+func ev(at sim.Time, tp core.EventType, cellID int, v float64) core.Event {
+	return core.Event{At: at, Type: tp, Cell: cellID, Value: v}
+}
+
+func TestSoftHandoverRecord(t *testing.T) {
+	a := NewAuditor(1, 0)
+	h := a.Hook(nil)
+	h(ev(100*sim.Millisecond, core.EvSearchStarted, -1, 0))
+	h(ev(300*sim.Millisecond, core.EvNeighborFound, 2, 9))
+	h(ev(500*sim.Millisecond, core.EvHandoverTriggered, 2, 0))
+	h(ev(560*sim.Millisecond, core.EvHandoverComplete, 2, 0))
+	if a.Completed() != 1 {
+		t.Fatalf("completed = %d", a.Completed())
+	}
+	r := a.Records[0]
+	if r.Kind != Soft || r.From != 1 || r.To != 2 {
+		t.Errorf("record: %+v", r)
+	}
+	if r.Latency() != 460*sim.Millisecond {
+		t.Errorf("latency = %v", r.Latency())
+	}
+	if r.AccessLatency() != 60*sim.Millisecond {
+		t.Errorf("access latency = %v", r.AccessLatency())
+	}
+	if r.Interruption != 0 {
+		t.Errorf("soft handover interruption = %v, want 0", r.Interruption)
+	}
+	if r.Dwells != 9 {
+		t.Errorf("dwells = %d", r.Dwells)
+	}
+}
+
+func TestServingLossWhileTrackingStillSoft(t *testing.T) {
+	a := NewAuditor(1, 0)
+	h := a.Hook(nil)
+	h(ev(100*sim.Millisecond, core.EvSearchStarted, -1, 0))
+	h(ev(200*sim.Millisecond, core.EvNeighborFound, 2, 4))
+	h(ev(400*sim.Millisecond, core.EvServingLost, 1, 0))
+	h(ev(400*sim.Millisecond, core.EvHandoverTriggered, 2, 1))
+	h(ev(450*sim.Millisecond, core.EvHandoverComplete, 2, 0))
+	r := a.Records[0]
+	if r.Kind != Soft {
+		t.Error("loss-with-tracked-beam should stay soft")
+	}
+	if r.Interruption != 50*sim.Millisecond {
+		t.Errorf("interruption = %v, want 50ms", r.Interruption)
+	}
+}
+
+func TestHardHandoverRecord(t *testing.T) {
+	a := NewAuditor(1, 0)
+	h := a.Hook(nil)
+	h(ev(400*sim.Millisecond, core.EvServingLost, 1, 0))
+	h(ev(400*sim.Millisecond, core.EvHardHandover, 1, 0))
+	h(ev(400*sim.Millisecond, core.EvSearchStarted, -1, 0))
+	h(ev(800*sim.Millisecond, core.EvNeighborFound, 2, 18))
+	h(ev(800*sim.Millisecond, core.EvHandoverTriggered, 2, 1))
+	h(ev(900*sim.Millisecond, core.EvHandoverComplete, 2, 0))
+	r := a.Records[0]
+	if r.Kind != Hard {
+		t.Error("should be hard")
+	}
+	if r.Interruption != 500*sim.Millisecond {
+		t.Errorf("interruption = %v, want 500ms", r.Interruption)
+	}
+	if a.HardCount() != 1 || a.SoftCount() != 0 {
+		t.Error("kind counts wrong")
+	}
+}
+
+func TestHardFlagResetsAfterHandover(t *testing.T) {
+	a := NewAuditor(1, 0)
+	h := a.Hook(nil)
+	// Hard handover 1→2.
+	h(ev(100*sim.Millisecond, core.EvServingLost, 1, 0))
+	h(ev(100*sim.Millisecond, core.EvHardHandover, 1, 0))
+	h(ev(300*sim.Millisecond, core.EvHandoverComplete, 2, 0))
+	// Clean soft handover 2→3.
+	h(ev(900*sim.Millisecond, core.EvSearchStarted, -1, 0))
+	h(ev(1000*sim.Millisecond, core.EvNeighborFound, 3, 2))
+	h(ev(1200*sim.Millisecond, core.EvHandoverTriggered, 3, 0))
+	h(ev(1260*sim.Millisecond, core.EvHandoverComplete, 3, 0))
+	if a.Records[1].Kind != Soft {
+		t.Error("hard flag leaked into the next handover")
+	}
+	if a.Records[1].From != 2 || a.Records[1].To != 3 {
+		t.Errorf("chain: %+v", a.Records[1])
+	}
+}
+
+func TestPingPongDetection(t *testing.T) {
+	a := NewAuditor(1, 2*sim.Second)
+	h := a.Hook(nil)
+	seq := []struct {
+		at sim.Time
+		to int
+	}{
+		{1 * sim.Second, 2},  // 1→2
+		{2 * sim.Second, 1},  // 2→1 within 2s: ping-pong
+		{10 * sim.Second, 2}, // 1→2 much later: not a ping-pong
+		{11 * sim.Second, 1}, // 2→1 within 2s: ping-pong
+	}
+	for _, s := range seq {
+		h(ev(s.at-100*sim.Millisecond, core.EvHandoverTriggered, s.to, 0))
+		h(ev(s.at, core.EvHandoverComplete, s.to, 0))
+	}
+	if a.PingPongs() != 2 {
+		t.Errorf("ping-pongs = %d, want 2", a.PingPongs())
+	}
+}
+
+func TestFirstAndTotals(t *testing.T) {
+	a := NewAuditor(1, 0)
+	if _, ok := a.First(); ok {
+		t.Error("empty auditor has a first record")
+	}
+	h := a.Hook(nil)
+	h(ev(100*sim.Millisecond, core.EvServingLost, 1, 0))
+	h(ev(150*sim.Millisecond, core.EvHandoverComplete, 2, 0))
+	h(ev(900*sim.Millisecond, core.EvServingLost, 2, 0))
+	h(ev(1000*sim.Millisecond, core.EvHandoverComplete, 1, 0))
+	first, ok := a.First()
+	if !ok || first.To != 2 {
+		t.Errorf("first: %+v %v", first, ok)
+	}
+	if a.TotalInterruption() != 150*sim.Millisecond {
+		t.Errorf("total interruption = %v", a.TotalInterruption())
+	}
+}
+
+func TestHookChains(t *testing.T) {
+	a := NewAuditor(1, 0)
+	called := false
+	h := a.Hook(func(core.Event) { called = true })
+	h(ev(0, core.EvSearchStarted, -1, 0))
+	if !called {
+		t.Error("chained hook not invoked")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Soft.String() != "soft" || Hard.String() != "hard" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,293 @@
+package mac
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{
+		Header:  Header{Type: TypeRAR, Cell: 3, UE: 17, Seq: 42},
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != m.Header || !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, cell, ue uint16, seq uint32, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		m := Message{Header: Header{Type: Type(typ), Cell: cell, UE: ue, Seq: seq}, Payload: payload}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Header == m.Header && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	m := Message{Header: Header{Type: TypeData}, Payload: []byte("hello")}
+	b := m.Marshal()
+	for i := 0; i < len(b); i++ {
+		if _, err := Unmarshal(b[:i]); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestUnmarshalCorrupted(t *testing.T) {
+	m := Message{Header: Header{Type: TypeData, Cell: 1}, Payload: []byte("payload")}
+	b := m.Marshal()
+	for i := 0; i < len(b)-1; i++ {
+		c := append([]byte(nil), b...)
+		c[i] ^= 0xFF
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("bit flip at %d not detected", i)
+		}
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	m := Message{Header: Header{Type: TypeKeepAlive, Cell: 9}}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %v", got.Payload)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypePreamble.String() != "preamble" {
+		t.Errorf("got %q", TypePreamble.String())
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type should still print")
+	}
+}
+
+func TestBeamSwitchReqRoundTrip(t *testing.T) {
+	p := BeamSwitchReq{CurrentTx: 5, ProposedTx: 6, RSSdBmQ8: QuantizeDBm(-63.5)}
+	got, err := UnmarshalBeamSwitchReq(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v vs %+v", got, p)
+	}
+	if DBmFromQ8(got.RSSdBmQ8) != -63.5 {
+		t.Errorf("Q8 = %v", DBmFromQ8(got.RSSdBmQ8))
+	}
+}
+
+func TestNegativeBeamIndexSurvives(t *testing.T) {
+	p := BeamSwitchReq{CurrentTx: -1, ProposedTx: 3}
+	got, _ := UnmarshalBeamSwitchReq(p.Marshal())
+	if got.CurrentTx != -1 {
+		t.Errorf("negative index lost: %d", got.CurrentTx)
+	}
+}
+
+func TestRARRoundTrip(t *testing.T) {
+	p := RAR{TimingAdvanceNs: -12345, TempUE: 99, TxBeam: 7}
+	got, err := UnmarshalRAR(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	p := Context{UE: 4, SourceCell: 1, BearerID: 0xDEADBEEF, SeqUplink: 100, SeqDown: 200}
+	got, err := UnmarshalContext(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestMeasReportRoundTrip(t *testing.T) {
+	p := MeasReport{TxBeam: 3, RxBeam: 11, RSSdBmQ8: QuantizeDBm(-41.25)}
+	got, err := UnmarshalMeasReport(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip: %+v vs %+v", got, p)
+	}
+}
+
+func TestPayloadUnmarshalShort(t *testing.T) {
+	if _, err := UnmarshalBeamSwitchReq([]byte{1}); err == nil {
+		t.Error("short BeamSwitchReq accepted")
+	}
+	if _, err := UnmarshalRAR(nil); err == nil {
+		t.Error("nil RAR accepted")
+	}
+	if _, err := UnmarshalContext([]byte{1, 2, 3}); err == nil {
+		t.Error("short Context accepted")
+	}
+	if _, err := UnmarshalMeasReport([]byte{}); err == nil {
+		t.Error("empty MeasReport accepted")
+	}
+}
+
+// --- RACH procedure ---
+
+func newRach() *Rach { return NewRach(DefaultRachConfig(), rng.New(1)) }
+
+func TestRachHappyPath(t *testing.T) {
+	r := newRach()
+	if r.State() != RachIdle {
+		t.Fatal("should start idle")
+	}
+	r.Start(100 * sim.Millisecond)
+	if a := r.Poll(100 * sim.Millisecond); a != ActionSendPreamble {
+		t.Fatalf("first poll action = %v", a)
+	}
+	if r.State() != RachWaitRAR || r.Attempt() != 1 {
+		t.Fatalf("state=%v attempt=%d", r.State(), r.Attempt())
+	}
+	rar := RAR{TimingAdvanceNs: 500, TempUE: 7}
+	if a := r.OnRAR(102*sim.Millisecond, rar); a != ActionSendConnReq {
+		t.Fatalf("OnRAR action = %v", a)
+	}
+	if r.TimingAdvanceNs != 500 || r.TempUE != 7 {
+		t.Error("RAR fields not captured")
+	}
+	if !r.OnSetup(105 * sim.Millisecond) {
+		t.Fatal("setup not accepted")
+	}
+	if r.State() != RachConnected {
+		t.Fatalf("state = %v", r.State())
+	}
+	if r.Latency() != 5*sim.Millisecond {
+		t.Errorf("latency = %v, want 5ms", r.Latency())
+	}
+}
+
+func TestRachRetryOnRARTimeout(t *testing.T) {
+	r := newRach()
+	r.Start(0)
+	if r.Poll(0) != ActionSendPreamble {
+		t.Fatal("no preamble on first occasion")
+	}
+	// Wait past the response window; machine must back off then retry.
+	now := sim.Time(0)
+	sent := 1
+	for i := 0; i < 100 && r.State() != RachFailed; i++ {
+		now += r.Cfg.OccasionPeriod
+		if r.Poll(now) == ActionSendPreamble {
+			sent++
+		}
+	}
+	if r.State() != RachFailed {
+		t.Fatalf("state = %v after exhausting attempts", r.State())
+	}
+	if sent != r.Cfg.MaxAttempts {
+		t.Errorf("sent %d preambles, want %d", sent, r.Cfg.MaxAttempts)
+	}
+}
+
+func TestRachSetupTimeoutRetries(t *testing.T) {
+	r := newRach()
+	r.Start(0)
+	r.Poll(0)
+	r.OnRAR(2*sim.Millisecond, RAR{})
+	if r.State() != RachWaitSetup {
+		t.Fatal("not waiting for setup")
+	}
+	// Setup never arrives; poll far past the window.
+	action := ActionNone
+	now := sim.Time(0)
+	for i := 0; i < 10 && action != ActionSendPreamble; i++ {
+		now += r.Cfg.OccasionPeriod
+		action = r.Poll(now)
+	}
+	if action != ActionSendPreamble {
+		t.Errorf("machine did not retry after setup timeout (state=%v)", r.State())
+	}
+	if r.Attempt() != 2 {
+		t.Errorf("attempt = %d, want 2", r.Attempt())
+	}
+}
+
+func TestRachIgnoresUnexpectedMessages(t *testing.T) {
+	r := newRach()
+	if r.OnRAR(0, RAR{}) != ActionNone {
+		t.Error("idle machine accepted RAR")
+	}
+	if r.OnSetup(0) {
+		t.Error("idle machine accepted setup")
+	}
+	r.Start(0)
+	r.Poll(0)
+	if r.OnSetup(1 * sim.Millisecond) {
+		t.Error("setup before RAR accepted")
+	}
+}
+
+func TestRachLateRARRejected(t *testing.T) {
+	r := newRach()
+	r.Start(0)
+	r.Poll(0)
+	// RAR arrives after the response window: must be ignored and the
+	// machine must already have rolled to backoff.
+	late := r.Cfg.ResponseWindow + sim.Millisecond
+	if r.OnRAR(late, RAR{}) != ActionNone {
+		t.Error("late RAR accepted")
+	}
+	if r.State() == RachWaitSetup {
+		t.Error("late RAR advanced the machine")
+	}
+}
+
+func TestRachReset(t *testing.T) {
+	r := newRach()
+	r.Start(0)
+	r.Poll(0)
+	r.Reset()
+	if r.State() != RachIdle || r.Attempt() != 0 {
+		t.Error("reset incomplete")
+	}
+	if r.Poll(sim.Second) != ActionNone {
+		t.Error("idle machine polled an action")
+	}
+}
+
+func TestRachLatencyZeroBeforeConnected(t *testing.T) {
+	r := newRach()
+	r.Start(0)
+	if r.Latency() != 0 {
+		t.Error("latency nonzero before completion")
+	}
+}
+
+func TestRachStateString(t *testing.T) {
+	if RachWaitRAR.String() != "wait-rar" {
+		t.Errorf("got %q", RachWaitRAR.String())
+	}
+	if RachState(99).String() == "" {
+		t.Error("unknown state should print")
+	}
+}

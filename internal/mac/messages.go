@@ -1,0 +1,248 @@
+// Package mac defines the control-plane message formats and the
+// random-access (RACH) procedure the handover rides on.
+//
+// Messages use a fixed binary wire format (encoding/binary, big
+// endian, CRC-32 trailer) even though the simulator could pass Go
+// structs directly: the paper's protocol decisions hinge on what fits
+// in real control messages, and serialising keeps that honest.
+package mac
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Type discriminates control-plane messages.
+type Type uint8
+
+// Control-plane message types.
+const (
+	TypeInvalid       Type = iota
+	TypePreamble           // uplink RACH preamble (Msg1)
+	TypeRAR                // random access response (Msg2)
+	TypeConnReq            // connection / context-transfer request (Msg3)
+	TypeConnSetup          // connection setup / handover complete (Msg4)
+	TypeBeamSwitchReq      // mobile asks serving BS to switch TX beam
+	TypeBeamSwitchAck      // BS confirms the switch
+	TypeMeasReport         // mobile's periodic measurement report
+	TypeContext            // inter-BS context transfer (X2-like)
+	TypeKeepAlive          // serving-link liveness probe
+	TypeData               // user-plane data frame
+)
+
+var typeNames = map[Type]string{
+	TypeInvalid: "invalid", TypePreamble: "preamble", TypeRAR: "rar",
+	TypeConnReq: "conn-req", TypeConnSetup: "conn-setup",
+	TypeBeamSwitchReq: "beam-switch-req", TypeBeamSwitchAck: "beam-switch-ack",
+	TypeMeasReport: "meas-report", TypeContext: "context",
+	TypeKeepAlive: "keep-alive", TypeData: "data",
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Header is the fixed message prefix.
+type Header struct {
+	Type Type
+	Cell uint16 // cell ID
+	UE   uint16 // mobile ID (0 before a C-RNTI is assigned)
+	Seq  uint32 // sender sequence number
+}
+
+// headerLen is the marshalled header size: type(1) + cell(2) + ue(2) +
+// seq(4) + payload length(2).
+const headerLen = 11
+
+// crcLen is the CRC-32 trailer size.
+const crcLen = 4
+
+// Message is a control-plane PDU.
+type Message struct {
+	Header
+	Payload []byte
+}
+
+// Marshal serialises the message with a CRC-32 trailer.
+func (m *Message) Marshal() []byte {
+	if len(m.Payload) > 0xFFFF {
+		panic("mac: payload too large")
+	}
+	b := make([]byte, headerLen+len(m.Payload)+crcLen)
+	b[0] = byte(m.Type)
+	binary.BigEndian.PutUint16(b[1:], m.Cell)
+	binary.BigEndian.PutUint16(b[3:], m.UE)
+	binary.BigEndian.PutUint32(b[5:], m.Seq)
+	binary.BigEndian.PutUint16(b[9:], uint16(len(m.Payload)))
+	copy(b[headerLen:], m.Payload)
+	crc := crc32.ChecksumIEEE(b[:headerLen+len(m.Payload)])
+	binary.BigEndian.PutUint32(b[headerLen+len(m.Payload):], crc)
+	return b
+}
+
+// Unmarshal errors.
+var (
+	ErrShort = errors.New("mac: message truncated")
+	ErrCRC   = errors.New("mac: CRC mismatch")
+)
+
+// Unmarshal parses a serialised message, verifying the CRC.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) < headerLen+crcLen {
+		return Message{}, ErrShort
+	}
+	plen := int(binary.BigEndian.Uint16(b[9:]))
+	total := headerLen + plen + crcLen
+	if len(b) < total {
+		return Message{}, ErrShort
+	}
+	want := binary.BigEndian.Uint32(b[headerLen+plen:])
+	if crc32.ChecksumIEEE(b[:headerLen+plen]) != want {
+		return Message{}, ErrCRC
+	}
+	m := Message{
+		Header: Header{
+			Type: Type(b[0]),
+			Cell: binary.BigEndian.Uint16(b[1:]),
+			UE:   binary.BigEndian.Uint16(b[3:]),
+			Seq:  binary.BigEndian.Uint32(b[5:]),
+		},
+	}
+	if plen > 0 {
+		m.Payload = make([]byte, plen)
+		copy(m.Payload, b[headerLen:headerLen+plen])
+	}
+	return m, nil
+}
+
+// BeamSwitchReq asks the serving cell to move its transmit beam — the
+// BeamSurfer base-station adjustment. Beams are codebook indices.
+type BeamSwitchReq struct {
+	CurrentTx  int16
+	ProposedTx int16
+	RSSdBmQ8   int32 // RSS in dBm, Q8 fixed point (dBm * 256)
+}
+
+// Marshal serialises the payload.
+func (p BeamSwitchReq) Marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:], uint16(p.CurrentTx))
+	binary.BigEndian.PutUint16(b[2:], uint16(p.ProposedTx))
+	binary.BigEndian.PutUint32(b[4:], uint32(p.RSSdBmQ8))
+	return b
+}
+
+// UnmarshalBeamSwitchReq parses a BeamSwitchReq payload.
+func UnmarshalBeamSwitchReq(b []byte) (BeamSwitchReq, error) {
+	if len(b) < 8 {
+		return BeamSwitchReq{}, ErrShort
+	}
+	return BeamSwitchReq{
+		CurrentTx:  int16(binary.BigEndian.Uint16(b[0:])),
+		ProposedTx: int16(binary.BigEndian.Uint16(b[2:])),
+		RSSdBmQ8:   int32(binary.BigEndian.Uint32(b[4:])),
+	}, nil
+}
+
+// QuantizeDBm converts dBm to the Q8 wire representation.
+func QuantizeDBm(dbm float64) int32 { return int32(dbm * 256) }
+
+// DBmFromQ8 converts the Q8 wire representation back to dBm.
+func DBmFromQ8(q int32) float64 { return float64(q) / 256 }
+
+// RAR is the random access response payload.
+type RAR struct {
+	TimingAdvanceNs int32  // timing advance, nanoseconds
+	TempUE          uint16 // temporary UE identifier (TC-RNTI)
+	TxBeam          int16  // BS beam the preamble was heard on
+}
+
+// Marshal serialises the payload.
+func (p RAR) Marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b[0:], uint32(p.TimingAdvanceNs))
+	binary.BigEndian.PutUint16(b[4:], p.TempUE)
+	binary.BigEndian.PutUint16(b[6:], uint16(p.TxBeam))
+	return b
+}
+
+// UnmarshalRAR parses a RAR payload.
+func UnmarshalRAR(b []byte) (RAR, error) {
+	if len(b) < 8 {
+		return RAR{}, ErrShort
+	}
+	return RAR{
+		TimingAdvanceNs: int32(binary.BigEndian.Uint32(b[0:])),
+		TempUE:          binary.BigEndian.Uint16(b[4:]),
+		TxBeam:          int16(binary.BigEndian.Uint16(b[6:])),
+	}, nil
+}
+
+// Context is the inter-cell context-transfer payload: everything the
+// target cell needs to admit the mobile without a fresh registration.
+type Context struct {
+	UE         uint16
+	SourceCell uint16
+	BearerID   uint32
+	SeqUplink  uint32
+	SeqDown    uint32
+}
+
+// Marshal serialises the payload.
+func (p Context) Marshal() []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint16(b[0:], p.UE)
+	binary.BigEndian.PutUint16(b[2:], p.SourceCell)
+	binary.BigEndian.PutUint32(b[4:], p.BearerID)
+	binary.BigEndian.PutUint32(b[8:], p.SeqUplink)
+	binary.BigEndian.PutUint32(b[12:], p.SeqDown)
+	return b
+}
+
+// UnmarshalContext parses a Context payload.
+func UnmarshalContext(b []byte) (Context, error) {
+	if len(b) < 16 {
+		return Context{}, ErrShort
+	}
+	return Context{
+		UE:         binary.BigEndian.Uint16(b[0:]),
+		SourceCell: binary.BigEndian.Uint16(b[2:]),
+		BearerID:   binary.BigEndian.Uint32(b[4:]),
+		SeqUplink:  binary.BigEndian.Uint32(b[8:]),
+		SeqDown:    binary.BigEndian.Uint32(b[12:]),
+	}, nil
+}
+
+// MeasReport carries the mobile's serving-beam measurement.
+type MeasReport struct {
+	TxBeam   int16
+	RxBeam   int16
+	RSSdBmQ8 int32
+}
+
+// Marshal serialises the payload.
+func (p MeasReport) Marshal() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:], uint16(p.TxBeam))
+	binary.BigEndian.PutUint16(b[2:], uint16(p.RxBeam))
+	binary.BigEndian.PutUint32(b[4:], uint32(p.RSSdBmQ8))
+	return b
+}
+
+// UnmarshalMeasReport parses a MeasReport payload.
+func UnmarshalMeasReport(b []byte) (MeasReport, error) {
+	if len(b) < 8 {
+		return MeasReport{}, ErrShort
+	}
+	return MeasReport{
+		TxBeam:   int16(binary.BigEndian.Uint16(b[0:])),
+		RxBeam:   int16(binary.BigEndian.Uint16(b[2:])),
+		RSSdBmQ8: int32(binary.BigEndian.Uint32(b[4:])),
+	}, nil
+}

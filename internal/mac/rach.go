@@ -1,0 +1,185 @@
+package mac
+
+import (
+	"fmt"
+
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+)
+
+// RachConfig holds the random-access procedure parameters.
+type RachConfig struct {
+	OccasionPeriod sim.Time // interval between RACH occasions of a cell
+	ResponseWindow sim.Time // how long to wait for the RAR after a preamble
+	SetupWindow    sim.Time // how long to wait for ConnSetup after ConnReq
+	MaxAttempts    int      // preamble attempts before declaring failure
+	BackoffMax     sim.Time // maximum random backoff between attempts
+}
+
+// DefaultRachConfig returns 5G-NR-like random access timing.
+func DefaultRachConfig() RachConfig {
+	return RachConfig{
+		OccasionPeriod: 10 * sim.Millisecond,
+		ResponseWindow: 5 * sim.Millisecond,
+		// Msg4 waits on an inter-cell context fetch (two backhaul hops
+		// plus processing), so the window is generous.
+		SetupWindow: 40 * sim.Millisecond,
+		MaxAttempts: 8,
+		BackoffMax:  15 * sim.Millisecond,
+	}
+}
+
+// RachState enumerates the mobile-side random access states.
+type RachState int
+
+// Random access procedure states.
+const (
+	RachIdle      RachState = iota // not started
+	RachBackoff                    // waiting to transmit (backoff or next occasion)
+	RachWaitRAR                    // preamble sent, awaiting Msg2
+	RachWaitSetup                  // Msg3 sent, awaiting Msg4
+	RachConnected                  // procedure complete
+	RachFailed                     // attempts exhausted
+)
+
+var rachStateNames = map[RachState]string{
+	RachIdle: "idle", RachBackoff: "backoff", RachWaitRAR: "wait-rar",
+	RachWaitSetup: "wait-setup", RachConnected: "connected", RachFailed: "failed",
+}
+
+// String implements fmt.Stringer.
+func (s RachState) String() string {
+	if n, ok := rachStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("rach(%d)", int(s))
+}
+
+// RachAction tells the caller what to transmit next, if anything.
+type RachAction int
+
+// Actions returned by the procedure.
+const (
+	ActionNone         RachAction = iota
+	ActionSendPreamble            // transmit Msg1 now
+	ActionSendConnReq             // transmit Msg3 now
+)
+
+// Rach is the mobile-side random access state machine. It is passive:
+// the caller drives it with Poll at RACH occasions and with the On*
+// methods when messages arrive, and acts on the returned RachAction.
+// Passivity keeps the procedure independently testable and lets the
+// UE layer own all simulator scheduling.
+type Rach struct {
+	Cfg      RachConfig
+	state    RachState
+	attempt  int
+	deadline sim.Time // current response deadline, Never if none
+	notUntil sim.Time // backoff: no transmission before this time
+	src      *rng.Source
+
+	// Result fields, valid once connected.
+	TimingAdvanceNs int32
+	TempUE          uint16
+	startedAt       sim.Time
+	connectedAt     sim.Time
+}
+
+// NewRach builds a random access procedure using src for backoff.
+func NewRach(cfg RachConfig, src *rng.Source) *Rach {
+	return &Rach{Cfg: cfg, src: src, deadline: sim.Never}
+}
+
+// State returns the current procedure state.
+func (r *Rach) State() RachState { return r.state }
+
+// Attempt returns the number of preambles sent so far.
+func (r *Rach) Attempt() int { return r.attempt }
+
+// Latency returns the time from Start to connection completion; zero
+// until connected.
+func (r *Rach) Latency() sim.Time {
+	if r.state != RachConnected {
+		return 0
+	}
+	return r.connectedAt - r.startedAt
+}
+
+// Start arms the procedure; the first preamble goes out at the next
+// polled occasion.
+func (r *Rach) Start(now sim.Time) {
+	r.state = RachBackoff
+	r.attempt = 0
+	r.deadline = sim.Never
+	r.notUntil = now
+	r.startedAt = now
+}
+
+// Reset returns the procedure to idle (e.g. the tracked beam was lost
+// and the handover attempt is abandoned).
+func (r *Rach) Reset() {
+	r.state = RachIdle
+	r.deadline = sim.Never
+	r.attempt = 0
+}
+
+// Poll advances the machine at a RACH occasion boundary and reports
+// the action to take. It also expires response deadlines, so callers
+// should Poll on every occasion even when idle mid-procedure.
+func (r *Rach) Poll(now sim.Time) RachAction {
+	r.expire(now)
+	if r.state == RachBackoff && now >= r.notUntil {
+		if r.attempt >= r.Cfg.MaxAttempts {
+			r.state = RachFailed
+			return ActionNone
+		}
+		r.attempt++
+		r.state = RachWaitRAR
+		r.deadline = now + r.Cfg.ResponseWindow
+		return ActionSendPreamble
+	}
+	return ActionNone
+}
+
+func (r *Rach) expire(now sim.Time) {
+	if now < r.deadline {
+		return
+	}
+	switch r.state {
+	case RachWaitRAR, RachWaitSetup:
+		// Timed out: back off and retry (Poll enforces MaxAttempts).
+		r.state = RachBackoff
+		r.deadline = sim.Never
+		r.notUntil = now + sim.Time(r.src.Int63()%int64(r.Cfg.BackoffMax+1))
+		if r.attempt >= r.Cfg.MaxAttempts {
+			r.state = RachFailed
+		}
+	}
+}
+
+// OnRAR handles a random access response. It returns the next action
+// (sending Msg3) or ActionNone if the RAR was unexpected.
+func (r *Rach) OnRAR(now sim.Time, rar RAR) RachAction {
+	r.expire(now)
+	if r.state != RachWaitRAR {
+		return ActionNone
+	}
+	r.TimingAdvanceNs = rar.TimingAdvanceNs
+	r.TempUE = rar.TempUE
+	r.state = RachWaitSetup
+	r.deadline = now + r.Cfg.SetupWindow
+	return ActionSendConnReq
+}
+
+// OnSetup handles the connection setup (Msg4), completing the
+// procedure. Returns true if the procedure just completed.
+func (r *Rach) OnSetup(now sim.Time) bool {
+	r.expire(now)
+	if r.state != RachWaitSetup {
+		return false
+	}
+	r.state = RachConnected
+	r.deadline = sim.Never
+	r.connectedAt = now
+	return true
+}

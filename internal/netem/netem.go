@@ -1,0 +1,103 @@
+// Package netem runs application traffic over the simulated serving
+// link and accounts for packet loss and outages. It is how the
+// benchmark harness shows what soft handover buys: a hard handover
+// appears as a burst of consecutive losses, a soft one as (nearly)
+// none.
+package netem
+
+import (
+	"fmt"
+
+	"silenttracker/internal/sim"
+	"silenttracker/internal/world"
+)
+
+// Flow is a constant-bit-rate downlink flow to the mobile.
+type Flow struct {
+	W        *world.World
+	Interval sim.Time // packet spacing
+
+	Sent      int
+	Delivered int
+	Lost      int
+
+	// Outage accounting.
+	curOutage     int
+	LongestOutage sim.Time
+	Outages       []sim.Time // durations of loss bursts (>= MinBurst packets)
+	MinBurst      int        // consecutive losses that count as an outage
+
+	ticker *sim.Ticker
+}
+
+// Attach starts a CBR flow on the world's engine. interval is the
+// packet spacing (e.g. 1 ms for a 1000 pkt/s stream).
+func Attach(w *world.World, interval sim.Time) *Flow {
+	f := &Flow{W: w, Interval: interval, MinBurst: 3}
+	f.ticker = w.Engine.Every(interval, f.sendOne)
+	return f
+}
+
+// Stop halts the flow.
+func (f *Flow) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+	f.closeOutage()
+}
+
+func (f *Flow) sendOne() {
+	now := f.W.Engine.Now()
+	f.Sent++
+	if f.deliverable(now) {
+		f.Delivered++
+		f.closeOutage()
+		return
+	}
+	f.Lost++
+	f.curOutage++
+}
+
+// deliverable decides whether a packet sent now reaches the mobile:
+// the serving connection must exist on both ends and the downlink on
+// the current serving beam pair must decode.
+func (f *Flow) deliverable(now sim.Time) bool {
+	tr := f.W.Tracker
+	if tr.Serving().Lost() {
+		return false
+	}
+	cellID := tr.ServingCell()
+	c := f.W.Cells[cellID]
+	if c == nil || !c.Connected(f.W.Device.ID) {
+		return false
+	}
+	txBeam := c.Conn(f.W.Device.ID).TxBeam
+	_, rx := tr.Serving().Beams()
+	m, ok := f.W.Device.DownlinkMeasure(now, cellID, txBeam, rx)
+	return ok && m.Detected
+}
+
+func (f *Flow) closeOutage() {
+	if f.curOutage >= f.MinBurst {
+		d := sim.Time(f.curOutage) * f.Interval
+		f.Outages = append(f.Outages, d)
+		if d > f.LongestOutage {
+			f.LongestOutage = d
+		}
+	}
+	f.curOutage = 0
+}
+
+// LossRate returns the fraction of packets lost.
+func (f *Flow) LossRate() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return float64(f.Lost) / float64(f.Sent)
+}
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow: %d sent, %d lost (%.2f%%), longest outage %v, %d outages",
+		f.Sent, f.Lost, 100*f.LossRate(), f.LongestOutage, len(f.Outages))
+}

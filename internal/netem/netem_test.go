@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mobility"
+	"silenttracker/internal/sim"
+	"silenttracker/internal/world"
+)
+
+func healthyWorld(seed int64) *world.World {
+	b := world.NewBuilder(seed)
+	b.Mob = mobility.Static(geom.Pose{Pos: geom.V(8, 0), Facing: 0})
+	b.ServingCell = 1
+	b.AddCell(world.CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, NoBlockage: true})
+	b.AddCell(world.CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi,
+		BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	return b.Build()
+}
+
+func TestHealthyLinkDeliversNearlyEverything(t *testing.T) {
+	w := healthyWorld(1)
+	f := Attach(w, sim.Millisecond)
+	w.Run(3 * sim.Second)
+	f.Stop()
+	if f.Sent < 2900 {
+		t.Fatalf("sent = %d", f.Sent)
+	}
+	if f.LossRate() > 0.02 {
+		t.Errorf("loss rate on a healthy static link = %.2f%%", 100*f.LossRate())
+	}
+}
+
+func TestWalkThroughBoundaryModestLoss(t *testing.T) {
+	// Soft handovers across the boundary should not produce long
+	// outages: the flow switches cells with the connection.
+	b := world.NewBuilder(2)
+	b.Cfg.AlwaysSearch = true
+	b.Mob = mobility.NewWalk(geom.V(7, 0.5), 0, 2)
+	b.ServingCell = 1
+	b.AddCell(world.CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, NoBlockage: true})
+	b.AddCell(world.CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi,
+		BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	w := b.Build()
+	f := Attach(w, sim.Millisecond)
+	w.Run(8 * sim.Second)
+	f.Stop()
+	if w.Tracker.HandoversDone == 0 {
+		t.Fatal("no handover in the boundary walk")
+	}
+	if f.LossRate() > 0.25 {
+		t.Errorf("loss rate = %.1f%% across soft handovers", 100*f.LossRate())
+	}
+	if f.LongestOutage > 1500*sim.Millisecond {
+		t.Errorf("longest outage = %v", f.LongestOutage)
+	}
+}
+
+func TestOutageAccounting(t *testing.T) {
+	w := healthyWorld(3)
+	f := &Flow{W: w, Interval: sim.Millisecond, MinBurst: 3}
+	// Simulate loss bookkeeping directly.
+	for i := 0; i < 5; i++ {
+		f.Lost++
+		f.curOutage++
+	}
+	f.closeOutage()
+	if len(f.Outages) != 1 || f.Outages[0] != 5*sim.Millisecond {
+		t.Errorf("outages: %v", f.Outages)
+	}
+	if f.LongestOutage != 5*sim.Millisecond {
+		t.Errorf("longest = %v", f.LongestOutage)
+	}
+	// Short bursts below MinBurst are not outages.
+	f.curOutage = 2
+	f.closeOutage()
+	if len(f.Outages) != 1 {
+		t.Error("sub-threshold burst recorded")
+	}
+}
+
+func TestLossRateEmpty(t *testing.T) {
+	f := &Flow{}
+	if f.LossRate() != 0 {
+		t.Error("empty flow loss rate")
+	}
+	if f.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsIndependentByName(t *testing.T) {
+	a := Stream(1, "fading")
+	b := Stream(1, "blockage")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different names look correlated: %d equal draws", same)
+	}
+}
+
+func TestStreamReproducible(t *testing.T) {
+	a := Stream(7, "x")
+	b := Stream(7, "x")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed,name) stream diverged")
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(3).Split("child")
+	b := New(3).Split("child")
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(2)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2.5)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp mean = %v, want ~2.5", mean)
+	}
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean should return 0")
+	}
+}
+
+func TestRicianMeanIsUnity(t *testing.T) {
+	s := New(4)
+	for _, k := range []float64{0, 1, 5, 20} {
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += s.Rician(k)
+		}
+		if mean := sum / n; math.Abs(mean-1) > 0.03 {
+			t.Errorf("Rician(k=%v) mean = %v, want ~1", k, mean)
+		}
+	}
+}
+
+func TestRicianVarianceShrinksWithK(t *testing.T) {
+	s := New(5)
+	varAt := func(k float64) float64 {
+		const n = 100000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := s.Rician(k)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		return sumsq/n - mean*mean
+	}
+	v0, v10 := varAt(0), varAt(10)
+	if v10 >= v0 {
+		t.Errorf("Rician variance should shrink with K: var(0)=%v var(10)=%v", v0, v10)
+	}
+	// Negative K is clamped to Rayleigh, not NaN.
+	if g := s.Rician(-3); math.IsNaN(g) || g < 0 {
+		t.Errorf("Rician(-3) = %v", g)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(6)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 1000; i++ {
+		v := s.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLogNormalDBZeroMean(t *testing.T) {
+	s := New(9)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.LogNormalDB(4)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.1 {
+		t.Errorf("LogNormalDB mean = %v, want ~0", mean)
+	}
+}

@@ -1,0 +1,273 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The engine keeps a binary-heap event queue ordered by (time,
+// sequence number); equal-time events therefore run in scheduling
+// order, which keeps runs reproducible. Handlers run on the caller's
+// goroutine — the engine is intentionally single-threaded, since a
+// beam-management timeline is causal and fine-grained (microseconds)
+// and cross-goroutine scheduling would only add nondeterminism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulation timestamp in nanoseconds since the start of the
+// run. It deliberately mirrors time.Duration so callers can write
+// 20*sim.Millisecond.
+type Time int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Never is a sentinel meaning "no deadline".
+const Never Time = math.MaxInt64
+
+// Seconds returns the timestamp as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the timestamp as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Duration converts to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String implements fmt.Stringer.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return time.Duration(t).String()
+}
+
+// Handler is a scheduled callback.
+type Handler func()
+
+type event struct {
+	at      Time
+	seq     uint64
+	fn      Handler
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// Timer is a handle to a scheduled event, allowing cancellation.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still
+// pending (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index == -1 {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index != -1
+}
+
+// When returns the timer's scheduled fire time.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return Never
+	}
+	return t.ev.at
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far. Useful for
+// bounding tests and detecting runaway schedules.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including
+// stopped-but-unpopped timers).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: that is always a logic error in a causal simulation.
+func (e *Engine) At(at Time, fn Handler) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative delays
+// are clamped to zero.
+func (e *Engine) After(d Time, fn Handler) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from
+// now, until the returned Ticker is stopped. period must be positive.
+func (e *Engine) Every(period Time, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	tk := &Ticker{engine: e, period: period, fn: fn}
+	tk.schedule()
+	return tk
+}
+
+// Ticker repeatedly fires a handler at a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      Handler
+	timer   *Timer
+	stopped bool
+}
+
+func (tk *Ticker) schedule() {
+	tk.timer = tk.engine.After(tk.period, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fn()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call multiple times.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	if tk.timer != nil {
+		tk.timer.Stop()
+	}
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It reports false when the queue is
+// exhausted.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.runGuard()
+	defer func() { e.running = false }()
+	for !e.stopped && e.step() {
+	}
+	e.stopped = false
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to the deadline (if the run was not stopped early).
+func (e *Engine) RunUntil(deadline Time) {
+	e.runGuard()
+	defer func() { e.running = false }()
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek at the head; heap root is element 0.
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && deadline > e.now {
+		e.now = deadline
+	}
+	e.stopped = false
+}
+
+// RunFor executes events for d simulated time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+func (e *Engine) runGuard() {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+}

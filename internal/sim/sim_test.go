@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Millisecond, func() { order = append(order, 3) })
+	e.At(10*Millisecond, func() { order = append(order, 1) })
+	e.At(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestEqualTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time order broken: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(5*Millisecond, func() {
+		e.After(7*Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12*Millisecond {
+		t.Errorf("After fired at %v, want 12ms", at)
+	}
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Error("negative After never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Error("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Error("Stop should report true for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if tm.Pending() {
+		t.Error("stopped timer still pending")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(Millisecond, func() {})
+	e.Run()
+	if tm.Stop() {
+		t.Error("Stop after fire should report false")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(10*Millisecond, func() { count++ })
+	e.RunUntil(35 * Millisecond)
+	if count != 3 {
+		t.Errorf("ticker fired %d times, want 3", count)
+	}
+	if e.Now() != 35*Millisecond {
+		t.Errorf("clock = %v, want 35ms", e.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(10 * Millisecond)
+	e.RunFor(10 * Millisecond)
+	if e.Now() != 20*Millisecond {
+		t.Errorf("clock = %v, want 20ms", e.Now())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(Millisecond, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Second)
+	if count != 5 {
+		t.Errorf("ticker fired %d times after Stop, want 5", count)
+	}
+}
+
+func TestEngineStopInsideHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Every(Millisecond, func() {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	// Engine is reusable after Stop.
+	e.RunFor(2 * Millisecond)
+	if count < 4 {
+		t.Errorf("engine did not resume after Stop: count=%d", count)
+	}
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i)*Millisecond, func() {})
+	}
+	if e.Pending() != 5 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Errorf("Fired = %d", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (250 * Millisecond).Seconds() != 0.25 {
+		t.Errorf("Seconds = %v", (250 * Millisecond).Seconds())
+	}
+	if (3 * Millisecond).Millis() != 3 {
+		t.Errorf("Millis = %v", (3 * Millisecond).Millis())
+	}
+	if Never.String() != "never" {
+		t.Errorf("Never.String = %q", Never.String())
+	}
+}
+
+// Property: for any set of delays, events fire in sorted order and the
+// clock never moves backwards.
+func TestMonotonicClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.At(Time(d)*Microsecond, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+func TestCascadingSchedules(t *testing.T) {
+	// An event chain where each event schedules the next: 1000 links.
+	e := NewEngine()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < 1000 {
+			e.After(Microsecond, next)
+		}
+	}
+	e.After(Microsecond, next)
+	e.Run()
+	if count != 1000 {
+		t.Errorf("chain length = %d", count)
+	}
+	if e.Now() != 1000*Microsecond {
+		t.Errorf("clock = %v", e.Now())
+	}
+}

@@ -1,0 +1,349 @@
+// Package stats provides the small statistics toolkit the benchmark
+// harness uses: online moments, empirical CDFs, histograms,
+// percentiles, and bootstrap confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"silenttracker/internal/rng"
+)
+
+// Online accumulates mean and variance in one pass (Welford).
+// The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 with no observations).
+func (o *Online) Max() float64 { return o.max }
+
+// String implements fmt.Stringer.
+func (o *Online) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		o.n, o.Mean(), o.Std(), o.min, o.max)
+}
+
+// Sample is a collected set of observations supporting quantile
+// queries and ECDF export.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample; cap hints the expected size.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the observations sorted ascending. The returned slice
+// is owned by the Sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.xs
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the unbiased sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var m2 float64
+	for _, x := range s.xs {
+		d := x - m
+		m2 += d * d
+	}
+	return math.Sqrt(m2 / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear
+// interpolation between order statistics. Empty samples return 0.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CDFAt returns the fraction of observations <= x.
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, x)
+	// SearchFloat64s returns the first index >= x; include equals.
+	for i < len(s.xs) && s.xs[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(s.xs))
+}
+
+// ECDFPoint is one point of an empirical CDF.
+type ECDFPoint struct {
+	X float64 // observation value
+	P float64 // cumulative probability
+}
+
+// ECDF returns the full empirical CDF as a step function sampled at
+// each distinct observation.
+func (s *Sample) ECDF() []ECDFPoint {
+	s.ensureSorted()
+	n := len(s.xs)
+	if n == 0 {
+		return nil
+	}
+	pts := make([]ECDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		// Collapse duplicates onto the final (highest) probability.
+		if i+1 < n && s.xs[i+1] == s.xs[i] {
+			continue
+		}
+		pts = append(pts, ECDFPoint{X: s.xs[i], P: float64(i+1) / float64(n)})
+	}
+	return pts
+}
+
+// ECDFGrid samples the ECDF on a uniform grid of k points spanning
+// [lo, hi]. Useful for plotting several CDFs on a shared axis.
+func (s *Sample) ECDFGrid(lo, hi float64, k int) []ECDFPoint {
+	if k < 2 {
+		k = 2
+	}
+	pts := make([]ECDFPoint, k)
+	for i := 0; i < k; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(k-1)
+		pts[i] = ECDFPoint{X: x, P: s.CDFAt(x)}
+	}
+	return pts
+}
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval
+// for the mean at the given confidence level (e.g. 0.95), using the
+// supplied random stream and iters resamples.
+func (s *Sample) BootstrapMeanCI(src *rng.Source, level float64, iters int) (lo, hi float64) {
+	n := len(s.xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += s.xs[src.Intn(n)]
+		}
+		means[i] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// Histogram counts observations into uniform bins over [lo, hi).
+// Observations outside the range land in the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Rate is a success-rate counter with a Wilson score interval.
+type Rate struct {
+	Successes int
+	Trials    int
+}
+
+// Record adds one trial.
+func (r *Rate) Record(success bool) {
+	r.Trials++
+	if success {
+		r.Successes++
+	}
+}
+
+// Value returns the success fraction (0 with no trials).
+func (r *Rate) Value() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Trials)
+}
+
+// Percent returns the success rate as a percentage.
+func (r *Rate) Percent() float64 { return 100 * r.Value() }
+
+// WilsonCI returns the 95% Wilson score interval for the rate.
+func (r *Rate) WilsonCI() (lo, hi float64) {
+	if r.Trials == 0 {
+		return 0, 0
+	}
+	const z = 1.96
+	n := float64(r.Trials)
+	p := r.Value()
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	margin := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String implements fmt.Stringer.
+func (r *Rate) String() string {
+	lo, hi := r.WilsonCI()
+	return fmt.Sprintf("%.1f%% (%d/%d, 95%% CI %.1f–%.1f%%)",
+		r.Percent(), r.Successes, r.Trials, 100*lo, 100*hi)
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"silenttracker/internal/rng"
+)
+
+func TestOnlineMatchesDirect(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	wantVar := m2 / float64(len(xs)-1)
+	if math.Abs(o.Mean()-mean) > 1e-12 {
+		t.Errorf("mean = %v, want %v", o.Mean(), mean)
+	}
+	if math.Abs(o.Var()-wantVar) > 1e-12 {
+		t.Errorf("var = %v, want %v", o.Var(), wantVar)
+	}
+	if o.Min() != 1 || o.Max() != 9 {
+		t.Errorf("min/max = %v/%v", o.Min(), o.Max())
+	}
+	if o.N() != len(xs) {
+		t.Errorf("n = %d", o.N())
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Var() != 0 || o.Std() != 0 {
+		t.Error("zero-value Online should report zeros")
+	}
+	o.Add(5)
+	if o.Var() != 0 {
+		t.Error("single observation variance should be 0")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(1, 2, 3, 4, 5)
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, q1, q2 float64) bool {
+		s := NewSample(len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return s.Quantile(q1) <= s.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(1, 2, 2, 3)
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDFAt(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFMonotonicEndsAtOne(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(5, 3, 3, 8, 1, 9, 9, 9)
+	pts := s.ECDF()
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("ECDF should end at 1, got %v", pts[len(pts)-1].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P <= pts[i-1].P || pts[i].X <= pts[i-1].X {
+			t.Fatalf("ECDF not strictly increasing: %+v", pts)
+		}
+	}
+	if len(pts) != 5 { // distinct values: 1,3,5,8,9
+		t.Errorf("ECDF has %d points, want 5", len(pts))
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.ECDF() != nil {
+		t.Error("empty ECDF should be nil")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty Quantile should be 0")
+	}
+}
+
+func TestECDFGrid(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(10, 20, 30)
+	pts := s.ECDFGrid(0, 40, 5)
+	if len(pts) != 5 {
+		t.Fatalf("grid size = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[4].X != 40 {
+		t.Errorf("grid endpoints: %v %v", pts[0].X, pts[4].X)
+	}
+	if pts[0].P != 0 || pts[4].P != 1 {
+		t.Errorf("grid probabilities: %v %v", pts[0].P, pts[4].P)
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(3, 1, 2)
+	vs := s.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Errorf("Values not sorted: %v", vs)
+	}
+	// Adding after Values keeps correctness.
+	s.Add(0)
+	vs = s.Values()
+	if vs[0] != 0 || !sort.Float64sAreSorted(vs) {
+		t.Errorf("Values after Add: %v", vs)
+	}
+}
+
+func TestSampleMeanStd(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Known dataset: population std 2, sample std = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std(), want)
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	src := rng.New(1)
+	s := NewSample(0)
+	for i := 0; i < 500; i++ {
+		s.Add(src.Normal(10, 3))
+	}
+	lo, hi := s.BootstrapMeanCI(rng.New(2), 0.95, 500)
+	if lo > 10 || hi < 10 {
+		t.Errorf("bootstrap CI [%v, %v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 1.5 {
+		t.Errorf("bootstrap CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapEmpty(t *testing.T) {
+	s := NewSample(0)
+	lo, hi := s.BootstrapMeanCI(rng.New(1), 0.95, 100)
+	if lo != 0 || hi != 0 {
+		t.Error("empty bootstrap should be (0,0)")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 9.9, -1, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// -1 clamps into bin 0, 100 clamps into the last bin.
+	if h.Counts[0] != 3 { // 0.5, 1(=bin0? 1/2=0.. bin index: 5*1/10=0.5→0), -1
+		t.Errorf("bin0 = %d, counts=%v", h.Counts[0], h.Counts)
+	}
+	if h.Counts[4] != 2 { // 9.9 and 100
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("BinCenter(0) = %v", c)
+	}
+	if f := h.Fraction(4); math.Abs(f-2.0/7.0) > 1e-12 {
+		t.Errorf("Fraction(4) = %v", f)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0) // invalid args fixed up
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Error("degenerate histogram should still count")
+	}
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	for i := 0; i < 80; i++ {
+		r.Record(true)
+	}
+	for i := 0; i < 20; i++ {
+		r.Record(false)
+	}
+	if r.Value() != 0.8 || r.Percent() != 80 {
+		t.Errorf("rate = %v", r.Value())
+	}
+	lo, hi := r.WilsonCI()
+	if lo >= 0.8 || hi <= 0.8 {
+		t.Errorf("Wilson CI [%v,%v] should bracket 0.8", lo, hi)
+	}
+	if lo < 0.70 || hi > 0.90 {
+		t.Errorf("Wilson CI [%v,%v] too wide for n=100", lo, hi)
+	}
+}
+
+func TestRateEmpty(t *testing.T) {
+	var r Rate
+	if r.Value() != 0 {
+		t.Error("empty rate should be 0")
+	}
+	lo, hi := r.WilsonCI()
+	if lo != 0 || hi != 0 {
+		t.Error("empty Wilson CI should be (0,0)")
+	}
+}
+
+// Property: CDFAt is non-decreasing in x.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		s := NewSample(len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return s.CDFAt(a) <= s.CDFAt(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace records protocol events as structured JSONL for
+// post-hoc analysis and replay. The simulator stays fast because a
+// Recorder buffers records and serialises only on Flush.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"silenttracker/internal/core"
+	"silenttracker/internal/sim"
+)
+
+// Record is one serialised protocol event.
+type Record struct {
+	TMs    float64 `json:"t_ms"`            // simulation time, milliseconds
+	Event  string  `json:"event"`           // event name
+	Cell   int     `json:"cell"`            // subject cell, -1 if none
+	Beam   int     `json:"beam"`            // subject beam, -1 if none
+	Value  float64 `json:"value,omitempty"` // context-dependent payload
+	State  string  `json:"state"`           // paper state after the event
+	Serves int     `json:"serving"`         // serving cell after the event
+}
+
+// Recorder accumulates records.
+type Recorder struct {
+	records []Record
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Hook returns an event hook for core.Tracker that records every
+// event, annotated with the tracker's post-event state.
+func (r *Recorder) Hook(tr *core.Tracker) func(core.Event) {
+	return func(e core.Event) {
+		r.records = append(r.records, Record{
+			TMs:    e.At.Millis(),
+			Event:  e.Type.String(),
+			Cell:   e.Cell,
+			Beam:   int(e.Beam),
+			Value:  e.Value,
+			State:  tr.PaperState().String(),
+			Serves: tr.ServingCell(),
+		})
+	}
+}
+
+// Add appends a record directly.
+func (r *Recorder) Add(rec Record) { r.records = append(r.records, rec) }
+
+// Len returns the number of buffered records.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Records returns the buffered records (caller must not modify).
+func (r *Recorder) Records() []Record { return r.records }
+
+// First returns the first record matching the event name, and whether
+// one exists.
+func (r *Recorder) First(event string) (Record, bool) {
+	for _, rec := range r.records {
+		if rec.Event == event {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// Count returns the number of records matching the event name.
+func (r *Recorder) Count(event string) int {
+	n := 0
+	for _, rec := range r.records {
+		if rec.Event == event {
+			n++
+		}
+	}
+	return n
+}
+
+// Between returns records with fromMs <= t_ms < toMs.
+func (r *Recorder) Between(fromMs, toMs float64) []Record {
+	var out []Record
+	for _, rec := range r.records {
+		if rec.TMs >= fromMs && rec.TMs < toMs {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Flush writes the records as JSONL and clears the buffer.
+func (r *Recorder) Flush(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range r.records {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	r.records = r.records[:0]
+	return bw.Flush()
+}
+
+// Read parses a JSONL stream back into records (replay).
+func Read(rd io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(rd)
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return out, fmt.Errorf("trace: decode: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// StateDwell summarises how long the tracker spent in each paper
+// state over the record span, attributing each inter-event gap to the
+// state in force when the gap began.
+func StateDwell(records []Record, endMs float64) map[string]float64 {
+	out := make(map[string]float64)
+	if len(records) == 0 {
+		return out
+	}
+	sorted := append([]Record(nil), records...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TMs < sorted[j].TMs })
+	for i, rec := range sorted {
+		next := endMs
+		if i+1 < len(sorted) {
+			next = sorted[i+1].TMs
+		}
+		if next > rec.TMs {
+			out[rec.State] += next - rec.TMs
+		}
+	}
+	return out
+}
+
+// Timeline renders a compact human-readable log.
+func Timeline(records []Record, w io.Writer) {
+	for _, rec := range records {
+		fmt.Fprintf(w, "%9.1f ms  %-20s cell=%-2d beam=%-3d %-6s v=%.1f\n",
+			rec.TMs, rec.Event, rec.Cell, rec.Beam, rec.State, rec.Value)
+	}
+}
+
+// DurationMs is a helper converting sim.Time to trace milliseconds.
+func DurationMs(t sim.Time) float64 { return t.Millis() }

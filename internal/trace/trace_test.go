@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/core"
+	"silenttracker/internal/sim"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{TMs: 10, Event: "search-started", Cell: -1, Beam: -1, State: "N-A/R", Serves: 1},
+		{TMs: 150, Event: "neighbor-found", Cell: 2, Beam: 5, Value: 7, State: "N-RBA", Serves: 1},
+		{TMs: 900, Event: "handover-complete", Cell: 2, Beam: 5, State: "EO", Serves: 2},
+	}
+}
+
+func TestFlushAndRead(t *testing.T) {
+	r := NewRecorder()
+	for _, rec := range sampleRecords() {
+		r.Add(rec)
+	}
+	var buf bytes.Buffer
+	if err := r.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Error("flush did not clear the buffer")
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[1].Event != "neighbor-found" || got[1].Cell != 2 || got[1].Value != 7 {
+		t.Errorf("record mangled: %+v", got[1])
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestFirstAndCount(t *testing.T) {
+	r := NewRecorder()
+	for _, rec := range sampleRecords() {
+		r.Add(rec)
+	}
+	r.Add(Record{TMs: 950, Event: "neighbor-found", Cell: 1})
+	first, ok := r.First("neighbor-found")
+	if !ok || first.TMs != 150 {
+		t.Errorf("First: %+v %v", first, ok)
+	}
+	if _, ok := r.First("nonexistent"); ok {
+		t.Error("found a nonexistent event")
+	}
+	if r.Count("neighbor-found") != 2 {
+		t.Errorf("Count = %d", r.Count("neighbor-found"))
+	}
+}
+
+func TestBetween(t *testing.T) {
+	r := NewRecorder()
+	for _, rec := range sampleRecords() {
+		r.Add(rec)
+	}
+	mid := r.Between(100, 901)
+	if len(mid) != 2 {
+		t.Errorf("Between returned %d records", len(mid))
+	}
+}
+
+func TestStateDwell(t *testing.T) {
+	d := StateDwell(sampleRecords(), 1000)
+	if d["N-A/R"] != 140 {
+		t.Errorf("N-A/R dwell = %v, want 140", d["N-A/R"])
+	}
+	if d["N-RBA"] != 750 {
+		t.Errorf("N-RBA dwell = %v, want 750", d["N-RBA"])
+	}
+	if d["EO"] != 100 {
+		t.Errorf("EO dwell = %v, want 100", d["EO"])
+	}
+	if len(StateDwell(nil, 100)) != 0 {
+		t.Error("empty records should give empty dwell")
+	}
+}
+
+func TestHookAnnotatesState(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.AlwaysSearch = true
+	tr := core.NewTracker(cfg, antenna.NarrowMobile(), 1, antenna.StandardBS(0), 8, 0, -50, 1)
+	tr.AddCell(2, antenna.StandardBS(0))
+	r := NewRecorder()
+	tr.SetEventHook(r.Hook(tr))
+	// Drive one serving burst; AlwaysSearch makes the B transition
+	// fire, and the hook must annotate the post-event state.
+	tr.OnBurst(20*sim.Millisecond, 1, nil)
+	rec, ok := r.First("search-started")
+	if !ok {
+		t.Fatalf("no search-started record: %+v", r.Records())
+	}
+	if rec.State != "N-A/R" || rec.Serves != 1 || rec.TMs != 20 {
+		t.Errorf("annotation wrong: %+v", rec)
+	}
+}
+
+func TestTimelineRenders(t *testing.T) {
+	var buf bytes.Buffer
+	Timeline(sampleRecords(), &buf)
+	out := buf.String()
+	if !strings.Contains(out, "neighbor-found") || !strings.Contains(out, "N-RBA") {
+		t.Errorf("timeline missing content:\n%s", out)
+	}
+}
+
+func TestDurationMs(t *testing.T) {
+	if DurationMs(1500*sim.Millisecond) != 1500 {
+		t.Error("DurationMs broken")
+	}
+}

@@ -1,0 +1,192 @@
+package ue
+
+import (
+	"testing"
+
+	"silenttracker/internal/antenna"
+	"silenttracker/internal/channel"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mobility"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/sim"
+)
+
+func newTestDevice(seed int64) (*Device, *CellInfo) {
+	cfg := phy.DefaultConfig()
+	book := antenna.NarrowMobile()
+	bsBook := antenna.StandardBS(0)
+	ch := channel.NewLinkNoBlockage(channel.DefaultParams(), seed, "c1")
+	link := phy.NewAirLink(cfg, 1, bsBook, book, ch, seed, "c1")
+	ci := &CellInfo{
+		ID:    1,
+		Pose:  geom.Pose{Pos: geom.V(0, 0), Facing: 0},
+		Sched: phy.NewSchedule(cfg, 0, bsBook.Size()),
+		Book:  bsBook,
+		Link:  link,
+	}
+	// Mobile 15 m east of the BS, inside its sector, facing west.
+	d := NewDevice(7, mobility.Static(geom.Pose{Pos: geom.V(15, 0), Facing: 0}), book)
+	d.AddCell(ci)
+	return d, ci
+}
+
+func TestReserveSingleRFChain(t *testing.T) {
+	d, _ := newTestDevice(1)
+	if !d.Reserve(0, 4*sim.Millisecond) {
+		t.Fatal("first reservation refused")
+	}
+	if d.Reserve(2*sim.Millisecond, 6*sim.Millisecond) {
+		t.Fatal("overlapping reservation accepted")
+	}
+	if !d.Reserve(4*sim.Millisecond, 8*sim.Millisecond) {
+		t.Fatal("back-to-back reservation refused")
+	}
+	if !d.Busy(5 * sim.Millisecond) {
+		t.Error("Busy should report true inside a reservation")
+	}
+	if d.Busy(8 * sim.Millisecond) {
+		t.Error("Busy past the reservation")
+	}
+}
+
+func TestMeasureBurstRowShape(t *testing.T) {
+	d, ci := newTestDevice(2)
+	rx := d.BestRxOracle(1, 0)
+	ms := d.MeasureBurst(1, ci.Sched.NextBurst(0), rx)
+	if len(ms) != ci.Book.Size() {
+		t.Fatalf("row has %d entries, want %d", len(ms), ci.Book.Size())
+	}
+	// The beam pointing at the mobile should be detected and strongest.
+	bestTx := ci.Book.BestBeam(ci.Pose.BearingTo(geom.V(15, 0)))
+	var bestRSS float64 = -1e9
+	var argmax antenna.BeamID
+	detections := 0
+	for _, m := range ms {
+		if m.Detected {
+			detections++
+		}
+		if m.RSSdBm > bestRSS {
+			bestRSS, argmax = m.RSSdBm, m.TxBeam
+		}
+	}
+	if detections == 0 {
+		t.Fatal("aligned burst produced no detections")
+	}
+	if geom.AngleDist(ci.Book.Boresight(argmax), ci.Book.Boresight(bestTx)) > ci.Book.Beamwidth() {
+		t.Errorf("strongest tx beam %d too far from geometric best %d", argmax, bestTx)
+	}
+}
+
+func TestTimingLearnedOnDetection(t *testing.T) {
+	d, ci := newTestDevice(3)
+	if d.KnowsTiming(1, 0) {
+		t.Fatal("timing known before any measurement")
+	}
+	burst := ci.Sched.NextBurst(0)
+	d.MeasureBurst(1, burst, d.BestRxOracle(1, 0))
+	if !d.KnowsTiming(1, burst+sim.Millisecond) {
+		t.Fatal("timing not learned from detected burst")
+	}
+	tm, _ := d.TimingOf(1)
+	// Estimate must be close to the true offset (sync error is µs).
+	diff := tm.Offset - ci.Sched.Offset
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 100*sim.Microsecond {
+		t.Errorf("timing estimate off by %v", diff)
+	}
+}
+
+func TestTimingExpires(t *testing.T) {
+	d, ci := newTestDevice(4)
+	burst := ci.Sched.NextBurst(0)
+	d.MeasureBurst(1, burst, d.BestRxOracle(1, 0))
+	if !d.KnowsTiming(1, burst+d.TimingTTL-sim.Millisecond) {
+		t.Error("timing expired too early")
+	}
+	if d.KnowsTiming(1, burst+d.TimingTTL+sim.Millisecond) {
+		t.Error("timing did not expire")
+	}
+}
+
+func TestInvalidateTiming(t *testing.T) {
+	d, ci := newTestDevice(5)
+	burst := ci.Sched.NextBurst(0)
+	d.MeasureBurst(1, burst, d.BestRxOracle(1, 0))
+	d.InvalidateTiming(1)
+	if d.KnowsTiming(1, burst) {
+		t.Error("invalidated timing still valid")
+	}
+}
+
+func TestMisalignedBurstNoTiming(t *testing.T) {
+	d, ci := newTestDevice(6)
+	// Listen with the beam pointing away from the BS.
+	best := d.BestRxOracle(1, 0)
+	worst := antenna.BeamID((int(best) + d.Book.Size()/2) % d.Book.Size())
+	ms := d.MeasureBurst(1, ci.Sched.NextBurst(0), worst)
+	detections := 0
+	for _, m := range ms {
+		if m.Detected {
+			detections++
+		}
+	}
+	if detections > 2 {
+		t.Errorf("misaligned listen detected %d beacons", detections)
+	}
+}
+
+func TestUplinkSNRReasonable(t *testing.T) {
+	d, ci := newTestDevice(7)
+	rx := d.BestRxOracle(1, 0)
+	tx := ci.Book.BestBeam(ci.Pose.BearingTo(geom.V(15, 0)))
+	snr, ok := d.UplinkSNR(10*sim.Millisecond, 1, tx, rx)
+	if !ok {
+		t.Fatal("aligned uplink not detected")
+	}
+	// Aligned at 15 m: strong, but UETxDeltaDB below the downlink.
+	if snr < 10 {
+		t.Errorf("aligned uplink SNR = %v", snr)
+	}
+	if _, ok := d.UplinkSNR(0, 99, 0, 0); ok {
+		t.Error("unknown cell produced an uplink")
+	}
+}
+
+func TestDownlinkMeasure(t *testing.T) {
+	d, ci := newTestDevice(8)
+	rx := d.BestRxOracle(1, 0)
+	tx := ci.Book.BestBeam(ci.Pose.BearingTo(geom.V(15, 0)))
+	m, ok := d.DownlinkMeasure(5*sim.Millisecond, 1, tx, rx)
+	if !ok || !m.Detected {
+		t.Errorf("aligned downlink: ok=%v detected=%v", ok, m.Detected)
+	}
+	if _, ok := d.DownlinkMeasure(0, 42, 0, 0); ok {
+		t.Error("unknown cell produced a downlink")
+	}
+}
+
+func TestBestRxOracleUnknownCell(t *testing.T) {
+	d, _ := newTestDevice(9)
+	if d.BestRxOracle(42, 0) != antenna.NoBeam {
+		t.Error("oracle for unknown cell should be NoBeam")
+	}
+}
+
+func TestMeasureBurstUnknownCell(t *testing.T) {
+	d, _ := newTestDevice(10)
+	if ms := d.MeasureBurst(42, 0, 0); ms != nil {
+		t.Error("unknown cell returned measurements")
+	}
+}
+
+func TestPoseTracksMobility(t *testing.T) {
+	walk := mobility.NewWalk(geom.V(0, 0), 0, 1)
+	d := NewDevice(1, walk, antenna.NarrowMobile())
+	p0 := d.Pose(0)
+	p2 := d.Pose(2 * sim.Second)
+	if p0.Pos.Dist(p2.Pos) < 2 {
+		t.Error("device pose not following mobility model")
+	}
+}

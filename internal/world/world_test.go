@@ -1,0 +1,282 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"silenttracker/internal/core"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mobility"
+	"silenttracker/internal/sim"
+)
+
+// edgeWalkWorld builds the canonical cell-edge scenario: cell 1 at the
+// origin facing east, cell 2 at (20,0) facing west, and the mobile
+// walking east through the boundary region. Blockage disabled for
+// determinism; the experiments turn it on.
+func edgeWalkWorld(seed int64) *World {
+	b := NewBuilder(seed)
+	b.Cfg.AlwaysSearch = true
+	b.Mob = mobility.NewWalk(geom.V(7, 0.5), 0, seed)
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, BurstOffset: 0, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi, BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	return b.Build()
+}
+
+func TestSoftHandoverEndToEnd(t *testing.T) {
+	w := edgeWalkWorld(3)
+	var events []core.Event
+	w.Tracker.SetEventHook(func(e core.Event) { events = append(events, e) })
+	w.Run(8 * sim.Second)
+
+	if w.Tracker.HandoversDone < 1 {
+		t.Fatalf("no handover completed in 8 s (events: %d)", len(events))
+	}
+	if w.Tracker.ServingCell() != 2 {
+		t.Errorf("serving cell = %d, want 2", w.Tracker.ServingCell())
+	}
+	if w.Tracker.HardHandovers != 0 {
+		t.Errorf("hard handovers = %d, want 0 (that is the whole point)", w.Tracker.HardHandovers)
+	}
+	// First-handover milestones in causal order. (Later boundary
+	// ping-pong may overwrite the tracker's fields, so read events.)
+	first := func(tp core.EventType) sim.Time {
+		for _, e := range events {
+			if e.Type == tp {
+				return e.At
+			}
+		}
+		return sim.Never
+	}
+	b, c, e, done := first(core.EvSearchStarted), first(core.EvNeighborFound),
+		first(core.EvHandoverTriggered), first(core.EvHandoverComplete)
+	if !(b < c && c <= e && e < done && done != sim.Never) {
+		t.Errorf("milestones out of order: B=%v C=%v E=%v done=%v", b, c, e, done)
+	}
+	// End-to-end duration in a plausible band (the paper's Fig. 2c
+	// x-axis runs 0.4–1.8 s for the full procedure).
+	total := done - b
+	if total <= 0 || total > 5*sim.Second {
+		t.Errorf("handover took %v", total)
+	}
+	// The handover carried the mobile's context into the first target.
+	if w.Cells[2].HandoversIn < 1 {
+		t.Errorf("target HandoversIn = %d", w.Cells[2].HandoversIn)
+	}
+	// Exactly one cell holds the connection at the end.
+	held := 0
+	for _, c := range w.Cells {
+		if c.Connected(w.Device.ID) {
+			held++
+		}
+	}
+	if held != 1 {
+		t.Errorf("%d cells hold the connection, want exactly 1", held)
+	}
+}
+
+func TestBeamAlignedAtHandover(t *testing.T) {
+	// Individual seeds can legitimately fail to cross within the
+	// window (deep shadowing draw); require one completion among a few.
+	done := false
+	var errAtDone float64
+	var w *World
+	for seed := int64(4); seed < 9 && !done; seed++ {
+		w = edgeWalkWorld(seed)
+		w.Tracker.SetEventHook(func(e core.Event) {
+			if e.Type == core.EvHandoverComplete && !done {
+				done = true
+				errAtDone = w.AlignmentError(e.Cell)
+			}
+		})
+		w.Run(10 * sim.Second)
+	}
+	if !done {
+		t.Fatal("no handover across five seeds")
+	}
+	// The receive beam must still point at the target when access
+	// completes — the paper's headline property.
+	if errAtDone > w.Device.Book.Beamwidth() {
+		t.Errorf("alignment error at handover = %.1f°, beamwidth %.1f°",
+			geom.Rad(errAtDone), geom.Rad(w.Device.Book.Beamwidth()))
+	}
+}
+
+func TestSearchSilence(t *testing.T) {
+	// Until the handover trigger, the mobile must never transmit
+	// anything to the neighbor cell: tracking is silent.
+	w := edgeWalkWorld(5)
+	var triggered sim.Time = sim.Never
+	w.Tracker.SetEventHook(func(e core.Event) {
+		if e.Type == core.EvHandoverTriggered && triggered == sim.Never {
+			triggered = e.At
+		}
+	})
+	preamblesBeforeTrigger := 0
+	// Track preambles via the cell counter while stepping in slices.
+	for w.Engine.Now() < 8*sim.Second {
+		w.Run(w.Engine.Now() + 100*sim.Millisecond)
+		if w.Engine.Now() <= triggered {
+			preamblesBeforeTrigger = w.Cells[2].PreamblesHeard
+		}
+	}
+	if preamblesBeforeTrigger != 0 {
+		t.Errorf("neighbor heard %d preambles before the trigger", preamblesBeforeTrigger)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, b := edgeWalkWorld(6), edgeWalkWorld(6)
+	a.Run(4 * sim.Second)
+	b.Run(4 * sim.Second)
+	if a.Tracker.HandoversDone != b.Tracker.HandoversDone ||
+		a.Tracker.CompletedAt != b.Tracker.CompletedAt ||
+		a.Tracker.SearchDwells != b.Tracker.SearchDwells {
+		t.Error("same-seed worlds diverged")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := edgeWalkWorld(7), edgeWalkWorld(8)
+	a.Run(6 * sim.Second)
+	b.Run(6 * sim.Second)
+	if a.Tracker.CompletedAt == b.Tracker.CompletedAt && a.Tracker.SearchDwells == b.Tracker.SearchDwells {
+		t.Error("different seeds produced identical trajectories (suspicious)")
+	}
+}
+
+func TestServingPriorityOverSearch(t *testing.T) {
+	// Give both cells the same burst offset: every neighbor burst
+	// collides with the serving burst, so the search must starve, and
+	// the serving link must keep being measured.
+	b := NewBuilder(9)
+	b.Cfg.AlwaysSearch = true
+	b.Mob = mobility.Static(geom.Pose{Pos: geom.V(8, 0), Facing: 0})
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, BurstOffset: 0, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi, BurstOffset: 0, NoBlockage: true})
+	w := b.Build()
+	w.Run(2 * sim.Second)
+	if st, _, _, _ := w.Tracker.Neighbor(); st == core.NTracking {
+		t.Error("neighbor tracked despite full burst collision")
+	}
+	if w.SkippedBursts == 0 {
+		t.Error("no bursts were skipped under full collision")
+	}
+	if w.Tracker.Serving().Lost() {
+		t.Error("serving link lost despite priority")
+	}
+}
+
+func TestNoSearchNoHandover(t *testing.T) {
+	// With searching disabled and a healthy serving link, nothing
+	// should happen: no handover, no preambles, steady EO.
+	b := NewBuilder(10)
+	b.Cfg.AlwaysSearch = false
+	b.Cfg.EdgeRSSdBm = -200 // never
+	b.Mob = mobility.Static(geom.Pose{Pos: geom.V(8, 0), Facing: 0})
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, BurstOffset: 0, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi, BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	w := b.Build()
+	w.Run(3 * sim.Second)
+	if w.Tracker.HandoversDone != 0 || w.PreamblesSent != 0 {
+		t.Error("spurious handover activity")
+	}
+	if w.Tracker.PaperState() != core.EO {
+		t.Errorf("state = %v, want EO", w.Tracker.PaperState())
+	}
+}
+
+func TestAlignmentErrorUnknownCell(t *testing.T) {
+	w := edgeWalkWorld(11)
+	if w.AlignmentError(2) != geom.TwoPi {
+		t.Error("alignment error for untracked cell should be the sentinel")
+	}
+}
+
+func TestRotationScenarioTracks(t *testing.T) {
+	// Stationary at the cell edge, rotating at 120°/s: the tracker
+	// must keep re-aligning (H switches) rather than losing the beam
+	// every revolution.
+	b := NewBuilder(12)
+	b.Cfg.AlwaysSearch = true
+	b.Mob = mobility.NewRotation(geom.V(11.5, 0), 12)
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, BurstOffset: 0, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi, BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	w := b.Build()
+	w.Run(6 * sim.Second)
+	if w.Tracker.NeighborSwitches == 0 && w.Tracker.HandoversDone == 0 {
+		t.Error("rotation produced neither H switches nor a handover")
+	}
+}
+
+func TestThreeCellCorridor(t *testing.T) {
+	// The paper's testbed: one mobile, three base stations. The mobile
+	// walks a corridor and must chain handovers 1 → 2 → 3 (possibly
+	// with boundary ping-pong in between) ending on cell 3, with no
+	// hard handovers.
+	b := NewBuilder(19)
+	b.Cfg.AlwaysSearch = true
+	b.Cfg.NeighborRefresh = 1500 * sim.Millisecond
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(20, 10), Facing: geom.Deg(-90),
+		BurstOffset: 7 * sim.Millisecond, NoBlockage: true})
+	b.AddCell(CellSpec{ID: 3, Pos: geom.V(40, 0), Facing: geom.Deg(180),
+		BurstOffset: 14 * sim.Millisecond, NoBlockage: true})
+	b.Mob = mobility.NewWalk(geom.V(5, 0), 0, 19)
+	w := b.Build()
+	w.Run(22 * sim.Second)
+	if w.Tracker.HandoversDone < 2 {
+		t.Fatalf("only %d handovers along the corridor", w.Tracker.HandoversDone)
+	}
+	if w.Tracker.HardHandovers != 0 {
+		t.Errorf("hard handovers = %d", w.Tracker.HardHandovers)
+	}
+	if w.Tracker.ServingCell() != 3 {
+		t.Errorf("final serving cell = %d, want 3", w.Tracker.ServingCell())
+	}
+}
+
+func TestRangeLimitKillsServing(t *testing.T) {
+	// A cell with a soft range edge must lose the mobile when it walks
+	// past the edge, even with blockage disabled.
+	b := NewBuilder(23)
+	b.Cfg.AlwaysSearch = false
+	b.Cfg.EdgeRSSdBm = -300
+	b.ServingCell = 1
+	b.AddCell(CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0, NoBlockage: true, RangeLimit: 10})
+	b.AddCell(CellSpec{ID: 2, Pos: geom.V(40, 0), Facing: math.Pi,
+		BurstOffset: 10 * sim.Millisecond, NoBlockage: true})
+	b.Mob = mobility.NewWalk(geom.V(6, 0.5), 0, 23)
+	w := b.Build()
+	// Walk to x ≈ 17: 3 m past the 10 m edge + detection lag.
+	w.Run(8 * sim.Second)
+	if !w.Tracker.Serving().Lost() && w.Tracker.ServingCell() == 1 {
+		t.Error("serving link survived walking far past the range limit")
+	}
+}
+
+func TestRadioTimeAccounting(t *testing.T) {
+	w := edgeWalkWorld(13)
+	w.Run(4 * sim.Second)
+	if w.ServingListens == 0 || w.NeighborListens == 0 {
+		t.Fatalf("accounting empty: serving=%d neighbor=%d",
+			w.ServingListens, w.NeighborListens)
+	}
+	// The two cells burst at the same rate, so with continuous
+	// searching/tracking the split is near 50/50; the point of the
+	// counters is that the neighbor side never exceeds its share (it
+	// yields to the serving cell on contention).
+	total := w.ServingListens + w.NeighborListens
+	frac := float64(w.NeighborListens) / float64(total)
+	if frac > 0.6 {
+		t.Errorf("neighbor side consumed %.0f%% of measurement occasions", 100*frac)
+	}
+	if w.ServingListens+w.NeighborListens+w.SkippedBursts > int(w.Engine.Now()/(20*sim.Millisecond))*2+4 {
+		t.Error("more listens than bursts existed")
+	}
+}
