@@ -119,6 +119,59 @@ func BenchmarkBaselineSilentTracker(b *testing.B) { benchBaseline(b, experiments
 func BenchmarkBaselineReactive(b *testing.B)      { benchBaseline(b, experiments.Reactive) }
 func BenchmarkBaselineGenie(b *testing.B)         { benchBaseline(b, experiments.Genie) }
 
+// --- Parallel trial engine -------------------------------------------
+//
+// Each pair runs the same fixed quick workload serially (Workers: 1)
+// and sharded across GOMAXPROCS (Workers: 0), so comparing ns/op shows
+// the runner engine's scaling. The tables produced are identical in
+// both modes; only wall-clock differs.
+
+func BenchmarkRunFig2aSerial(b *testing.B)   { benchRunFig2a(b, 1) }
+func BenchmarkRunFig2aParallel(b *testing.B) { benchRunFig2a(b, 0) }
+
+func benchRunFig2a(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Fig2aQuick(16)
+		opts.Workers = workers
+		experiments.RunFig2a(opts)
+	}
+}
+
+func BenchmarkRunFig2cSerial(b *testing.B)   { benchRunFig2c(b, 1) }
+func BenchmarkRunFig2cParallel(b *testing.B) { benchRunFig2c(b, 0) }
+
+func benchRunFig2c(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Fig2cQuick(12)
+		opts.Workers = workers
+		experiments.RunFig2c(opts)
+	}
+}
+
+func BenchmarkRunMobilitySerial(b *testing.B)   { benchRunMobility(b, 1) }
+func BenchmarkRunMobilityParallel(b *testing.B) { benchRunMobility(b, 0) }
+
+func benchRunMobility(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultMobilityOpts()
+		opts.Trials = 8
+		opts.Workers = workers
+		experiments.RunMobility(opts)
+	}
+}
+
+func BenchmarkRunBaselineSerial(b *testing.B)   { benchRunBaseline(b, 1) }
+func BenchmarkRunBaselineParallel(b *testing.B) { benchRunBaseline(b, 0) }
+
+func benchRunBaseline(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultBaselineOpts()
+		opts.Trials = 8
+		opts.Workers = workers
+		experiments.RunBaseline(opts)
+	}
+}
+
 // --- Micro-benchmarks: substrate hot paths ---------------------------
 
 func BenchmarkEngineEvents(b *testing.B) {

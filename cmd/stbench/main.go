@@ -2,6 +2,13 @@
 // evaluation (and the ablations DESIGN.md adds). With no flags it runs
 // everything at full fidelity; -exp selects one experiment and -quick
 // cuts the trial counts for a fast smoke run.
+//
+// -j N shards each experiment's independent trials across N worker
+// goroutines (0, the default, uses GOMAXPROCS). Parallelism never
+// changes results: every trial derives its randomness from the base
+// seed and its trial index alone, and per-trial results are folded in
+// trial order, so the same seed produces byte-identical tables at any
+// -j. Use -j 1 to force the serial path.
 package main
 
 import (
@@ -17,6 +24,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trial counts (smoke run)")
 	csv := flag.Bool("csv", false, "emit raw CSV samples instead of tables (fig2a/fig2c)")
 	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
+	jobs := flag.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	out := os.Stdout
@@ -35,6 +43,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		rows := experiments.RunFig2a(opts)
 		if *csv {
 			experiments.WriteFig2aCSV(out, rows)
@@ -49,6 +58,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		series := experiments.RunFig2c(opts)
 		if *csv {
 			experiments.WriteFig2cCSV(out, series)
@@ -63,6 +73,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Alignment held until handover conclusion (§3 claim)")
 		experiments.WriteMobility(out, experiments.RunMobility(opts))
 	}
@@ -72,6 +83,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Ablation — handover margin T")
 		experiments.WriteThreshold(out, experiments.RunThreshold(opts))
 	}
@@ -81,6 +93,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Ablation — adjacent-switch trigger (3 dB rule)")
 		experiments.WriteHysteresis(out, experiments.RunHysteresis(opts))
 	}
@@ -90,6 +103,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Baseline comparison — soft vs reactive vs genie")
 		experiments.WriteBaseline(out, experiments.RunBaseline(opts))
 	}
@@ -99,6 +113,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Ablation — beam pattern model (Gaussian vs ULA)")
 		experiments.WritePatterns(out, experiments.RunPatterns(opts))
 	}
@@ -108,6 +123,7 @@ func main() {
 		if *seed != 0 {
 			opts.Seed = *seed
 		}
+		opts.Workers = *jobs
 		experiments.Banner(out, "Codebook-size sweep — where 1.28 s comes from")
 		experiments.WriteCodebook(out, experiments.RunCodebook(opts))
 	}

@@ -22,8 +22,15 @@
 //   - internal/beamsurfer  — the serving-link protocol it builds on
 //   - internal/{antenna, channel, phy, mac, cell, ue, mobility} — substrates
 //   - internal/{world, experiments, handover, netem, trace} — harness
+//   - internal/runner      — deterministic parallel trial engine
 //   - cmd/{stbench, stsim, stmachine} — executables
 //   - examples/ — runnable scenarios
+//
+// Every experiment shards its independent trials across a worker pool
+// (internal/runner; stbench's -j flag) with a hard determinism
+// guarantee: the same seed produces byte-identical tables at any
+// worker count, because each trial's randomness is a pure function of
+// (seed, trial index) and results are folded in trial order.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.

@@ -1,0 +1,3 @@
+module silenttracker
+
+go 1.24

@@ -4,6 +4,7 @@ import (
 	"silenttracker/internal/core"
 	"silenttracker/internal/handover"
 	"silenttracker/internal/netem"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 	"silenttracker/internal/world"
@@ -28,6 +29,7 @@ type ThresholdOpts struct {
 	Trials  int
 	Seed    int64
 	Horizon sim.Time
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultThresholdOpts returns the full sweep.
@@ -44,26 +46,41 @@ func DefaultThresholdOpts() ThresholdOpts {
 // boundary walk with a packet flow attached, run long enough for the
 // mobile to dwell in the crossover region.
 func RunThreshold(opts ThresholdOpts) []ThresholdRow {
+	type result struct {
+		handovers   int
+		pingpongs   int
+		interruptMs float64
+		lossRate    float64
+	}
 	out := make([]ThresholdRow, 0, len(opts.Margins))
 	for _, margin := range opts.Margins {
 		row := ThresholdRow{MarginDB: margin, Trials: opts.Trials}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*27644437
-			b := EdgeBuilder(seed)
-			b.Cfg.HandoverMarginDB = margin
-			b.Mob = MobilityFor(Walk, seed)
-			w := b.Build()
-			aud := handover.NewAuditor(1, 0)
-			w.Tracker.SetEventHook(aud.Hook(nil))
-			flow := netem.Attach(w, sim.Millisecond)
-			w.Run(opts.Horizon)
-			flow.Stop()
-			row.Handovers.Add(float64(aud.Completed()))
-			row.PingPongs.Add(float64(aud.PingPongs()))
-			row.InterruptMs.Add(aud.TotalInterruption().Millis())
-			row.LossRate.Add(flow.LossRate())
-			row.NoHandover.Record(aud.Completed() == 0)
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) result {
+				seed := opts.Seed + int64(i)*27644437
+				b := EdgeBuilder(seed)
+				b.Cfg.HandoverMarginDB = margin
+				b.Mob = MobilityFor(Walk, seed)
+				w := b.Build()
+				aud := handover.NewAuditor(1, 0)
+				w.Tracker.SetEventHook(aud.Hook(nil))
+				flow := netem.Attach(w, sim.Millisecond)
+				w.Run(opts.Horizon)
+				flow.Stop()
+				return result{
+					handovers:   aud.Completed(),
+					pingpongs:   aud.PingPongs(),
+					interruptMs: aud.TotalInterruption().Millis(),
+					lossRate:    flow.LossRate(),
+				}
+			},
+			func(_ int, r result) {
+				row.Handovers.Add(float64(r.handovers))
+				row.PingPongs.Add(float64(r.pingpongs))
+				row.InterruptMs.Add(r.interruptMs)
+				row.LossRate.Add(r.lossRate)
+				row.NoHandover.Record(r.handovers == 0)
+			})
 		out = append(out, row)
 	}
 	return out
@@ -87,6 +104,7 @@ type HysteresisOpts struct {
 	Triggers []float64
 	Trials   int
 	Seed     int64
+	Workers  int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultHysteresisOpts returns the full sweep. Rotation is the
@@ -104,14 +122,23 @@ func RunHysteresis(opts HysteresisOpts) []HysteresisRow {
 	out := make([]HysteresisRow, 0, len(opts.Triggers))
 	for _, trig := range opts.Triggers {
 		row := HysteresisRow{TriggerDB: trig, Trials: opts.Trials}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*6700417
-			b := EdgeBuilder(seed)
-			b.Cfg.TrackTriggerDB = trig
-			b.Mob = MobilityFor(Rotation, seed)
-			w := b.Build()
-			runHysteresisTrial(w, &row)
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) *HysteresisRow {
+				seed := opts.Seed + int64(i)*6700417
+				b := EdgeBuilder(seed)
+				b.Cfg.TrackTriggerDB = trig
+				b.Mob = MobilityFor(Rotation, seed)
+				w := b.Build()
+				var t HysteresisRow
+				runHysteresisTrial(w, &t)
+				return &t
+			},
+			func(_ int, t *HysteresisRow) {
+				row.Switches.Merge(&t.Switches)
+				row.Losses.Merge(&t.Losses)
+				row.MisalignDeg.Merge(&t.MisalignDeg)
+				row.HandoverOK.Merge(t.HandoverOK)
+			})
 		out = append(out, row)
 	}
 	return out

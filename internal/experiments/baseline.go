@@ -5,6 +5,7 @@ import (
 	"silenttracker/internal/handover"
 	"silenttracker/internal/mobility"
 	"silenttracker/internal/netem"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -62,6 +63,7 @@ type BaselineOpts struct {
 	Trials  int
 	Seed    int64
 	Horizon sim.Time
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultBaselineOpts returns the full comparison: the mobile walks
@@ -81,13 +83,26 @@ func RunBaseline(opts BaselineOpts) []BaselineRow {
 	return out
 }
 
-// RunBaselineVariant runs the baseline workload for one strategy.
+// RunBaselineVariant runs the baseline workload for one strategy,
+// sharding trials across the runner pool.
 func RunBaselineVariant(v Variant, opts BaselineOpts) BaselineRow {
 	row := BaselineRow{Variant: v, Trials: opts.Trials}
-	for i := 0; i < opts.Trials; i++ {
-		seed := opts.Seed + int64(i)*179426549
-		oneBaselineTrial(v, seed, opts.Horizon, &row)
-	}
+	runner.Fold(opts.Trials, opts.Workers,
+		func(i int) *BaselineRow {
+			seed := opts.Seed + int64(i)*179426549
+			var t BaselineRow
+			oneBaselineTrial(v, seed, opts.Horizon, &t)
+			return &t
+		},
+		func(_ int, t *BaselineRow) {
+			row.HandoverOK.Merge(t.HandoverOK)
+			row.HardRate.Merge(t.HardRate)
+			row.LatencyMs.Merge(&t.LatencyMs)
+			row.InterruptMs.Merge(&t.InterruptMs)
+			row.LossRate.Merge(&t.LossRate)
+			row.OutageMs.Merge(&t.OutageMs)
+			row.RecoveryMs.Merge(&t.RecoveryMs)
+		})
 	return row
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"silenttracker/internal/antenna"
 	"silenttracker/internal/geom"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/stats"
 )
 
@@ -26,9 +27,10 @@ type CodebookRow struct {
 
 // CodebookOpts configures the sweep.
 type CodebookOpts struct {
-	Sizes  []int
-	Trials int
-	Seed   int64
+	Sizes   []int
+	Trials  int
+	Seed    int64
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultCodebookOpts returns the full sweep, ending at the 5G-like
@@ -46,21 +48,29 @@ func DefaultCodebookOpts() CodebookOpts {
 func RunCodebook(opts CodebookOpts) []CodebookRow {
 	sOpts := DefaultFig2aOpts()
 	out := make([]CodebookRow, 0, len(opts.Sizes))
+	type result struct {
+		ok     bool
+		dwells int
+	}
 	for _, n := range opts.Sizes {
 		hpbw := 360.0 / float64(n)
 		row := CodebookRow{Beams: n, HPBWDeg: hpbw}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*7919
-			b := EdgeBuilder(seed)
-			b.UEBook = antenna.NewRingCodebook(
-				fmt.Sprintf("mobile-%d", n), n, geom.Deg(hpbw), antenna.ModelGaussian)
-			b.Mob = MobilityFor(Walk, seed)
-			ok, dwells := searchTrialWith(b, sOpts)
-			row.Success.Record(ok)
-			if ok {
-				row.Dwells.Add(float64(dwells))
-			}
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) result {
+				seed := opts.Seed + int64(i)*7919
+				b := EdgeBuilder(seed)
+				b.UEBook = antenna.NewRingCodebook(
+					fmt.Sprintf("mobile-%d", n), n, geom.Deg(hpbw), antenna.ModelGaussian)
+				b.Mob = MobilityFor(Walk, seed)
+				ok, dwells := searchTrialWith(b, sOpts)
+				return result{ok, dwells}
+			},
+			func(_ int, r result) {
+				row.Success.Record(r.ok)
+				if r.ok {
+					row.Dwells.Add(float64(r.dwells))
+				}
+			})
 		row.MsP50 = row.Dwells.Median() * 20
 		row.MsMax = row.Dwells.Quantile(1) * 20
 		row.FullMs = float64(n) * 20

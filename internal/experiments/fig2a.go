@@ -3,6 +3,7 @@ package experiments
 import (
 	"silenttracker/internal/core"
 	"silenttracker/internal/rng"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 	"silenttracker/internal/world"
@@ -30,8 +31,9 @@ type Fig2aRow struct {
 
 // Fig2aOpts configures the Fig. 2a run.
 type Fig2aOpts struct {
-	Trials int   // search procedures per configuration
-	Seed   int64 // base seed
+	Trials  int   // search procedures per configuration
+	Seed    int64 // base seed
+	Workers int   // trial parallelism (0 = GOMAXPROCS); never changes results
 
 	// ScanBudget bounds one search procedure at this many complete
 	// codebook sweeps (dwell budget = ScanBudget × codebook size).
@@ -53,20 +55,29 @@ func DefaultFig2aOpts() Fig2aOpts {
 	}
 }
 
-// RunFig2a regenerates both panels of Fig. 2a.
+// RunFig2a regenerates both panels of Fig. 2a. Trials shard across
+// the runner pool; rows are identical at any Workers value.
 func RunFig2a(opts Fig2aOpts) []Fig2aRow {
+	type result struct {
+		ok     bool
+		dwells int
+	}
 	rows := make([]Fig2aRow, 0, 3)
 	for _, cfgB := range []BeamConfig{Narrow, Wide, Omni} {
 		row := Fig2aRow{Config: cfgB, Trials: opts.Trials}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*7919
-			ok, dwells := SearchTrial(cfgB, seed, opts)
-			row.Success.Record(ok)
-			if ok {
-				row.Dwells.Add(float64(dwells))
-				row.LatencyMs.Add(float64(dwells) * 20)
-			}
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) result {
+				seed := opts.Seed + int64(i)*7919
+				ok, dwells := SearchTrial(cfgB, seed, opts)
+				return result{ok, dwells}
+			},
+			func(_ int, r result) {
+				row.Success.Record(r.ok)
+				if r.ok {
+					row.Dwells.Add(float64(r.dwells))
+					row.LatencyMs.Add(float64(r.dwells) * 20)
+				}
+			})
 		rows = append(rows, row)
 	}
 	return rows

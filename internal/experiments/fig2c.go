@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"silenttracker/internal/handover"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -21,8 +22,9 @@ type Fig2cSeries struct {
 
 // Fig2cOpts configures the Fig. 2c run.
 type Fig2cOpts struct {
-	Trials int
-	Seed   int64
+	Trials  int
+	Seed    int64
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultFig2cOpts returns the full-fidelity settings.
@@ -40,23 +42,31 @@ func Fig2cQuick(trials int) Fig2cOpts {
 // RunFig2c regenerates the paper's Fig. 2c: per-scenario CDFs of soft
 // handover completion time with the narrow (20°) codebook.
 func RunFig2c(opts Fig2cOpts) []Fig2cSeries {
+	type result struct {
+		rec handover.Record
+		ok  bool
+	}
 	out := make([]Fig2cSeries, 0, 3)
 	for _, sc := range AllScenarios() {
 		series := Fig2cSeries{Scenario: sc, Trials: opts.Trials}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*104729
-			rec, ok := HandoverTrial(sc, seed)
-			if !ok {
-				continue
-			}
-			series.Completed++
-			if rec.Kind == handover.Soft {
-				series.SoftCount++
-			}
-			series.Latency.Add(rec.Latency().Millis())
-			series.Dwells.Add(float64(rec.Dwells))
-			series.Interrupt.Add(rec.Interruption.Millis())
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) result {
+				seed := opts.Seed + int64(i)*104729
+				rec, ok := HandoverTrial(sc, seed)
+				return result{rec, ok}
+			},
+			func(_ int, r result) {
+				if !r.ok {
+					return
+				}
+				series.Completed++
+				if r.rec.Kind == handover.Soft {
+					series.SoftCount++
+				}
+				series.Latency.Add(r.rec.Latency().Millis())
+				series.Dwells.Add(float64(r.rec.Dwells))
+				series.Interrupt.Add(r.rec.Interruption.Millis())
+			})
 		out = append(out, series)
 	}
 	return out

@@ -3,6 +3,7 @@ package experiments
 import (
 	"silenttracker/internal/core"
 	"silenttracker/internal/geom"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -34,22 +35,34 @@ type MobilityRow struct {
 
 // MobilityOpts configures the alignment study.
 type MobilityOpts struct {
-	Trials int
-	Seed   int64
+	Trials  int
+	Seed    int64
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultMobilityOpts returns the full-fidelity settings.
 func DefaultMobilityOpts() MobilityOpts { return MobilityOpts{Trials: 60, Seed: 3000} }
 
-// RunMobility regenerates the alignment-held table.
+// RunMobility regenerates the alignment-held table. Each trial fills a
+// private MobilityRow; merging them in trial order reproduces the
+// serial accumulation exactly.
 func RunMobility(opts MobilityOpts) []MobilityRow {
 	out := make([]MobilityRow, 0, 3)
 	for _, sc := range AllScenarios() {
 		row := MobilityRow{Scenario: sc, Trials: opts.Trials}
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*31337
-			oneAlignmentTrial(sc, seed, &row)
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) *MobilityRow {
+				seed := opts.Seed + int64(i)*31337
+				var t MobilityRow
+				oneAlignmentTrial(sc, seed, &t)
+				return &t
+			},
+			func(_ int, t *MobilityRow) {
+				row.AlignedFrac.Merge(t.AlignedFrac)
+				row.MisalignDeg.Merge(&t.MisalignDeg)
+				row.HandoverRate.Merge(t.HandoverRate)
+				row.HardRate.Merge(t.HardRate)
+			})
 		out = append(out, row)
 	}
 	return out

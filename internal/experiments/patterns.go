@@ -4,6 +4,7 @@ import (
 	"silenttracker/internal/antenna"
 	"silenttracker/internal/geom"
 	"silenttracker/internal/handover"
+	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -25,8 +26,9 @@ type PatternRow struct {
 
 // PatternOpts configures the pattern-model ablation.
 type PatternOpts struct {
-	Trials int
-	Seed   int64
+	Trials  int
+	Seed    int64
+	Workers int // trial parallelism (0 = GOMAXPROCS); never changes results
 }
 
 // DefaultPatternOpts returns the full comparison.
@@ -45,39 +47,52 @@ func RunPatterns(opts PatternOpts) []PatternRow {
 			return antenna.NewRingCodebook("mobile-ula-20", 18, geom.Deg(20), antenna.ModelULA)
 		}},
 	}
+	type result struct {
+		searchOK  bool
+		dwells    int
+		hoOK      bool
+		latencyMs float64
+	}
 	out := make([]PatternRow, 0, len(models))
 	for _, m := range models {
 		row := PatternRow{Model: m.name, Trials: opts.Trials}
 		sOpts := DefaultFig2aOpts()
-		for i := 0; i < opts.Trials; i++ {
-			seed := opts.Seed + int64(i)*15485863
-			// Search trial with the model's codebook.
-			b := EdgeBuilder(seed)
-			b.UEBook = m.mk()
-			b.Mob = MobilityFor(Walk, seed)
-			ok, dwells := searchTrialWith(b, sOpts)
-			row.Success.Record(ok)
-			if ok {
-				row.Dwells.Add(float64(dwells))
-			}
-			// Handover trial with the model's codebook.
-			b2 := EdgeBuilder(seed + 1)
-			b2.UEBook = m.mk()
-			b2.Mob = MobilityFor(Walk, seed+1)
-			w := b2.Build()
-			aud := handover.NewAuditor(1, 0)
-			w.Tracker.SetEventHook(aud.Hook(nil))
-			horizon := HorizonFor(Walk)
-			for w.Engine.Now() < horizon && aud.Completed() == 0 {
-				w.Run(w.Engine.Now() + 100*sim.Millisecond)
-			}
-			if rec, got := aud.First(); got {
-				row.HandoverOK.Record(true)
-				row.LatencyMs.Add(rec.Latency().Millis())
-			} else {
-				row.HandoverOK.Record(false)
-			}
-		}
+		runner.Fold(opts.Trials, opts.Workers,
+			func(i int) result {
+				seed := opts.Seed + int64(i)*15485863
+				var r result
+				// Search trial with the model's codebook.
+				b := EdgeBuilder(seed)
+				b.UEBook = m.mk()
+				b.Mob = MobilityFor(Walk, seed)
+				r.searchOK, r.dwells = searchTrialWith(b, sOpts)
+				// Handover trial with the model's codebook.
+				b2 := EdgeBuilder(seed + 1)
+				b2.UEBook = m.mk()
+				b2.Mob = MobilityFor(Walk, seed+1)
+				w := b2.Build()
+				aud := handover.NewAuditor(1, 0)
+				w.Tracker.SetEventHook(aud.Hook(nil))
+				horizon := HorizonFor(Walk)
+				for w.Engine.Now() < horizon && aud.Completed() == 0 {
+					w.Run(w.Engine.Now() + 100*sim.Millisecond)
+				}
+				if rec, got := aud.First(); got {
+					r.hoOK = true
+					r.latencyMs = rec.Latency().Millis()
+				}
+				return r
+			},
+			func(_ int, r result) {
+				row.Success.Record(r.searchOK)
+				if r.searchOK {
+					row.Dwells.Add(float64(r.dwells))
+				}
+				row.HandoverOK.Record(r.hoOK)
+				if r.hoOK {
+					row.LatencyMs.Add(r.latencyMs)
+				}
+			})
 		out = append(out, row)
 	}
 	return out

@@ -21,11 +21,14 @@ import (
 // distribution helpers the channel and mobility models need.
 type Source struct {
 	r *rand.Rand
+	// seed is kept so Split can derive children without consuming
+	// draws from (and thereby perturbing) this stream.
+	seed int64
 }
 
 // New returns a stream seeded directly with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	return &Source{r: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Stream derives an independent child stream identified by name.
@@ -44,13 +47,14 @@ func Stream(seed int64, name string) *Source {
 }
 
 // Split derives a child stream of s identified by name. Unlike Stream
-// it advances no state on s.
+// it needs no seed, only the parent; and it advances no state on s —
+// the derivation probes a throwaway generator built from the parent's
+// seed, so the parent's sequence is identical whether or not Split is
+// ever called.
 func (s *Source) Split(name string) *Source {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	// Mix in one draw-independent value: the pointer identity would not
-	// be deterministic, so re-derive from a fixed probe of the state.
-	probe := s.r.Int63()
+	probe := rand.New(rand.NewSource(s.seed)).Int63()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
 		buf[i] = byte(probe >> (8 * i))

@@ -48,6 +48,54 @@ func TestSplitDeterministic(t *testing.T) {
 	}
 }
 
+func TestSplitPreservesParentState(t *testing.T) {
+	// The parent's sequence must be identical whether or not Split is
+	// called: a is split from twice, b never is.
+	a, b := New(11), New(11)
+	a.Split("first")
+	a.Split("second")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("Split perturbed the parent stream at draw %d", i)
+		}
+	}
+	// Splitting mid-sequence must not perturb the remaining draws either.
+	c, d := New(12), New(12)
+	for i := 0; i < 10; i++ {
+		c.Int63()
+		d.Int63()
+	}
+	c.Split("mid")
+	for i := 0; i < 100; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatalf("mid-sequence Split perturbed the parent at draw %d", i)
+		}
+	}
+}
+
+func TestSplitChildrenIndependent(t *testing.T) {
+	s := New(13)
+	a, b := s.Split("alpha"), s.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("children with different names look correlated: %d equal draws", same)
+	}
+	// Same name twice yields the same child, even after parent draws.
+	s.Int63()
+	c := s.Split("alpha")
+	d := New(13).Split("alpha")
+	for i := 0; i < 50; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("Split child depends on parent draw position")
+		}
+	}
+}
+
 func TestUniformRange(t *testing.T) {
 	s := New(1)
 	for i := 0; i < 1000; i++ {

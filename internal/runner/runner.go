@@ -1,0 +1,106 @@
+// Package runner is the trial-execution engine the experiment runners
+// share: it fans a fixed number of independent trials out across a
+// worker pool while keeping the results bit-identical to a serial run.
+//
+// Determinism rests on three rules the engine enforces by shape:
+//
+//  1. Each trial's randomness is a pure function of its trial index —
+//     the trial body derives every stream from (seed, trial) exactly
+//     as the old serial loops did, never from worker identity.
+//  2. Workers write results into a pre-sized slice indexed by trial
+//     number, so there is no ordering race on collection.
+//  3. Results are folded into the experiment's accumulators serially,
+//     in trial order, after all workers finish — so order-sensitive
+//     reductions (floating-point sums, Sample observation order) see
+//     exactly the sequence a serial loop would have produced.
+//
+// Consequently the same seed yields byte-identical tables at any
+// worker count, and -j only changes wall-clock time.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a requested worker count: values <= 0 select
+// GOMAXPROCS, anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs trial(i) for every i in [0, n) across at most workers
+// goroutines (Workers-normalised, and never more than n) and returns
+// the n results indexed by trial number. trial must be safe for
+// concurrent invocation on distinct indices and must derive any
+// randomness from its index, not from shared mutable state. A panic in
+// any trial is re-raised on the caller's goroutine after the pool
+// drains.
+func Map[T any](n, workers int, trial func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = trial(i)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var panicked atomic.Pointer[trialPanic]
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &trialPanic{trial: i, value: r})
+						}
+					}()
+					out[i] = trial(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(fmt.Sprintf("runner: trial %d panicked: %v", p.trial, p.value))
+	}
+	return out
+}
+
+// trialPanic records the first panic observed in the pool; the trial
+// index is re-raised alongside the value so a failing run can be
+// reproduced serially.
+type trialPanic struct {
+	trial int
+	value any
+}
+
+// Fold runs Map and then folds the results serially in trial order.
+// This is the canonical reduction shape for experiment runners: the
+// trial body is concurrent, the accumulation is not, and the
+// accumulation order is the serial loop's order.
+func Fold[T any](n, workers int, trial func(i int) T, fold func(i int, r T)) {
+	for i, r := range Map(n, workers, trial) {
+		fold(i, r)
+	}
+}

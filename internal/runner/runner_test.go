@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"silenttracker/internal/rng"
+	"silenttracker/internal/stats"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("negative worker counts should normalise to GOMAXPROCS")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive worker counts pass through")
+	}
+}
+
+func TestMapIndexesResultsByTrial(t *testing.T) {
+	for _, j := range []int{1, 2, 8, 100} {
+		out := Map(37, j, func(i int) int { return i * i })
+		if len(out) != 37 {
+			t.Fatalf("j=%d: %d results", j, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("j=%d: out[%d] = %d, result landed at the wrong index", j, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndTiny(t *testing.T) {
+	if out := Map(0, 4, func(i int) int { return i }); out != nil {
+		t.Error("n=0 should return nil")
+	}
+	if out := Map(1, 16, func(i int) int { return 7 }); len(out) != 1 || out[0] != 7 {
+		t.Error("n=1 with a large pool")
+	}
+}
+
+func TestMapRunsEveryTrialExactlyOnce(t *testing.T) {
+	var calls atomic.Int64
+	counts := Map(500, 8, func(i int) int32 {
+		calls.Add(1)
+		return 1
+	})
+	if calls.Load() != 500 {
+		t.Fatalf("%d trial invocations, want 500", calls.Load())
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("trial %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The engine's contract: trial randomness derived from the index
+	// gives bit-identical results at any parallelism.
+	run := func(workers int) []float64 {
+		return Map(200, workers, func(i int) float64 {
+			s := rng.Stream(int64(i), "trial")
+			return s.Normal(0, 1) + s.Exp(2)
+		})
+	}
+	serial := run(1)
+	for _, j := range []int{2, 4, 16} {
+		par := run(j)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("j=%d: trial %d diverged from serial", j, i)
+			}
+		}
+	}
+}
+
+func TestFoldAccumulatesInTrialOrder(t *testing.T) {
+	// Per-trial samples folded in index order must reproduce the serial
+	// accumulator exactly, including order-sensitive float sums.
+	serial := stats.NewSample(100)
+	for i := 0; i < 100; i++ {
+		serial.Add(rng.Stream(int64(i), "fold").Normal(1, 3))
+	}
+	merged := stats.NewSample(100)
+	var order []int
+	Fold(100, 8,
+		func(i int) float64 { return rng.Stream(int64(i), "fold").Normal(1, 3) },
+		func(i int, x float64) {
+			order = append(order, i)
+			merged.Add(x)
+		})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("fold visited trial %d at position %d", got, i)
+		}
+	}
+	if merged.Mean() != serial.Mean() || merged.Std() != serial.Std() {
+		t.Error("folded accumulator differs from serial")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		// The re-raised panic names the failing trial so the run can be
+		// reproduced serially.
+		if r := recover(); r != "runner: trial 13 panicked: trial 13 exploded" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	Map(64, 8, func(i int) int {
+		if i == 13 {
+			panic("trial 13 exploded")
+		}
+		return i
+	})
+	t.Fatal("Map should have panicked")
+}

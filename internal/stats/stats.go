@@ -93,6 +93,20 @@ func (s *Sample) AddAll(xs ...float64) {
 	s.sorted = false
 }
 
+// Merge appends every observation of other into s, in other's current
+// order. Merging per-worker (or per-trial) samples in a fixed order
+// reproduces exactly the observation sequence a single serial
+// accumulator would have seen, so all derived statistics — including
+// order-sensitive floating-point sums like Mean — are bit-identical.
+// other is not modified.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
@@ -307,6 +321,14 @@ func (r *Rate) Record(success bool) {
 	if success {
 		r.Successes++
 	}
+}
+
+// Merge folds other's counts into r. Counter addition is associative
+// and commutative, so per-worker rates merged in any order equal the
+// single-accumulator result exactly.
+func (r *Rate) Merge(other Rate) {
+	r.Successes += other.Successes
+	r.Trials += other.Trials
 }
 
 // Value returns the success fraction (0 with no trials).

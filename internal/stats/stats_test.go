@@ -277,3 +277,79 @@ func TestCDFMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSampleMergeEqualsSingleAccumulator(t *testing.T) {
+	// Observations split across per-worker samples, merged in order,
+	// must equal a single serial accumulator bit-for-bit.
+	src := rng.New(99)
+	var serial Sample
+	workers := make([]*Sample, 4)
+	for w := range workers {
+		workers[w] = NewSample(0)
+	}
+	for i := 0; i < 1000; i++ {
+		x := src.Normal(3, 7)
+		serial.Add(x)
+		workers[i/250].Add(x)
+	}
+	var merged Sample
+	for _, w := range workers {
+		merged.Merge(w)
+	}
+	if merged.N() != serial.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), serial.N())
+	}
+	if merged.Mean() != serial.Mean() {
+		t.Errorf("merged mean %v != serial %v", merged.Mean(), serial.Mean())
+	}
+	if merged.Std() != serial.Std() {
+		t.Errorf("merged std %v != serial %v", merged.Std(), serial.Std())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != serial.Quantile(q) {
+			t.Errorf("quantile %v: merged %v != serial %v", q, merged.Quantile(q), serial.Quantile(q))
+		}
+	}
+}
+
+func TestSampleMergeEdgeCases(t *testing.T) {
+	var s Sample
+	s.Merge(nil) // must not panic
+	s.Merge(NewSample(0))
+	if s.N() != 0 {
+		t.Fatal("merging empty samples added observations")
+	}
+	other := NewSample(2)
+	other.AddAll(2, 1)
+	s.Merge(other)
+	if s.N() != 2 || s.Median() != 1.5 {
+		t.Errorf("merge into empty: n=%d median=%v", s.N(), s.Median())
+	}
+	// Merge must not mutate the source.
+	if other.N() != 2 {
+		t.Error("Merge mutated its argument")
+	}
+}
+
+func TestRateMergeEqualsSingleAccumulator(t *testing.T) {
+	src := rng.New(100)
+	var serial Rate
+	workers := make([]Rate, 3)
+	for i := 0; i < 500; i++ {
+		ok := src.Bool(0.37)
+		serial.Record(ok)
+		workers[i%3].Record(ok)
+	}
+	var merged Rate
+	for _, w := range workers {
+		merged.Merge(w)
+	}
+	if merged != serial {
+		t.Fatalf("merged %+v != serial %+v", merged, serial)
+	}
+	lo1, hi1 := merged.WilsonCI()
+	lo2, hi2 := serial.WilsonCI()
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("Wilson CI differs after merge")
+	}
+}
