@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: silenttracker
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig2aSearchNarrow 	   13417	    182400 ns/op	         8.835 dwells/search	        96.85 success%	   15316 B/op	     306 allocs/op
+BenchmarkFig2cWalk-8       	    3789	    660084 ns/op	   29969 B/op	     808 allocs/op
+BenchmarkEngineSchedule    	182071084	        13.18 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	silenttracker	18.009s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Fig2aSearchNarrow" || b.Iterations != 13417 || b.NsPerOp != 182400 ||
+		b.BPerOp != 15316 || b.AllocsPerOp != 306 {
+		t.Errorf("first bench: %+v", b)
+	}
+	if b.Extra["success%"] != 96.85 || b.Extra["dwells/search"] != 8.835 {
+		t.Errorf("custom metrics: %+v", b.Extra)
+	}
+	if rep.Benchmarks[1].Name != "Fig2cWalk" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", rep.Benchmarks[1].Name)
+	}
+	if rep.Benchmarks[2].AllocsPerOp != 0 || rep.Benchmarks[2].NsPerOp != 13.18 {
+		t.Errorf("third bench: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBroken abc\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(rep.Benchmarks))
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"silenttracker/internal/experiments"
 )
@@ -25,7 +27,39 @@ func main() {
 	csv := flag.Bool("csv", false, "emit raw CSV samples instead of tables (fig2a/fig2c)")
 	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	jobs := flag.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Report-and-continue on failure: exiting from inside a defer
+		// would skip StopCPUProfile and truncate the CPU profile too.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	out := os.Stdout
 	run := func(name string) bool { return *exp == "all" || *exp == name }

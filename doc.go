@@ -32,6 +32,16 @@
 // worker count, because each trial's randomness is a pure function of
 // (seed, trial index) and results are folded in trial order.
 //
+// The per-sample simulation kernel is allocation-free and
+// table-driven: internal/sim pools events through a free list behind
+// a specialised 4-ary heap, internal/antenna precomputes per-codebook
+// gain lookup tables (and interns codebooks, which are immutable),
+// and internal/channel routes all dB↔linear conversion through the
+// internal/mathx fast kernel with link constants cached at
+// construction. PERFORMANCE.md records the hot-path inventory and the
+// before/after numbers; BENCH_<pr>.json files are the perf
+// trajectory.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package silenttracker

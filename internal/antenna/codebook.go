@@ -25,13 +25,21 @@ const (
 
 // Codebook is a set of beams with fixed boresights in the device body
 // frame. Codebooks are immutable after construction and safe for
-// concurrent readers.
+// concurrent readers; the constructors intern them, so building the
+// same codebook twice returns the same instance.
 type Codebook struct {
 	name        string
-	boresights  []float64 // body frame, radians, sorted ascending
+	boresights  []float64 // body frame, radians
 	pattern     Pattern
 	ring        bool // covers the full circle (adjacency wraps)
 	selectivity float64
+
+	// Precomputed lookup machinery (see tables.go).
+	tab        *patternTab // shared sampled pattern response
+	pair       []float64   // [i*n+j] = gain of beam i toward boresight j, dB
+	index      []BeamID    // nearest beam at each bucket edge
+	idxInvStep float64
+	avgLin     float64 // AvgGainDBi in linear power scale
 }
 
 // NewRingCodebook builds a codebook whose beams tile the full circle:
@@ -43,12 +51,15 @@ func NewRingCodebook(name string, n int, hpbw float64, model Model) *Codebook {
 	if n < 1 {
 		panic("antenna: ring codebook needs at least one beam")
 	}
-	cb := &Codebook{name: name, ring: true, pattern: newPattern(hpbw, model)}
-	for i := 0; i < n; i++ {
-		cb.boresights = append(cb.boresights, geom.WrapAngle(float64(i)*geom.TwoPi/float64(n)-math.Pi))
-	}
-	cb.selectivity = SelectivityDB(cb.pattern)
-	return cb
+	key := cbKey{kind: 1, name: name, n: n, model: model, hpbw: hpbw, bins: GainTableBins}
+	return interned(key, func() *Codebook {
+		cb := &Codebook{name: name, ring: true, pattern: newPattern(hpbw, model)}
+		cb.boresights = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			cb.boresights = append(cb.boresights, geom.WrapAngle(float64(i)*geom.TwoPi/float64(n)-math.Pi))
+		}
+		return cb
+	})
 }
 
 // NewSectorCodebook builds a codebook covering the sector
@@ -58,29 +69,36 @@ func NewSectorCodebook(name string, center, span float64, n int, hpbw float64, m
 	if n < 1 {
 		panic("antenna: sector codebook needs at least one beam")
 	}
-	cb := &Codebook{name: name, ring: false, pattern: newPattern(hpbw, model)}
-	cb.selectivity = SelectivityDB(cb.pattern)
-	if n == 1 {
-		cb.boresights = []float64{geom.WrapAngle(center)}
+	key := cbKey{kind: 2, name: name, n: n, model: model, hpbw: hpbw,
+		center: center, span: span, bins: GainTableBins}
+	return interned(key, func() *Codebook {
+		cb := &Codebook{name: name, ring: false, pattern: newPattern(hpbw, model)}
+		if n == 1 {
+			cb.boresights = []float64{geom.WrapAngle(center)}
+			return cb
+		}
+		step := span / float64(n-1)
+		start := center - span/2
+		cb.boresights = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			cb.boresights = append(cb.boresights, geom.WrapAngle(start+float64(i)*step))
+		}
 		return cb
-	}
-	step := span / float64(n-1)
-	start := center - span/2
-	for i := 0; i < n; i++ {
-		cb.boresights = append(cb.boresights, geom.WrapAngle(start+float64(i)*step))
-	}
-	return cb
+	})
 }
 
 // NewOmni builds a single-"beam" codebook with an isotropic element,
 // the paper's omni-directional mobile baseline.
 func NewOmni(name string, gainDBi float64) *Codebook {
-	return &Codebook{
-		name:       name,
-		ring:       true,
-		pattern:    &OmniPattern{Gain: gainDBi},
-		boresights: []float64{0},
-	}
+	key := cbKey{kind: 3, name: name, n: 1, gain: gainDBi, bins: GainTableBins}
+	return interned(key, func() *Codebook {
+		return &Codebook{
+			name:       name,
+			ring:       true,
+			pattern:    &OmniPattern{Gain: gainDBi},
+			boresights: []float64{0},
+		}
+	})
 }
 
 func newPattern(hpbw float64, model Model) Pattern {
@@ -113,6 +131,10 @@ func (cb *Codebook) SelectivityDB() float64 { return cb.selectivity }
 // pattern offers to diffuse (direction-uniform) energy.
 func (cb *Codebook) AvgGainDBi() float64 { return cb.pattern.PeakDBi() - cb.selectivity }
 
+// AvgGainLin returns AvgGainDBi as a linear power ratio, precomputed
+// so per-sample code never converts it.
+func (cb *Codebook) AvgGainLin() float64 { return cb.avgLin }
+
 // IsRing reports whether beam adjacency wraps around the circle.
 func (cb *Codebook) IsRing() bool { return cb.ring }
 
@@ -134,22 +156,60 @@ func (cb *Codebook) check(b BeamID) {
 	}
 }
 
-// GainDB returns the gain of beam b toward a body-frame angle.
+// GainDB returns the gain of beam b toward a body-frame angle, from
+// the precomputed pattern table (exact at the table's grid points,
+// linearly interpolated between them).
 func (cb *Codebook) GainDB(b BeamID, bodyAngle float64) float64 {
 	cb.check(b)
-	return cb.pattern.GainDB(geom.WrapAngle(bodyAngle - cb.boresights[b]))
+	return cb.tab.db(geom.WrapNear(bodyAngle - cb.boresights[b]))
+}
+
+// GainDBLin returns the gain of beam b toward a body-frame angle in
+// both dB and linear power scale with a single table lookup.
+func (cb *Codebook) GainDBLin(b BeamID, bodyAngle float64) (db, lin float64) {
+	cb.check(b)
+	return cb.tab.both(geom.WrapNear(bodyAngle - cb.boresights[b]))
+}
+
+// PairGainDB returns the gain of beam b toward the boresight of beam
+// toward — the boresight-offset gain of the (b, toward) beam pair,
+// cached at construction.
+func (cb *Codebook) PairGainDB(b, toward BeamID) float64 {
+	cb.check(b)
+	cb.check(toward)
+	return cb.pair[int(b)*len(cb.boresights)+int(toward)]
 }
 
 // BestBeam returns the beam whose boresight is closest to the given
-// body-frame angle.
+// body-frame angle (lowest beam ID on ties). O(1): the angle indexes
+// a bucket whose two edge beams are the only candidates.
 func (cb *Codebook) BestBeam(bodyAngle float64) BeamID {
-	best, bestDist := BeamID(0), math.Inf(1)
-	for i, bs := range cb.boresights {
-		if d := geom.AngleDist(bodyAngle, bs); d < bestDist {
-			best, bestDist = BeamID(i), d
-		}
+	n := len(cb.boresights)
+	if n == 1 {
+		return 0
 	}
-	return best
+	a := geom.WrapNear(bodyAngle)
+	if cb.index == nil {
+		// Codebook too dense for an exact bucket index (see finalize).
+		return cb.scanBestBeam(a)
+	}
+	pos := (a + math.Pi) * cb.idxInvStep
+	i := int(pos)
+	if i < 0 {
+		i = 0
+	} else if i >= len(cb.index)-1 {
+		i = len(cb.index) - 2
+	}
+	c1, c2 := cb.index[i], cb.index[i+1]
+	if c1 == c2 {
+		return c1
+	}
+	d1 := geom.AngleDist(a, cb.boresights[c1])
+	d2 := geom.AngleDist(a, cb.boresights[c2])
+	if d1 < d2 || (d1 == d2 && c1 < c2) {
+		return c1
+	}
+	return c2
 }
 
 // Adjacent returns the directionally adjacent beams of b: the beams
@@ -176,26 +236,90 @@ func (cb *Codebook) Adjacent(b BeamID) []BeamID {
 	return out
 }
 
-// Neighborhood returns b plus all beams within k adjacency hops,
-// ordered by hop distance then beam ID. Used by re-acquisition, which
-// searches outward from the last known good beam.
-func (cb *Codebook) Neighborhood(b BeamID, k int) []BeamID {
+// HopDist returns the adjacency hop distance between two beams: the
+// number of Adjacent steps separating them. O(1) — beams are indexed
+// in sweep order, so hop distance is index distance (around the
+// circle for a ring codebook).
+func (cb *Codebook) HopDist(a, b BeamID) int {
+	cb.check(a)
 	cb.check(b)
-	seen := map[BeamID]bool{b: true}
-	out := []BeamID{b}
-	frontier := []BeamID{b}
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	if cb.ring {
+		if w := len(cb.boresights) - d; w < d {
+			return w
+		}
+	}
+	return d
+}
+
+// Neighborhood returns b plus all beams within k adjacency hops,
+// ordered by hop distance then discovery order. Used by
+// re-acquisition, which searches outward from the last known good
+// beam.
+func (cb *Codebook) Neighborhood(b BeamID, k int) []BeamID {
+	return cb.AppendNeighborhood(nil, b, k)
+}
+
+// AppendNeighborhood appends the Neighborhood of b to dst and returns
+// the extended slice. It allocates nothing beyond (at most) growing
+// dst: visited beams are tracked in a stack bitset and the output
+// slice doubles as the BFS frontier.
+func (cb *Codebook) AppendNeighborhood(dst []BeamID, b BeamID, k int) []BeamID {
+	cb.check(b)
+	n := len(cb.boresights)
+
+	var stackBits [4]uint64 // codebooks up to 256 beams stay on the stack
+	bits := stackBits[:]
+	if n > 256 {
+		bits = make([]uint64, (n+63)/64)
+	}
+	visit := func(id BeamID) bool {
+		w, m := uint(id)>>6, uint64(1)<<(uint(id)&63)
+		if bits[w]&m != 0 {
+			return false
+		}
+		bits[w] |= m
+		return true
+	}
+
+	visit(b)
+	out := append(dst, b)
+	lo := len(out) - 1
 	for hop := 0; hop < k; hop++ {
-		var next []BeamID
-		for _, f := range frontier {
-			for _, a := range cb.Adjacent(f) {
-				if !seen[a] {
-					seen[a] = true
+		hi := len(out)
+		if lo == hi {
+			break // codebook exhausted
+		}
+		for fi := lo; fi < hi; fi++ {
+			f := int(out[fi])
+			if n == 1 {
+				continue
+			}
+			// Inlined Adjacent, same discovery order.
+			if cb.ring {
+				if a := BeamID((f + n - 1) % n); visit(a) {
 					out = append(out, a)
-					next = append(next, a)
+				}
+				if a := BeamID((f + 1) % n); visit(a) {
+					out = append(out, a)
+				}
+				continue
+			}
+			if f > 0 {
+				if a := BeamID(f - 1); visit(a) {
+					out = append(out, a)
+				}
+			}
+			if f < n-1 {
+				if a := BeamID(f + 1); visit(a) {
+					out = append(out, a)
 				}
 			}
 		}
-		frontier = next
+		lo = hi
 	}
 	return out
 }

@@ -1,0 +1,230 @@
+package antenna
+
+// Precomputed gain machinery. Every beam of a codebook shares one
+// Pattern, so the pattern's angular response is sampled once onto a
+// dense grid and each per-sample gain lookup becomes two loads and a
+// linear interpolation — no math.Mod, no math.Pow, no interface
+// dispatch. Tables are cached per pattern shape and whole codebooks
+// are interned per construction parameters: experiment trials build
+// codebooks by the thousand, and every one of them is an identical
+// immutable value, so the second and later constructions are a map
+// hit. Both caches are guarded by mutexes and the cached values are
+// immutable, so everything here is safe for concurrent trials.
+
+import (
+	"math"
+	"sync"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mathx"
+)
+
+// GainTableBins is the angular resolution of the precomputed gain
+// tables: samples per full circle. Grid values are exact pattern
+// evaluations; between grid points gains interpolate linearly, so the
+// worst-case table error for the smooth pattern regions is bounded by
+// curvature·(2π/bins)²/8 — about 6·10⁻⁵ dB for the 20° Gaussian beam
+// at the default resolution. Read at codebook construction; set it
+// before building codebooks (tables are keyed by it, so changing it
+// mid-run only affects codebooks built afterwards).
+var GainTableBins = 4096
+
+// patternTab is a pattern's sampled response: gain in dB and in
+// linear power scale over [-π, π], with the wrap sample duplicated so
+// interpolation never branches on the seam.
+type patternTab struct {
+	bins    int
+	invStep float64
+	gainDB  []float64 // bins+1 samples; [bins] == [0]
+	gainLin []float64
+	selDB   float64 // SelectivityDB(pattern), legacy quadrature
+}
+
+func buildPatternTab(p Pattern, bins int) *patternTab {
+	t := &patternTab{bins: bins, invStep: float64(bins) / geom.TwoPi}
+	t.gainDB = make([]float64, bins+1)
+	t.gainLin = make([]float64, bins+1)
+	step := geom.TwoPi / float64(bins)
+	for i := 0; i < bins; i++ {
+		g := p.GainDB(-math.Pi + float64(i)*step)
+		t.gainDB[i] = g
+		t.gainLin[i] = mathx.DBToLin(g)
+	}
+	// +π and -π are the same point on the circle.
+	t.gainDB[bins] = t.gainDB[0]
+	t.gainLin[bins] = t.gainLin[0]
+	t.selDB = SelectivityDB(p)
+	return t
+}
+
+// slot returns the grid cell and interpolation fraction for a wrapped
+// offset in [-π, π). Out-of-range positions (an offset of exactly π,
+// or a NaN) clamp to the nearest cell.
+func (t *patternTab) slot(offset float64) (int, float64) {
+	pos := (offset + math.Pi) * t.invStep
+	i := int(pos)
+	if i < 0 {
+		return 0, 0
+	}
+	if i >= t.bins {
+		return t.bins - 1, 1
+	}
+	return i, pos - float64(i)
+}
+
+func (t *patternTab) db(offset float64) float64 {
+	i, frac := t.slot(offset)
+	a := t.gainDB[i]
+	return a + (t.gainDB[i+1]-a)*frac
+}
+
+func (t *patternTab) both(offset float64) (db, lin float64) {
+	i, frac := t.slot(offset)
+	a, b := t.gainDB[i], t.gainLin[i]
+	return a + (t.gainDB[i+1]-a)*frac, b + (t.gainLin[i+1]-b)*frac
+}
+
+// patternKey identifies a pattern shape for table sharing. Patterns
+// are keyed by their defining parameters, not identity: every trial
+// builds fresh pattern values with identical parameters.
+type patternKey struct {
+	kind    uint8 // 1 Gaussian, 2 ULA, 3 omni
+	a, b, c float64
+	bins    int
+}
+
+func patternKeyOf(p Pattern, bins int) (patternKey, bool) {
+	switch q := p.(type) {
+	case *GaussianPattern:
+		return patternKey{kind: 1, a: q.Peak, b: q.HPBW, c: q.SLLdB, bins: bins}, true
+	case *ULAPattern:
+		return patternKey{kind: 2, a: float64(q.N), b: q.Peak, bins: bins}, true
+	case *OmniPattern:
+		return patternKey{kind: 3, a: q.Gain, bins: bins}, true
+	}
+	return patternKey{}, false
+}
+
+var (
+	tabMu    sync.Mutex
+	tabCache = map[patternKey]*patternTab{}
+)
+
+func patternTabFor(p Pattern, bins int) *patternTab {
+	key, ok := patternKeyOf(p, bins)
+	if !ok {
+		// Unknown pattern implementation: still table-driven, just not
+		// shared across constructions.
+		return buildPatternTab(p, bins)
+	}
+	tabMu.Lock()
+	defer tabMu.Unlock()
+	if t := tabCache[key]; t != nil {
+		return t
+	}
+	t := buildPatternTab(p, bins)
+	tabCache[key] = t
+	return t
+}
+
+// cbKey identifies a codebook construction for interning.
+type cbKey struct {
+	kind         uint8 // 1 ring, 2 sector, 3 omni
+	name         string
+	n            int
+	model        Model
+	hpbw         float64
+	center, span float64
+	gain         float64
+	bins         int
+}
+
+var (
+	cbMu    sync.Mutex
+	cbCache = map[cbKey]*Codebook{}
+)
+
+// interned returns the cached codebook for key, building and caching
+// it on first use. Codebooks are immutable after construction, so
+// sharing one instance across worlds and trials is safe.
+func interned(key cbKey, build func() *Codebook) *Codebook {
+	cbMu.Lock()
+	defer cbMu.Unlock()
+	if cb := cbCache[key]; cb != nil {
+		return cb
+	}
+	cb := build()
+	cb.finalize(key.bins)
+	cbCache[key] = cb
+	return cb
+}
+
+// finalize precomputes the codebook's derived tables: the shared
+// pattern table, per-beam-pair boresight-offset gains, the linear
+// average gain, and the nearest-beam bucket index that makes BestBeam
+// O(1).
+func (cb *Codebook) finalize(bins int) {
+	cb.tab = patternTabFor(cb.pattern, bins)
+	cb.selectivity = cb.tab.selDB
+	cb.avgLin = mathx.DBToLin(cb.AvgGainDBi())
+	n := len(cb.boresights)
+
+	// Boresight-offset gain of beam i toward the boresight of beam j:
+	// exact pattern evaluations, cached because probing and oracle
+	// logic ask for the same pairs constantly.
+	cb.pair = make([]float64, n*n)
+	for i, bi := range cb.boresights {
+		for j, bj := range cb.boresights {
+			cb.pair[i*n+j] = cb.pattern.GainDB(geom.WrapAngle(bj - bi))
+		}
+	}
+
+	// Nearest-beam index. Bucket edges hold the exact nearest beam
+	// (computed with the same scan-and-tie-break as the original
+	// linear BestBeam); a query then only compares the two candidate
+	// beams bracketing its bucket. That is exact iff no bucket
+	// contains more than one nearest-arc boundary. Distinct boundaries
+	// are spaced at least the minimum adjacent-boresight separation
+	// apart, so a bucket width of half that separation guarantees it —
+	// the loop below grows the index resolution until it holds. A
+	// pathologically dense codebook that would need an absurd index
+	// gets none and BestBeam falls back to the reference scan.
+	minSep := math.Inf(1)
+	for i := 0; i+1 < n; i++ {
+		if d := geom.AngleDist(cb.boresights[i], cb.boresights[i+1]); d > 1e-12 && d < minSep {
+			minSep = d
+		}
+	}
+	if cb.ring && n > 1 {
+		if d := geom.AngleDist(cb.boresights[n-1], cb.boresights[0]); d > 1e-12 && d < minSep {
+			minSep = d
+		}
+	}
+	idxBins := bins
+	for float64(idxBins) < 2*geom.TwoPi/minSep && idxBins < 1<<21 {
+		idxBins *= 2
+	}
+	if float64(idxBins) < 2*geom.TwoPi/minSep {
+		return // leave cb.index nil: BestBeam scans
+	}
+	cb.index = make([]BeamID, idxBins+1)
+	cb.idxInvStep = float64(idxBins) / geom.TwoPi
+	step := geom.TwoPi / float64(idxBins)
+	for i := 0; i < idxBins; i++ {
+		cb.index[i] = cb.scanBestBeam(-math.Pi + float64(i)*step)
+	}
+	cb.index[idxBins] = cb.index[0]
+}
+
+// scanBestBeam is the reference linear-scan nearest beam (lowest beam
+// ID wins ties). Used to build the bucket index and by tests as the
+// ground truth for BestBeam.
+func (cb *Codebook) scanBestBeam(bodyAngle float64) BeamID {
+	best, bestDist := BeamID(0), math.Inf(1)
+	for i, bs := range cb.boresights {
+		if d := geom.AngleDist(bodyAngle, bs); d < bestDist {
+			best, bestDist = BeamID(i), d
+		}
+	}
+	return best
+}

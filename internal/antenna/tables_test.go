@@ -1,0 +1,290 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mathx"
+)
+
+// The gain tables must reproduce the analytic pattern: tightly inside
+// the smooth main lobe, and within a tenth of a dB everywhere else
+// (the Gaussian side-lobe clamp has a slope discontinuity, so the one
+// grid cell containing it carries the worst interpolation error —
+// still far below the 2.5 dB shadowing the channel adds on top).
+func TestGainTableMatchesPattern(t *testing.T) {
+	for _, cb := range []*Codebook{NarrowMobile(), WideMobile(), StandardBS(0.3)} {
+		for b := 0; b < cb.Size(); b++ {
+			for th := -math.Pi; th < math.Pi; th += 1e-3 {
+				got := cb.GainDB(BeamID(b), th)
+				off := geom.WrapNear(th - cb.boresights[b])
+				want := cb.pattern.GainDB(off)
+				bound := 0.1
+				if math.Abs(off) < cb.Beamwidth() {
+					bound = 1e-3
+				}
+				if math.Abs(got-want) > bound {
+					t.Fatalf("%s beam %d at %.4f (offset %.4f): table %.4f, pattern %.4f",
+						cb.Name(), b, th, off, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGainTableExactAtGridPoints(t *testing.T) {
+	cb := NarrowMobile()
+	step := geom.TwoPi / float64(cb.tab.bins)
+	for i := 0; i < cb.tab.bins; i += 7 {
+		off := -math.Pi + float64(i)*step
+		want := cb.pattern.GainDB(off)
+		if got := cb.tab.db(off); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("grid point %d: table %v, pattern %v", i, got, want)
+		}
+	}
+}
+
+func TestGainDBLinConsistent(t *testing.T) {
+	cb := WideMobile()
+	for th := -math.Pi; th < math.Pi; th += 0.01 {
+		db, lin := cb.GainDBLin(2, th)
+		if math.Abs(mathx.LinToDB(lin)-db) > 0.01 {
+			t.Fatalf("dB/linear tables disagree at %v: %v dB vs %v dB-from-lin",
+				th, db, mathx.LinToDB(lin))
+		}
+	}
+}
+
+// BestBeam's bucket index must agree with the reference linear scan
+// everywhere, including the tie-break.
+func TestBestBeamMatchesScan(t *testing.T) {
+	books := []*Codebook{
+		NarrowMobile(), WideMobile(), OmniMobile(),
+		StandardBS(0), StandardBS(2.9), // sector crossing the ±π seam
+		NewSectorCodebook("seam", math.Pi, geom.Deg(120), 16, geom.Deg(10), ModelGaussian),
+	}
+	for _, cb := range books {
+		for th := -math.Pi; th < math.Pi; th += 1.7e-4 {
+			if got, want := cb.BestBeam(th), cb.scanBestBeam(th); got != want {
+				t.Fatalf("%s: BestBeam(%.6f) = %d, scan says %d", cb.Name(), th, got, want)
+			}
+		}
+	}
+}
+
+// A sector denser than the default index resolution must still be
+// exact: finalize grows the index (or drops it for a scan fallback)
+// so that no nearest-arc is narrower than a bucket.
+func TestBestBeamDenseSector(t *testing.T) {
+	cb := NewSectorCodebook("dense", 0, 0.05, 64, 0.01, ModelGaussian)
+	for th := -0.1; th < 0.1; th += 1.3e-6 {
+		if got, want := cb.BestBeam(th), cb.scanBestBeam(th); got != want {
+			t.Fatalf("dense sector: BestBeam(%.7f) = %d, scan says %d", th, got, want)
+		}
+	}
+	// Pathologically dense: the index is abandoned, not wrong.
+	tiny := NewSectorCodebook("tiny", 0, 1e-7, 32, 0.01, ModelGaussian)
+	if tiny.index != nil {
+		t.Error("pathologically dense codebook should fall back to the scan")
+	}
+	for th := -1e-6; th < 1e-6; th += 1e-9 {
+		if got, want := tiny.BestBeam(th), tiny.scanBestBeam(th); got != want {
+			t.Fatalf("tiny sector: BestBeam(%v) = %d, scan says %d", th, got, want)
+		}
+	}
+}
+
+func TestBestBeamUnwrappedInput(t *testing.T) {
+	cb := NarrowMobile()
+	f := func(th float64) bool {
+		if math.IsNaN(th) || math.Abs(th) > 50 {
+			return true
+		}
+		return cb.BestBeam(th) == cb.scanBestBeam(geom.WrapAngle(th))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairGainMatchesGainDB(t *testing.T) {
+	cb := NarrowMobile()
+	for i := 0; i < cb.Size(); i++ {
+		for j := 0; j < cb.Size(); j++ {
+			want := cb.pattern.GainDB(geom.WrapAngle(cb.boresights[j] - cb.boresights[i]))
+			if got := cb.PairGainDB(BeamID(i), BeamID(j)); got != want {
+				t.Fatalf("PairGainDB(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if cb.PairGainDB(3, 3) != cb.PeakDBi() {
+		t.Error("self pair gain should be the peak")
+	}
+}
+
+func TestAvgGainLin(t *testing.T) {
+	cb := WideMobile()
+	if got, want := cb.AvgGainLin(), mathx.DBToLin(cb.AvgGainDBi()); got != want {
+		t.Errorf("AvgGainLin = %v, want %v", got, want)
+	}
+}
+
+func TestHopDist(t *testing.T) {
+	ring := NewRingCodebook("hop-ring", 12, geom.Deg(30), ModelGaussian)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 11, 1}, {0, 6, 6}, {2, 9, 5},
+	}
+	for _, c := range cases {
+		if got := ring.HopDist(BeamID(c.a), BeamID(c.b)); got != c.want {
+			t.Errorf("ring HopDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	sector := NewSectorCodebook("hop-sector", 0, geom.Deg(120), 8, geom.Deg(15), ModelGaussian)
+	if got := sector.HopDist(0, 7); got != 7 {
+		t.Errorf("sector HopDist(0,7) = %d, want 7", got)
+	}
+	// HopDist must agree with membership in the hop-k neighborhood.
+	for _, cb := range []*Codebook{ring, sector} {
+		for k := 0; k <= cb.Size(); k++ {
+			in := map[BeamID]bool{}
+			for _, b := range cb.Neighborhood(3, k) {
+				in[b] = true
+			}
+			for b := 0; b < cb.Size(); b++ {
+				if want := cb.HopDist(3, BeamID(b)) <= k; in[BeamID(b)] != want {
+					t.Fatalf("%s: beam %d in Neighborhood(3,%d)=%v, HopDist says %v",
+						cb.Name(), b, k, in[BeamID(b)], want)
+				}
+			}
+		}
+	}
+}
+
+// referenceNeighborhood is the original map-and-frontier BFS; the
+// allocation-free rewrite must return the identical order.
+func referenceNeighborhood(cb *Codebook, b BeamID, k int) []BeamID {
+	seen := map[BeamID]bool{b: true}
+	out := []BeamID{b}
+	frontier := []BeamID{b}
+	for hop := 0; hop < k; hop++ {
+		var next []BeamID
+		for _, f := range frontier {
+			for _, a := range cb.Adjacent(f) {
+				if !seen[a] {
+					seen[a] = true
+					out = append(out, a)
+					next = append(next, a)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func TestNeighborhoodOrderUnchanged(t *testing.T) {
+	books := []*Codebook{
+		NarrowMobile(), WideMobile(), OmniMobile(),
+		StandardBS(1.1),
+		NewRingCodebook("nb-ring", 5, geom.Deg(72), ModelGaussian),
+	}
+	for _, cb := range books {
+		for b := 0; b < cb.Size(); b++ {
+			for k := 0; k <= cb.Size()+1; k++ {
+				got := cb.Neighborhood(BeamID(b), k)
+				want := referenceNeighborhood(cb, BeamID(b), k)
+				if len(got) != len(want) {
+					t.Fatalf("%s Neighborhood(%d,%d) = %v, want %v", cb.Name(), b, k, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s Neighborhood(%d,%d) = %v, want %v", cb.Name(), b, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAppendNeighborhoodReusesBuffer(t *testing.T) {
+	cb := NarrowMobile()
+	buf := make([]BeamID, 0, cb.Size())
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = cb.AppendNeighborhood(buf[:0], 7, 4)
+	}); avg != 0 {
+		t.Errorf("AppendNeighborhood allocates %v per call with a warm buffer, want 0", avg)
+	}
+}
+
+func TestCodebooksInterned(t *testing.T) {
+	if NarrowMobile() != NarrowMobile() {
+		t.Error("identical ring constructions should intern to one instance")
+	}
+	if StandardBS(0.5) != StandardBS(0.5) {
+		t.Error("identical sector constructions should intern to one instance")
+	}
+	if StandardBS(0.5) == StandardBS(0.6) {
+		t.Error("different facings must not intern together")
+	}
+	if OmniMobile() != OmniMobile() {
+		t.Error("identical omni constructions should intern to one instance")
+	}
+}
+
+// Hot-path lookups must be allocation-free.
+func TestGainLookupsAllocFree(t *testing.T) {
+	cb := NarrowMobile()
+	var sink float64
+	if avg := testing.AllocsPerRun(1000, func() {
+		sink += cb.GainDB(4, 1.234)
+		db, lin := cb.GainDBLin(4, -2.1)
+		sink += db + lin
+		sink += cb.PairGainDB(2, 5)
+		sink += float64(cb.BestBeam(0.77))
+	}); avg != 0 {
+		t.Errorf("gain lookups allocate %v per call, want 0", avg)
+	}
+	_ = sink
+}
+
+func BenchmarkGainDB(b *testing.B) {
+	cb := NarrowMobile()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cb.GainDB(BeamID(i%18), float64(i%628)/100-3.14)
+	}
+	_ = sink
+}
+
+func BenchmarkGainDBLin(b *testing.B) {
+	cb := NarrowMobile()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		db, lin := cb.GainDBLin(BeamID(i%18), float64(i%628)/100-3.14)
+		sink += db + lin
+	}
+	_ = sink
+}
+
+func BenchmarkBestBeam(b *testing.B) {
+	cb := NarrowMobile()
+	b.ReportAllocs()
+	var sink BeamID
+	for i := 0; i < b.N; i++ {
+		sink += cb.BestBeam(float64(i%628)/100 - 3.14)
+	}
+	_ = sink
+}
+
+func BenchmarkNeighborhoodAppend(b *testing.B) {
+	cb := NarrowMobile()
+	buf := make([]BeamID, 0, cb.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = cb.AppendNeighborhood(buf[:0], BeamID(i%18), 18)
+	}
+}

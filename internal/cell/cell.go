@@ -312,12 +312,7 @@ func (c *Cell) onBeamSwitch(now sim.Time, m mac.Message) {
 }
 
 func (c *Cell) withinHops(from, to antenna.BeamID, hops int) bool {
-	for _, b := range c.Book.Neighborhood(from, hops) {
-		if b == to {
-			return true
-		}
-	}
-	return false
+	return c.Book.HopDist(from, to) <= hops
 }
 
 func (c *Cell) onMeasReport(now sim.Time, m mac.Message) {

@@ -1,0 +1,73 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"silenttracker/internal/mathx"
+)
+
+// The per-sample path must not allocate: it is called once per beacon
+// slot for every burst of every trial.
+func TestMeasureAllocFree(t *testing.T) {
+	l := NewLink(DefaultParams(), 1, "alloc")
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		i++
+		l.Measure(float64(i)*1e-4, 15, 23, 20, 5)
+	}); avg != 0 {
+		t.Errorf("Link.Measure allocates %v per sample, want 0", avg)
+	}
+}
+
+// The cached link constants must agree with the Params methods they
+// replace on the hot path.
+func TestCachedConstantsMatchParams(t *testing.T) {
+	p := DefaultParams()
+	p.SoftRangeLimit = 18
+	p.SoftRangeRolloff = 10
+	l := NewLink(p, 3, "consts")
+	if got, want := l.noiseFloor, p.NoiseFloorDBm(); got != want {
+		t.Errorf("cached noise floor %v, want %v", got, want)
+	}
+	for _, d := range []float64{0.2, 1, 5, 12.7, 18, 25, 400} {
+		got, want := l.fspl(d), p.FSPLdB(d)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("fspl(%v) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+// MeasureSel with the exact dB-derived selectivity must match Measure
+// draw for draw.
+func TestMeasureSelMatchesMeasure(t *testing.T) {
+	a := NewLink(DefaultParams(), 9, "sel")
+	b := NewLink(DefaultParams(), 9, "sel")
+	for i := 1; i < 200; i++ {
+		t0 := float64(i) * 2e-4
+		sa := a.Measure(t0, 14, 22, 19, 4)
+		sb := b.MeasureSel(t0, 14, 22, 19, 4, mathx.DBToLin(19-4))
+		if sa != sb {
+			t.Fatalf("sample %d: Measure %+v != MeasureSel %+v", i, sa, sb)
+		}
+	}
+}
+
+func BenchmarkLinkMeasure(b *testing.B) {
+	l := NewLink(DefaultParams(), 1, "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Measure(float64(i)*1e-4, 15, 23, 20, 5)
+	}
+}
+
+func BenchmarkLinkMeasureSel(b *testing.B) {
+	l := NewLink(DefaultParams(), 1, "bench-sel")
+	sel := mathx.DBToLin(15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.MeasureSel(float64(i)*1e-4, 15, 23, 20, 5, sel)
+	}
+}

@@ -12,6 +12,7 @@ package channel
 import (
 	"math"
 
+	"silenttracker/internal/mathx"
 	"silenttracker/internal/rng"
 )
 
@@ -72,7 +73,8 @@ func DefaultParams() Params {
 }
 
 // NoiseFloorDBm returns the thermal noise power plus noise figure for
-// the configured bandwidth.
+// the configured bandwidth. Links cache this at construction; the
+// method exists for planning code that has no Link.
 func (p Params) NoiseFloorDBm() float64 {
 	return -174 + 10*math.Log10(p.BandwidthHz) + p.NoiseFigDB
 }
@@ -100,6 +102,10 @@ type Shadowing struct {
 	tau   float64
 	cur   float64
 	src   *rng.Source
+	// Memoised correlation coefficients for the last step size: the
+	// hot loop advances by a fixed beacon slot, so the exp/sqrt pair
+	// almost always comes from here instead of being recomputed.
+	memoDt, memoRho, memoSq float64
 }
 
 // NewShadowing constructs a shadowing process with the given std-dev
@@ -116,8 +122,11 @@ func (s *Shadowing) Advance(dt float64) float64 {
 	if dt <= 0 {
 		return s.cur
 	}
-	rho := math.Exp(-dt / s.tau)
-	s.cur = rho*s.cur + math.Sqrt(1-rho*rho)*s.src.Normal(0, s.sigma)
+	if dt != s.memoDt {
+		rho := math.Exp(-dt / s.tau)
+		s.memoDt, s.memoRho, s.memoSq = dt, rho, math.Sqrt(1-rho*rho)
+	}
+	s.cur = s.memoRho*s.cur + s.memoSq*s.src.Normal(0, s.sigma)
 	return s.cur
 }
 
@@ -177,14 +186,23 @@ type Link struct {
 	blocker *Blocker
 	fading  *rng.Source
 	lastT   float64
+
+	// Link-budget constants cached at construction so the per-sample
+	// path recomputes nothing that the deployment fixes.
+	noiseFloor float64 // P.NoiseFloorDBm()
+	fsplBase   float64 // 20·log10(4π/λ): FSPL at 1 m before the distance term
+	oxyPerM    float64 // oxygen absorption per meter
 }
 
 // NewLink builds a link with fresh stochastic processes drawn from the
 // named streams of seed.
 func NewLink(p Params, seed int64, name string) *Link {
 	return &Link{
-		P:      p,
-		shadow: NewShadowing(p.ShadowSigma, p.ShadowCorrT, rng.Stream(seed, name+"/shadow")),
+		P:          p,
+		noiseFloor: p.NoiseFloorDBm(),
+		fsplBase:   20 * math.Log10(4*math.Pi*p.CarrierHz/SpeedOfLight),
+		oxyPerM:    p.OxygenDBkm / 1000,
+		shadow:     NewShadowing(p.ShadowSigma, p.ShadowCorrT, rng.Stream(seed, name+"/shadow")),
 		// The diffuse-multipath structure changes with geometry, i.e.
 		// on the same timescale as shadowing — NOT per sample. This is
 		// what makes a low-selectivity receiver fail for entire search
@@ -230,21 +248,28 @@ type Sample struct {
 // pointed away from the LOS sees mostly scatter). The call advances
 // the shadowing and blockage processes to t.
 func (l *Link) Measure(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi float64) Sample {
+	return l.MeasureSel(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi,
+		mathx.DBToLin(rxGainDBi-rxAvgGainDBi))
+}
+
+// MeasureSel is Measure with the receiver's linear selectivity
+// (10^((rxGainDBi-rxAvgGainDBi)/10)) supplied by the caller. The phy
+// layer reads both scales straight out of the antenna gain tables, so
+// the per-sample dB→linear conversion disappears from the hot path.
+func (l *Link) MeasureSel(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi, selLin float64) Sample {
 	dt := t - l.lastT
 	if dt < 0 {
 		dt = 0
 	}
 	l.lastT = t
 
-	pl := l.P.FSPLdB(d)
+	pl := l.fspl(d)
 	sh := l.shadow.Advance(dt)
 	sirFluct := l.sirProc.Advance(dt)
 	blocked := l.blocker.BlockedAt(t)
 
 	// Pointing-dependent selectivity: how much stronger the direct
 	// path is received than the scattered field.
-	selDB := rxGainDBi - rxAvgGainDBi
-	selLin := math.Pow(10, selDB/10)
 	kScale := (selLin - 1) / (selLin + 1)
 	if kScale < 0 {
 		kScale = 0
@@ -259,7 +284,7 @@ func (l *Link) Measure(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi float64) Sample 
 			blockLoss = 0
 		}
 	}
-	fade := 10 * math.Log10(l.fading.Rician(k))
+	fade := mathx.LinToDB(l.fading.Rician(k))
 
 	rss := l.P.TxPowerDBm + txGainDBi + rxGainDBi - pl + sh + fade - blockLoss
 
@@ -270,8 +295,8 @@ func (l *Link) Measure(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi float64) Sample 
 	interf := l.P.TxPowerDBm + txGainDBi + rxAvgGainDBi -
 		pl - l.P.ReflLossDB + sh + sirFluct + l.fading.Normal(0, 1)
 	sir := rss - interf
-	snr := rss - l.P.NoiseFloorDBm()
-	sinr := -10 * math.Log10(math.Pow(10, -snr/10)+math.Pow(10, -sir/10))
+	snr := rss - l.noiseFloor
+	sinr := -mathx.LinToDB(mathx.DBToLin(-snr) + mathx.DBToLin(-sir))
 
 	return Sample{
 		RSSdBm:    rss,
@@ -285,9 +310,23 @@ func (l *Link) Measure(t, d, txGainDBi, rxGainDBi, rxAvgGainDBi float64) Sample 
 	}
 }
 
+// fspl is FSPLdB against the link's cached constants: the same value
+// to within an ulp, without re-deriving the wavelength term per
+// sample.
+func (l *Link) fspl(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	pl := l.fsplBase + 20*mathx.Log10(d) + l.oxyPerM*d
+	if l.P.SoftRangeLimit > 0 && d > l.P.SoftRangeLimit {
+		pl += (d - l.P.SoftRangeLimit) * l.P.SoftRangeRolloff
+	}
+	return pl
+}
+
 // SNRdB converts an RSS to an SNR against the configured noise floor.
 func (l *Link) SNRdB(rssDBm float64) float64 {
-	return rssDBm - l.P.NoiseFloorDBm()
+	return rssDBm - l.noiseFloor
 }
 
 // Detectable reports whether a beacon at the given RSS can be decoded.

@@ -48,16 +48,16 @@ func (s *Search) Active() bool { return s.active }
 // otherwise it is the full sweep order (initial acquisition).
 func (s *Search) Begin(now sim.Time, from antenna.BeamID) {
 	if s.book.Valid(from) {
-		s.order = s.book.Neighborhood(from, s.book.Size())
+		s.order = s.book.AppendNeighborhood(s.order[:0], from, s.book.Size())
 	} else {
-		all := s.book.AllBeams()
+		n := s.book.Size()
 		off := 0
-		if s.src != nil && len(all) > 1 {
-			off = s.src.Intn(len(all))
+		if s.src != nil && n > 1 {
+			off = s.src.Intn(n)
 		}
-		s.order = make([]antenna.BeamID, len(all))
-		for i := range all {
-			s.order[i] = all[(i+off)%len(all)]
+		s.order = s.order[:0]
+		for i := 0; i < n; i++ {
+			s.order = append(s.order, antenna.BeamID((i+off)%n))
 		}
 	}
 	s.idx = 0

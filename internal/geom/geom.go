@@ -32,6 +32,26 @@ func WrapAngle(a float64) float64 {
 	return a - math.Pi
 }
 
+// WrapNear reduces an angle to [-π, π) assuming it is already within
+// one turn of the interval — the common case for differences of two
+// wrapped angles, which lie in (-2π, 2π). One conditional add/sub
+// replaces WrapAngle's math.Mod on that fast path; angles further out
+// fall back to the exact reduction.
+func WrapNear(a float64) float64 {
+	if a < -math.Pi {
+		a += TwoPi
+		if a < -math.Pi {
+			return WrapAngle(a)
+		}
+	} else if a >= math.Pi {
+		a -= TwoPi
+		if a >= math.Pi {
+			return WrapAngle(a)
+		}
+	}
+	return a
+}
+
 // Wrap2Pi reduces an angle to [0, 2π).
 func Wrap2Pi(a float64) float64 {
 	a = math.Mod(a, TwoPi)
@@ -44,7 +64,7 @@ func Wrap2Pi(a float64) float64 {
 // AngleDist returns the absolute angular distance between a and b on
 // the circle, in [0, π].
 func AngleDist(a, b float64) float64 {
-	return math.Abs(WrapAngle(a - b))
+	return math.Abs(WrapNear(a - b))
 }
 
 // AngleLerp interpolates from a towards b along the shorter arc.
@@ -131,11 +151,11 @@ func (p Pose) BearingTo(target Vec) float64 { return p.Pos.BearingTo(target) }
 // LocalBearingTo returns the bearing to target expressed in the body
 // frame of the pose (0 = straight ahead).
 func (p Pose) LocalBearingTo(target Vec) float64 {
-	return WrapAngle(p.BearingTo(target) - p.Facing)
+	return WrapNear(p.BearingTo(target) - p.Facing)
 }
 
 // ToWorld converts a body-frame angle to the world frame.
-func (p Pose) ToWorld(local float64) float64 { return WrapAngle(local + p.Facing) }
+func (p Pose) ToWorld(local float64) float64 { return WrapNear(local + p.Facing) }
 
 // String implements fmt.Stringer.
 func (p Pose) String() string {

@@ -1,0 +1,86 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns the relative error of got against want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestDBToLinMatchesPow(t *testing.T) {
+	for db := -200.0; db <= 200; db += 0.371 {
+		want := math.Pow(10, db/10)
+		if e := relErr(DBToLin(db), want); e > 1e-14 {
+			t.Fatalf("DBToLin(%v) = %v, want %v (rel err %v)", db, DBToLin(db), want, e)
+		}
+	}
+}
+
+func TestDBToAmpMatchesPow(t *testing.T) {
+	for db := -120.0; db <= 120; db += 0.173 {
+		want := math.Pow(10, db/20)
+		if e := relErr(DBToAmp(db), want); e > 1e-14 {
+			t.Fatalf("DBToAmp(%v) = %v, want %v", db, DBToAmp(db), want)
+		}
+	}
+}
+
+func TestLinToDBMatchesLog10(t *testing.T) {
+	for lin := 1e-20; lin < 1e20; lin *= 1.7 {
+		want := 10 * math.Log10(lin)
+		if e := relErr(LinToDB(lin), want); e > 1e-14 {
+			t.Fatalf("LinToDB(%v) = %v, want %v", lin, LinToDB(lin), want)
+		}
+	}
+}
+
+func TestLog10MatchesStdlib(t *testing.T) {
+	for x := 1e-30; x < 1e30; x *= 2.3 {
+		want := math.Log10(x)
+		if e := relErr(Log10(x), want); e > 1e-14 {
+			t.Fatalf("Log10(%v) = %v, want %v", x, Log10(x), want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for db := -150.0; db <= 150; db += 1.37 {
+		if e := math.Abs(LinToDB(DBToLin(db)) - db); e > 1e-11 {
+			t.Fatalf("round trip at %v dB off by %v", db, e)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if LinToDB(0) != math.Inf(-1) {
+		t.Error("LinToDB(0) should be -Inf")
+	}
+	if DBToLin(0) != 1 {
+		t.Error("DBToLin(0) should be exactly 1")
+	}
+	if !math.IsNaN(LinToDB(-1)) {
+		t.Error("LinToDB(-1) should be NaN")
+	}
+}
+
+func BenchmarkDBToLin(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += DBToLin(float64(i%200) - 100)
+	}
+	_ = sink
+}
+
+func BenchmarkPowBaseline(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += math.Pow(10, (float64(i%200)-100)/10)
+	}
+	_ = sink
+}

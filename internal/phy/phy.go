@@ -24,6 +24,7 @@ import (
 	"silenttracker/internal/antenna"
 	"silenttracker/internal/channel"
 	"silenttracker/internal/geom"
+	"silenttracker/internal/mathx"
 	"silenttracker/internal/rng"
 	"silenttracker/internal/sim"
 )
@@ -153,18 +154,28 @@ type AirLink struct {
 	UE     *antenna.Codebook // mobile codebook (body frame)
 	Ch     *channel.Link
 	sync   *rng.Source
+
+	// Receiver constants cached from the codebooks: average gains in
+	// dB and their linear inverses, so per-sample selectivity is one
+	// multiply on the table's linear gain.
+	ueAvgDBi, ueInvAvgLin float64
+	bsAvgDBi, bsInvAvgLin float64
 }
 
 // NewAirLink builds the air link for one (cell, mobile) pair.
 // Stochastic processes derive from (seed, name).
 func NewAirLink(cfg Config, cellID int, bs, ue *antenna.Codebook, ch *channel.Link, seed int64, name string) *AirLink {
 	return &AirLink{
-		Cfg:    cfg,
-		CellID: cellID,
-		BS:     bs,
-		UE:     ue,
-		Ch:     ch,
-		sync:   rng.Stream(seed, name+"/sync"),
+		Cfg:         cfg,
+		CellID:      cellID,
+		BS:          bs,
+		UE:          ue,
+		Ch:          ch,
+		sync:        rng.Stream(seed, name+"/sync"),
+		ueAvgDBi:    ue.AvgGainDBi(),
+		ueInvAvgLin: 1 / ue.AvgGainLin(),
+		bsAvgDBi:    bs.AvgGainDBi(),
+		bsInvAvgLin: 1 / bs.AvgGainLin(),
 	}
 }
 
@@ -174,8 +185,8 @@ func NewAirLink(cfg Config, cellID int, bs, ue *antenna.Codebook, ch *channel.Li
 func (a *AirLink) Measure(t sim.Time, bsPose, uePose geom.Pose, tx, rx antenna.BeamID) Measurement {
 	d := bsPose.Pos.Dist(uePose.Pos)
 	txGain := a.BS.GainDB(tx, bsPose.BearingTo(uePose.Pos))
-	rxGain := a.UE.GainDB(rx, uePose.LocalBearingTo(bsPose.Pos))
-	s := a.Ch.Measure(t.Seconds(), d, txGain, rxGain, a.UE.AvgGainDBi())
+	rxGain, rxLin := a.UE.GainDBLin(rx, uePose.LocalBearingTo(bsPose.Pos))
+	s := a.Ch.MeasureSel(t.Seconds(), d, txGain, rxGain, a.ueAvgDBi, rxLin*a.ueInvAvgLin)
 	return Measurement{
 		Cell:     a.CellID,
 		TxBeam:   tx,
@@ -199,8 +210,8 @@ func (a *AirLink) Measure(t sim.Time, bsPose, uePose geom.Pose, tx, rx antenna.B
 func (a *AirLink) MeasureUplink(t sim.Time, bsPose, uePose geom.Pose, tx, rx antenna.BeamID) Measurement {
 	d := bsPose.Pos.Dist(uePose.Pos)
 	ueGain := a.UE.GainDB(rx, uePose.LocalBearingTo(bsPose.Pos))
-	bsGain := a.BS.GainDB(tx, bsPose.BearingTo(uePose.Pos))
-	s := a.Ch.Measure(t.Seconds(), d, ueGain-a.Cfg.UETxDeltaDB, bsGain, a.BS.AvgGainDBi())
+	bsGain, bsLin := a.BS.GainDBLin(tx, bsPose.BearingTo(uePose.Pos))
+	s := a.Ch.MeasureSel(t.Seconds(), d, ueGain-a.Cfg.UETxDeltaDB, bsGain, a.bsAvgDBi, bsLin*a.bsInvAvgLin)
 	return Measurement{
 		Cell:     a.CellID,
 		TxBeam:   tx,
@@ -218,7 +229,7 @@ func (a *AirLink) MeasureUplink(t sim.Time, bsPose, uePose geom.Pose, tx, rx ant
 // decoded at the given SNR: tighter at high SNR, looser near the
 // detection floor.
 func (a *AirLink) SyncError(snrDB float64) float64 {
-	scale := math.Pow(10, -snrDB/20) // error ∝ 1/amplitude-SNR
+	scale := mathx.DBToAmp(-snrDB) // error ∝ 1/amplitude-SNR
 	if scale > 4 {
 		scale = 4
 	}

@@ -1,0 +1,154 @@
+package sim
+
+import "testing"
+
+// The engine's schedule/fire cycle must not allocate in steady state:
+// events recycle through the free list, Timer handles are values, and
+// tickers reschedule in place.
+
+func TestScheduleFireAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Microsecond, fn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.After(Microsecond, fn)
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("Engine.After+fire allocates %v per op, want 0", avg)
+	}
+}
+
+func TestTickerAllocFree(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	tk := e.Every(Millisecond, func() { n++ })
+	e.RunUntil(10 * Millisecond)
+	if avg := testing.AllocsPerRun(500, func() {
+		e.RunFor(Millisecond)
+	}); avg != 0 {
+		t.Errorf("ticker period allocates %v per fire, want 0", avg)
+	}
+	tk.Stop()
+	if n < 500 {
+		t.Fatalf("ticker fired %d times", n)
+	}
+}
+
+func TestStopAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Microsecond, fn)
+	}
+	e.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		tm := e.After(Second, fn)
+		tm.Stop()
+		e.Run()
+	}); avg != 0 {
+		t.Errorf("schedule+stop allocates %v per op, want 0", avg)
+	}
+}
+
+// A stop-heavy workload must not accumulate dead events until their
+// fire times: once stopped events outnumber live ones the engine
+// sweeps them out, so Pending stays proportional to the live count.
+func TestStopHeavyPendingBounded(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	live := 0
+	for i := 0; i < 10000; i++ {
+		tm := e.After(Second+Time(i), fn)
+		if i%100 != 0 {
+			tm.Stop()
+		} else {
+			live++
+		}
+	}
+	// live = 100; stopped events may linger only up to the live count
+	// (sweep threshold is half the queue) plus the sweep floor.
+	if limit := 2*live + 16; e.Pending() > limit {
+		t.Errorf("Pending = %d after stop-heavy schedule, want <= %d", e.Pending(), limit)
+	}
+	e.Run()
+	if got := int(e.Fired()); got != live {
+		t.Errorf("fired %d events, want %d", got, live)
+	}
+}
+
+// A Timer handle must keep answering correctly after its pooled event
+// is recycled for a new schedule.
+func TestTimerHandleSurvivesPoolReuse(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.After(Millisecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	// The event is back in the pool; schedule something new, which
+	// will reuse the slot.
+	tm2 := e.After(Millisecond, func() {})
+	if tm.Stop() {
+		t.Error("stale handle stopped a recycled event")
+	}
+	if tm.Pending() {
+		t.Error("stale handle reports pending")
+	}
+	if tm.When() != Never {
+		t.Error("stale handle reports a fire time")
+	}
+	if !tm2.Pending() {
+		t.Error("fresh handle not pending")
+	}
+	e.Run()
+}
+
+func TestStoppedTickerEventRecycled(t *testing.T) {
+	e := NewEngine()
+	var tk *Ticker
+	count := 0
+	tk = e.Every(Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("stopped ticker left %d events queued", e.Pending())
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Microsecond, fn)
+		e.Run()
+	}
+}
+
+func BenchmarkEngineScheduleDepth1k(b *testing.B) {
+	// Schedule/fire against a 1000-event backlog: exercises heap depth.
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		e.At(Never-Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Microsecond, fn)
+		e.step()
+	}
+}

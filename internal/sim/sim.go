@@ -1,15 +1,22 @@
 // Package sim is a deterministic discrete-event simulation engine.
 //
-// The engine keeps a binary-heap event queue ordered by (time,
-// sequence number); equal-time events therefore run in scheduling
-// order, which keeps runs reproducible. Handlers run on the caller's
-// goroutine — the engine is intentionally single-threaded, since a
-// beam-management timeline is causal and fine-grained (microseconds)
-// and cross-goroutine scheduling would only add nondeterminism.
+// The engine keeps an event queue ordered by (time, sequence number);
+// equal-time events therefore run in scheduling order, which keeps
+// runs reproducible. Handlers run on the caller's goroutine — the
+// engine is intentionally single-threaded, since a beam-management
+// timeline is causal and fine-grained (microseconds) and
+// cross-goroutine scheduling would only add nondeterminism.
+//
+// The hot path is allocation-free: popped and cancelled events are
+// recycled through a free list, the queue is a 4-ary heap specialised
+// to *event (no container/heap boxing through any), Timer handles are
+// values that reference pool slots by generation, and periodic
+// Tickers reschedule their one event in place instead of creating a
+// closure per period. Steady-state scheduling therefore performs zero
+// heap allocations (see the AllocsPerRun regression tests).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -54,85 +61,78 @@ func (t Time) String() string {
 // Handler is a scheduled callback.
 type Handler func()
 
+// event is a pool-recycled queue entry. gen increments every time the
+// entry returns to the free list, so stale Timer handles (and Ticker
+// handles) can detect that "their" event has moved on.
 type event struct {
 	at      Time
 	seq     uint64
+	gen     uint64
 	fn      Handler
+	period  Time  // > 0 for ticker events: reschedule in place after firing
+	index   int32 // heap index, -1 once popped
 	stopped bool
-	index   int // heap index, -1 once popped
 }
 
 // Timer is a handle to a scheduled event, allowing cancellation.
-type Timer struct{ ev *event }
+// Timers are small values; copying one is cheap and all copies refer
+// to the same scheduled event. The zero Timer is inert.
+type Timer struct {
+	e   *Engine
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original event:
+// the pool slot has not been recycled and the event is neither
+// stopped nor already popped.
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.stopped && t.ev.index >= 0
+}
 
 // Stop cancels the timer. It reports whether the timer was still
-// pending (false if it already fired or was already stopped).
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped || t.ev.index == -1 {
+// pending (false if it already fired or was already stopped). The
+// cancelled event stays queued until its fire time or until stopped
+// events make up more than half the queue, whichever comes first —
+// then it is dropped and recycled eagerly.
+func (t Timer) Stop() bool {
+	if !t.live() {
 		return false
 	}
 	t.ev.stopped = true
+	t.e.nStopped++
+	t.e.maybeSweep()
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.stopped && t.ev.index != -1
-}
+func (t Timer) Pending() bool { return t.live() }
 
-// When returns the timer's scheduled fire time.
-func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+// When returns the timer's scheduled fire time, or Never if the timer
+// already fired or was stopped.
+func (t Timer) When() Time {
+	if !t.live() {
 		return Never
 	}
 	return t.ev.at
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
 // Engine is the discrete-event scheduler. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	running bool
-	stopped bool
-	fired   uint64
+	now      Time
+	queue    []*event // 4-ary min-heap on (at, seq)
+	free     []*event // recycled events
+	seq      uint64
+	running  bool
+	halted   bool
+	fired    uint64
+	nStopped int // stopped events still occupying queue slots
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulation time.
@@ -142,28 +142,158 @@ func (e *Engine) Now() Time { return e.now }
 // bounding tests and detecting runaway schedules.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including
-// stopped-but-unpopped timers).
+// Pending returns the number of events still queued. Stopped timers
+// may count until the engine sweeps them, which happens once more
+// than 8 of them make up over half the queue (the floor keeps tiny
+// queues from re-heapifying on every Stop).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// less orders events by (time, sequence): the strict total order that
+// makes runs reproducible regardless of heap shape.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles an event. Bumping gen invalidates every
+// outstanding handle to it; clearing fn releases the closure to the
+// collector.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.period = 0
+	ev.stopped = false
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// push inserts into the 4-ary heap. A 4-ary layout halves tree depth
+// against a binary heap, which matters because sift cost is dominated
+// by the dependent loads down the tree, not the extra comparisons.
+func (e *Engine) push(ev *event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, e.queue[p]) {
+			break
+		}
+		e.queue[i] = e.queue[p]
+		e.queue[i].index = int32(i)
+		i = p
+	}
+	e.queue[i] = ev
+	ev.index = int32(i)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *event {
+	root := e.queue[0]
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.queue[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+// siftDown restores heap order below slot i.
+func (e *Engine) siftDown(i int) {
+	ev := e.queue[i]
+	n := len(e.queue)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(e.queue[j], e.queue[m]) {
+				m = j
+			}
+		}
+		if !less(e.queue[m], ev) {
+			break
+		}
+		e.queue[i] = e.queue[m]
+		e.queue[i].index = int32(i)
+		i = m
+	}
+	e.queue[i] = ev
+	ev.index = int32(i)
+}
+
+// maybeSweep drops stopped events eagerly once they outnumber the
+// live ones, so a stop-heavy workload cannot balloon the queue until
+// the abandoned fire times come around. The floor avoids re-heapify
+// churn on tiny queues.
+func (e *Engine) maybeSweep() {
+	if e.nStopped < 8 || e.nStopped*2 <= len(e.queue) {
+		return
+	}
+	dst := 0
+	for _, ev := range e.queue {
+		if ev.stopped {
+			e.release(ev)
+			continue
+		}
+		e.queue[dst] = ev
+		ev.index = int32(dst)
+		dst++
+	}
+	for i := dst; i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:dst]
+	for i := (dst - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	e.nStopped = 0
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: that is always a logic error in a causal simulation.
-func (e *Engine) At(at Time, fn Handler) *Timer {
+func (e *Engine) At(at Time, fn Handler) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.push(ev)
+	return Timer{e: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative delays
 // are clamped to zero.
-func (e *Engine) After(d Time, fn Handler) *Timer {
+func (e *Engine) After(d Time, fn Handler) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -172,53 +302,65 @@ func (e *Engine) After(d Time, fn Handler) *Timer {
 
 // Every schedules fn to run every period, starting one period from
 // now, until the returned Ticker is stopped. period must be positive.
+// The ticker owns a single pooled event that is rescheduled in place
+// after each firing — repeating costs no allocation.
 func (e *Engine) Every(period Time, fn Handler) *Ticker {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
-	tk := &Ticker{engine: e, period: period, fn: fn}
-	tk.schedule()
-	return tk
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := e.alloc()
+	ev.at = e.now + period
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.period = period
+	e.seq++
+	e.push(ev)
+	return &Ticker{e: e, ev: ev, gen: ev.gen}
 }
 
 // Ticker repeatedly fires a handler at a fixed period.
 type Ticker struct {
-	engine  *Engine
-	period  Time
-	fn      Handler
-	timer   *Timer
+	e       *Engine
+	ev      *event
+	gen     uint64
 	stopped bool
 }
 
-func (tk *Ticker) schedule() {
-	tk.timer = tk.engine.After(tk.period, func() {
-		if tk.stopped {
-			return
-		}
-		tk.fn()
-		if !tk.stopped {
-			tk.schedule()
-		}
-	})
-}
-
-// Stop halts the ticker. Safe to call multiple times.
+// Stop halts the ticker. Safe to call multiple times, including from
+// inside the ticker's own handler.
 func (tk *Ticker) Stop() {
-	tk.stopped = true
-	if tk.timer != nil {
-		tk.timer.Stop()
+	if tk.stopped {
+		return
 	}
+	tk.stopped = true
+	ev := tk.ev
+	if ev == nil || ev.gen != tk.gen || ev.stopped {
+		return
+	}
+	ev.stopped = true
+	if ev.index >= 0 {
+		tk.e.nStopped++
+		tk.e.maybeSweep()
+	}
+	// index < 0 means the event is mid-fire; step() sees the stopped
+	// flag after the handler returns and recycles it instead of
+	// rescheduling.
 }
 
 // Stop halts the run loop after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+func (e *Engine) Stop() { e.halted = true }
 
 // step executes the next event. It reports false when the queue is
 // exhausted.
 func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.popMin()
 		if ev.stopped {
+			e.nStopped--
+			e.release(ev)
 			continue
 		}
 		if ev.at < e.now {
@@ -226,19 +368,50 @@ func (e *Engine) step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		if ev.period > 0 {
+			ev.fn()
+			if ev.stopped {
+				e.release(ev)
+			} else {
+				ev.at += ev.period
+				ev.seq = e.seq
+				e.seq++
+				e.push(ev)
+			}
+		} else {
+			// Recycle before the call: the handler may schedule new
+			// events and can reuse this slot immediately. Any handle to
+			// this event correctly reports "already fired" from here on.
+			fn := ev.fn
+			e.release(ev)
+			fn()
+		}
 		return true
 	}
 	return false
+}
+
+// peek returns the earliest live event's time, discarding stopped
+// events that have bubbled to the root.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if !e.queue[0].stopped {
+			return e.queue[0].at, true
+		}
+		ev := e.popMin()
+		e.nStopped--
+		e.release(ev)
+	}
+	return 0, false
 }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.runGuard()
 	defer func() { e.running = false }()
-	for !e.stopped && e.step() {
+	for !e.halted && e.step() {
 	}
-	e.stopped = false
+	e.halted = false
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances
@@ -246,20 +419,17 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.runGuard()
 	defer func() { e.running = false }()
-	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek at the head; heap root is element 0.
-		if e.queue[0].at > deadline {
+	for !e.halted {
+		at, ok := e.peek()
+		if !ok || at > deadline {
 			break
 		}
 		e.step()
 	}
-	if !e.stopped && deadline > e.now {
+	if !e.halted && deadline > e.now {
 		e.now = deadline
 	}
-	e.stopped = false
+	e.halted = false
 }
 
 // RunFor executes events for d simulated time from now.

@@ -49,6 +49,7 @@ type Device struct {
 
 	busyUntil sim.Time
 	timing    map[int]Timing
+	burstBuf  []phy.Measurement // reused row returned by MeasureBurst
 
 	// TimingTTL bounds how long a timing estimate stays usable without
 	// being refreshed by a decoded beacon.
@@ -95,18 +96,21 @@ func (d *Device) Busy(t sim.Time) bool { return t < d.busyUntil }
 // receive beam and returns the per-transmit-beam measurements. It
 // refreshes the mobile's timing estimate for the cell whenever at
 // least one beacon decodes. The caller must have reserved the radio.
+// The returned row is a scratch buffer owned by the Device, valid
+// until the next MeasureBurst call; every consumer reads it
+// synchronously.
 func (d *Device) MeasureBurst(cellID int, burstStart sim.Time, rx antenna.BeamID) []phy.Measurement {
 	ci := d.Cells[cellID]
 	if ci == nil {
 		return nil
 	}
 	d.BurstsListened++
-	out := make([]phy.Measurement, 0, ci.Sched.NumTx)
+	out := d.burstBuf[:0]
 	bestSNR := -1e9
 	detected := false
-	for _, tx := range ci.Book.AllBeams() {
-		at := ci.Sched.BeaconTime(burstStart, tx)
-		m := ci.Link.Measure(at, ci.Pose, d.Pose(at), tx, rx)
+	for tx := 0; tx < ci.Sched.NumTx; tx++ {
+		at := ci.Sched.BeaconTime(burstStart, antenna.BeamID(tx))
+		m := ci.Link.Measure(at, ci.Pose, d.Pose(at), antenna.BeamID(tx), rx)
 		out = append(out, m)
 		if m.Detected {
 			detected = true
@@ -115,6 +119,7 @@ func (d *Device) MeasureBurst(cellID int, burstStart sim.Time, rx antenna.BeamID
 			}
 		}
 	}
+	d.burstBuf = out
 	if detected {
 		errS := ci.Link.SyncError(bestSNR)
 		d.timing[cellID] = Timing{
