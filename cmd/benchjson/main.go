@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem | benchjson -o BENCH_2.json
+//	go test -bench . -benchmem | benchjson -o bench.json
+//	go test -bench . -benchmem | benchjson -pr 3     # writes BENCH_3.json
+//	go test -bench . -benchmem | benchjson -pr auto  # next free BENCH_<n>.json
+//
+// With -pr, the chosen filename is printed on stdout so CI scripts
+// can pick it up without replicating the naming convention; `-pr
+// auto` scans the working directory for existing BENCH_<n>.json files
+// and appends the next point, so the trajectory grows across PRs with
+// no workflow edits.
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -99,9 +109,52 @@ func parse(r io.Reader) (Report, error) {
 	return rep, sc.Err()
 }
 
+// benchPat matches trajectory files; the capture is the PR number.
+var benchPat = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// prFile resolves the -pr flag to a trajectory filename: a number N
+// gives BENCH_N.json, "auto"/"next" scans dir for the highest
+// existing point and returns the one after it.
+func prFile(pr, dir string) (string, error) {
+	if n, err := strconv.Atoi(pr); err == nil && n >= 0 {
+		return fmt.Sprintf("BENCH_%d.json", n), nil
+	}
+	if pr != "auto" && pr != "next" {
+		return "", fmt.Errorf("-pr wants a number, auto, or next; got %q", pr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	for _, e := range entries {
+		if m := benchPat.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+				next = n + 1
+			}
+		}
+	}
+	return fmt.Sprintf("BENCH_%d.json", next), nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	pr := flag.String("pr", "", "write BENCH_<n>.json for this PR number; auto = next free index")
 	flag.Parse()
+	if *out != "" && *pr != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o and -pr are mutually exclusive")
+		os.Exit(2)
+	}
+	announce := false
+	if *pr != "" {
+		name, err := prFile(*pr, ".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		*out = name
+		announce = true
+	}
 
 	rep, err := parse(os.Stdin)
 	if err != nil {
@@ -131,5 +184,8 @@ func main() {
 	if _, err := w.Write(buf); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if announce {
+		fmt.Println(filepath.Base(*out))
 	}
 }

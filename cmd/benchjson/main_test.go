@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +42,33 @@ func TestParse(t *testing.T) {
 	}
 	if rep.Benchmarks[2].AllocsPerOp != 0 || rep.Benchmarks[2].NsPerOp != 13.18 {
 		t.Errorf("third bench: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestPRFile(t *testing.T) {
+	dir := t.TempDir()
+	// Explicit number wins regardless of directory contents.
+	if got, err := prFile("7", dir); err != nil || got != "BENCH_7.json" {
+		t.Errorf("prFile(7) = %q, %v", got, err)
+	}
+	// Empty trajectory starts at 0.
+	if got, err := prFile("auto", dir); err != nil || got != "BENCH_0.json" {
+		t.Errorf("prFile(auto, empty) = %q, %v", got, err)
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// auto appends after the highest existing point, ignoring noise.
+	if got, err := prFile("auto", dir); err != nil || got != "BENCH_11.json" {
+		t.Errorf("prFile(auto) = %q, %v", got, err)
+	}
+	if got, err := prFile("next", dir); err != nil || got != "BENCH_11.json" {
+		t.Errorf("prFile(next) = %q, %v", got, err)
+	}
+	if _, err := prFile("bogus", dir); err == nil {
+		t.Error("prFile(bogus) should fail")
 	}
 }
 

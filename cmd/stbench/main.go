@@ -1,7 +1,8 @@
 // Command stbench regenerates every table and figure of the paper's
 // evaluation (and the ablations DESIGN.md adds). With no flags it runs
-// everything at full fidelity; -exp selects one experiment and -quick
-// cuts the trial counts for a fast smoke run.
+// everything at full fidelity; -exp selects one experiment by exact
+// name, -run selects experiments by regexp, -list enumerates them,
+// and -quick cuts the trial counts for a fast smoke run.
 //
 // -j N shards each experiment's independent trials across N worker
 // goroutines (0, the default, uses GOMAXPROCS). Parallelism never
@@ -9,20 +10,139 @@
 // seed and its trial index alone, and per-trial results are folded in
 // trial order, so the same seed produces byte-identical tables at any
 // -j. Use -j 1 to force the serial path.
+//
+// For cached sweeps (warm re-runs that skip already-computed trials),
+// use cmd/stcampaign, which runs the same experiments through the
+// campaign engine's content-addressed result cache.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 
 	"silenttracker/internal/experiments"
 )
 
+// experiment binds a name to its runner; opts plumbing stays inside
+// run so each experiment keeps its own options type.
+type experiment struct {
+	name string
+	run  func(w io.Writer, seed int64, workers int, csv bool)
+}
+
+// pick selects the reduced trial count under -quick (the counts come
+// from experiments.QuickTrials, shared with stcampaign).
+func pick(quick bool, full, reduced int) int {
+	if quick {
+		return reduced
+	}
+	return full
+}
+
+func experimentsTable(quick bool) []experiment {
+	return []experiment{
+		{"fig2a", func(w io.Writer, seed int64, workers int, csv bool) {
+			opts := experiments.DefaultFig2aOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("fig2a"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			rows := experiments.RunFig2a(opts)
+			if csv {
+				experiments.WriteFig2aCSV(w, rows)
+			} else {
+				experiments.Banner(w, "Figure 2a — directional search under mobility")
+				experiments.WriteFig2a(w, rows)
+			}
+		}},
+		{"fig2c", func(w io.Writer, seed int64, workers int, csv bool) {
+			opts := experiments.DefaultFig2cOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("fig2c"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			series := experiments.RunFig2c(opts)
+			if csv {
+				experiments.WriteFig2cCSV(w, series)
+			} else {
+				experiments.Banner(w, "Figure 2c — soft handover completion time CDF")
+				experiments.WriteFig2c(w, series)
+			}
+		}},
+		{"mobility", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultMobilityOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("mobility"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Alignment held until handover conclusion (§3 claim)")
+			experiments.WriteMobility(w, experiments.RunMobility(opts))
+		}},
+		{"ablation-threshold", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultThresholdOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("threshold"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Ablation — handover margin T")
+			experiments.WriteThreshold(w, experiments.RunThreshold(opts))
+		}},
+		{"ablation-hysteresis", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultHysteresisOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("hysteresis"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Ablation — adjacent-switch trigger (3 dB rule)")
+			experiments.WriteHysteresis(w, experiments.RunHysteresis(opts))
+		}},
+		{"baseline", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultBaselineOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("baseline"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Baseline comparison — soft vs reactive vs genie")
+			experiments.WriteBaseline(w, experiments.RunBaseline(opts))
+		}},
+		{"ablation-pattern", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultPatternOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("patterns"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Ablation — beam pattern model (Gaussian vs ULA)")
+			experiments.WritePatterns(w, experiments.RunPatterns(opts))
+		}},
+		{"ablation-codebook", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultCodebookOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("codebook"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Codebook-size sweep — where 1.28 s comes from")
+			experiments.WriteCodebook(w, experiments.RunCodebook(opts))
+		}},
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2a, fig2c, mobility, ablation-threshold, ablation-hysteresis, ablation-pattern, ablation-codebook, baseline, all")
+	exp := flag.String("exp", "all", "experiment by exact name (see -list), or all")
+	runPat := flag.String("run", "", "run experiments whose name matches this regexp (overrides -exp)")
+	list := flag.Bool("list", false, "list experiment names and exit")
 	quick := flag.Bool("quick", false, "reduced trial counts (smoke run)")
 	csv := flag.Bool("csv", false, "emit raw CSV samples instead of tables (fig2a/fig2c)")
 	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
@@ -30,6 +150,34 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	table := experimentsTable(*quick)
+
+	if *list {
+		for _, e := range table {
+			fmt.Println(e.name)
+		}
+		return
+	}
+
+	selected := func(name string) bool { return *exp == "all" || *exp == name }
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern %q: %v\n", *runPat, err)
+			os.Exit(2)
+		}
+		selected = re.MatchString
+	} else if *exp != "all" {
+		known := false
+		for _, e := range table {
+			known = known || e.name == *exp
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *exp)
+			os.Exit(2)
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -61,117 +209,16 @@ func main() {
 		}()
 	}
 
-	out := os.Stdout
-	run := func(name string) bool { return *exp == "all" || *exp == name }
-
-	div := func(n, q int) int {
-		if *quick {
-			return q
+	ran := 0
+	for _, e := range table {
+		if !selected(e.name) {
+			continue
 		}
-		return n
+		ran++
+		e.run(os.Stdout, *seed, *jobs, *csv)
 	}
-
-	if run("fig2a") {
-		opts := experiments.DefaultFig2aOpts()
-		opts.Trials = div(opts.Trials, 25)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		rows := experiments.RunFig2a(opts)
-		if *csv {
-			experiments.WriteFig2aCSV(out, rows)
-		} else {
-			experiments.Banner(out, "Figure 2a — directional search under mobility")
-			experiments.WriteFig2a(out, rows)
-		}
-	}
-	if run("fig2c") {
-		opts := experiments.DefaultFig2cOpts()
-		opts.Trials = div(opts.Trials, 20)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		series := experiments.RunFig2c(opts)
-		if *csv {
-			experiments.WriteFig2cCSV(out, series)
-		} else {
-			experiments.Banner(out, "Figure 2c — soft handover completion time CDF")
-			experiments.WriteFig2c(out, series)
-		}
-	}
-	if run("mobility") {
-		opts := experiments.DefaultMobilityOpts()
-		opts.Trials = div(opts.Trials, 10)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Alignment held until handover conclusion (§3 claim)")
-		experiments.WriteMobility(out, experiments.RunMobility(opts))
-	}
-	if run("ablation-threshold") {
-		opts := experiments.DefaultThresholdOpts()
-		opts.Trials = div(opts.Trials, 6)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Ablation — handover margin T")
-		experiments.WriteThreshold(out, experiments.RunThreshold(opts))
-	}
-	if run("ablation-hysteresis") {
-		opts := experiments.DefaultHysteresisOpts()
-		opts.Trials = div(opts.Trials, 6)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Ablation — adjacent-switch trigger (3 dB rule)")
-		experiments.WriteHysteresis(out, experiments.RunHysteresis(opts))
-	}
-	if run("baseline") {
-		opts := experiments.DefaultBaselineOpts()
-		opts.Trials = div(opts.Trials, 6)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Baseline comparison — soft vs reactive vs genie")
-		experiments.WriteBaseline(out, experiments.RunBaseline(opts))
-	}
-	if run("ablation-pattern") {
-		opts := experiments.DefaultPatternOpts()
-		opts.Trials = div(opts.Trials, 8)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Ablation — beam pattern model (Gaussian vs ULA)")
-		experiments.WritePatterns(out, experiments.RunPatterns(opts))
-	}
-	if run("ablation-codebook") {
-		opts := experiments.DefaultCodebookOpts()
-		opts.Trials = div(opts.Trials, 8)
-		if *seed != 0 {
-			opts.Seed = *seed
-		}
-		opts.Workers = *jobs
-		experiments.Banner(out, "Codebook-size sweep — where 1.28 s comes from")
-		experiments.WriteCodebook(out, experiments.RunCodebook(opts))
-	}
-	if *exp != "all" && !anyKnown(*exp) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (see -list)\n", *runPat)
 		os.Exit(2)
 	}
-}
-
-func anyKnown(e string) bool {
-	switch e {
-	case "fig2a", "fig2c", "mobility", "ablation-threshold",
-		"ablation-hysteresis", "ablation-pattern", "ablation-codebook", "baseline":
-		return true
-	}
-	return false
 }

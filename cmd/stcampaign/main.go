@@ -1,0 +1,202 @@
+// Command stcampaign runs declarative experiment sweeps through the
+// campaign engine (internal/campaign) with a content-addressed
+// on-disk result cache: a warm re-run of an already-computed spec
+// performs zero trial computations while emitting byte-identical
+// tables, and a sweep that shares cells with a previous one only
+// computes the delta.
+//
+// Subcommands:
+//
+//	stcampaign list                      enumerate registered campaigns
+//	stcampaign describe <name>           axes, seeds, units, cache keys
+//	stcampaign run [flags] [pattern]     run campaigns matching a regexp
+//	stcampaign clean [flags]             remove the result cache
+//
+// Run flags: -j N shards trial units across N workers (0 =
+// GOMAXPROCS) and never changes results; -cache-dir selects the cache
+// (default .stcache; -no-cache disables it); -quick cuts trial
+// counts; -seed/-trials override the spec defaults (changing either
+// changes the cache keys); -json emits folded cell results as JSON
+// instead of text tables. Tables and JSON go to stdout; run
+// statistics (units/computed/cached) go to stderr so stdout stays
+// byte-comparable across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"silenttracker/internal/campaign"
+	"silenttracker/internal/experiments"
+)
+
+const defaultCacheDir = ".stcache"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "describe":
+		cmdDescribe(os.Args[2:])
+	case "run":
+		os.Exit(cmdRun(os.Args[2:]))
+	case "clean":
+		cmdClean(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "stcampaign: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: stcampaign <subcommand> [flags]
+
+  list                    enumerate registered campaigns
+  describe <name>         show a campaign's axes, seeds, and cache keys
+  run [flags] [pattern]   run campaigns whose name matches the regexp
+                          (default: all); flags: -j, -cache-dir,
+                          -no-cache, -quick, -seed, -trials, -json
+  clean [-cache-dir D]    remove the result cache
+`)
+}
+
+func cmdList() {
+	for _, def := range experiments.Campaigns() {
+		spec := def.Build(experiments.CampaignParams{})
+		fmt.Printf("%-12s %4d cells × %3d trials = %5d units   %s\n",
+			def.Name, len(spec.Cells()), spec.Trials, spec.Units(), spec.Description)
+	}
+}
+
+func cmdDescribe(args []string) {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "describe the reduced smoke-run configuration")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stcampaign describe [-quick] <name>")
+		os.Exit(2)
+	}
+	name := fs.Arg(0)
+	for _, def := range experiments.Campaigns() {
+		if def.Name != name {
+			continue
+		}
+		spec := def.Build(experiments.CampaignParams{Quick: *quick})
+		fmt.Printf("campaign:   %s\n", spec.Name)
+		fmt.Printf("about:      %s\n", spec.Description)
+		fmt.Printf("epoch:      %s\n", spec.Epoch)
+		if spec.Config != "" {
+			fmt.Printf("config:     %s\n", spec.Config)
+		}
+		fmt.Printf("seeds:      base %d, stride %d\n", spec.Seed, spec.SeedStride)
+		fmt.Printf("trials:     %d per cell\n", spec.Trials)
+		for _, a := range spec.Axes {
+			fmt.Printf("axis:       %s = %v\n", a.Name, a.Values)
+		}
+		cells := spec.Cells()
+		fmt.Printf("grid:       %d cells, %d units\n", len(cells), spec.Units())
+		for _, c := range cells {
+			fmt.Printf("  %-40s key %s…\n", c, spec.UnitKey(c, 0).Hash()[:12])
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "stcampaign: unknown campaign %q (try `stcampaign list`)\n", name)
+	os.Exit(2)
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jobs := fs.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
+	cacheDir := fs.String("cache-dir", defaultCacheDir, "content-addressed result cache directory")
+	noCache := fs.Bool("no-cache", false, "compute every unit; do not read or write the cache")
+	quick := fs.Bool("quick", false, "reduced trial counts (smoke run)")
+	seed := fs.Int64("seed", 0, "override base seed (0 = per-experiment default)")
+	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
+	asJSON := fs.Bool("json", false, "emit folded cell results as JSON instead of text tables")
+	fs.Parse(args)
+
+	pattern := "^.*$"
+	if fs.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: stcampaign run [flags] [pattern]")
+		return 2
+	}
+	if fs.NArg() == 1 && fs.Arg(0) != "all" {
+		pattern = fs.Arg(0)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: bad pattern %q: %v\n", pattern, err)
+		return 2
+	}
+
+	var cache *campaign.Cache
+	if !*noCache {
+		cache, err = campaign.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+			return 1
+		}
+	}
+	eng := campaign.Engine{Cache: cache, Workers: *jobs}
+	params := experiments.CampaignParams{Quick: *quick, Seed: *seed, Trials: *trials}
+
+	type jsonDoc struct {
+		Name        string                `json:"name"`
+		Description string                `json:"description"`
+		Cells       []campaign.CellResult `json:"cells"`
+	}
+	var docs []jsonDoc
+	matched := 0
+	for _, def := range experiments.Campaigns() {
+		if !re.MatchString(def.Name) {
+			continue
+		}
+		matched++
+		spec := def.Build(params)
+		cells, stats := eng.Run(spec)
+		fmt.Fprintf(os.Stderr, "%s: %s (%.1fs)\n", spec.Name, stats, stats.Elapsed.Seconds())
+		if *asJSON {
+			docs = append(docs, jsonDoc{Name: spec.Name, Description: spec.Description, Cells: cells})
+			continue
+		}
+		banner(spec.Name)
+		spec.Render(os.Stdout, cells)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "stcampaign: no campaign matches %q (try `stcampaign list`)\n", pattern)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func banner(name string) {
+	fmt.Printf("\n== campaign %s ==\n\n", name)
+}
+
+func cmdClean(args []string) {
+	fs := flag.NewFlagSet("clean", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", defaultCacheDir, "cache directory to remove")
+	fs.Parse(args)
+	if err := campaign.Clean(*cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		os.Exit(1)
+	}
+}

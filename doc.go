@@ -23,7 +23,8 @@
 //   - internal/{antenna, channel, phy, mac, cell, ue, mobility} — substrates
 //   - internal/{world, experiments, handover, netem, trace} — harness
 //   - internal/runner      — deterministic parallel trial engine
-//   - cmd/{stbench, stsim, stmachine} — executables
+//   - internal/campaign    — declarative sweeps + content-addressed result cache
+//   - cmd/{stbench, stcampaign, stsim, stmachine} — executables
 //   - examples/ — runnable scenarios
 //
 // Every experiment shards its independent trials across a worker pool
@@ -31,6 +32,15 @@
 // guarantee: the same seed produces byte-identical tables at any
 // worker count, because each trial's randomness is a pure function of
 // (seed, trial index) and results are folded in trial order.
+//
+// The eight experiments are declared as campaign specs
+// (internal/campaign): a grid of axes, a seed schedule, and a trial
+// body. The campaign engine keys every trial unit by a content hash
+// of (spec identity, cell, seed, code-relevant config) into an
+// on-disk cache, so a warm `stcampaign run` of an already-computed
+// spec performs zero trial computations while emitting byte-identical
+// tables, and a sweep that shares cells with a previous one computes
+// only the delta.
 //
 // The per-sample simulation kernel is allocation-free and
 // table-driven: internal/sim pools events through a free list behind

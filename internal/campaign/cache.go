@@ -1,0 +1,208 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EngineEpoch versions the campaign engine itself: the unit key
+// schema, the Metrics serialisation, and the fold rules. Bumping it
+// invalidates every cached unit of every spec.
+const EngineEpoch = "campaign/v1"
+
+// Key identifies one trial unit for caching: the spec's identity and
+// versions, the cell coordinates, and the unit's seed. Two units with
+// equal keys are guaranteed to compute identical Metrics, because the
+// trial body derives all randomness from the seed and cell alone.
+type Key struct {
+	Engine     string `json:"engine"`
+	Experiment string `json:"experiment"`
+	Epoch      string `json:"epoch"`
+	Config     string `json:"config,omitempty"`
+	Cell       Cell   `json:"cell"`
+	Seed       int64  `json:"seed"`
+}
+
+// UnitKey builds the cache key for trial i of the given cell.
+func (s *Spec) UnitKey(cell Cell, trial int) Key {
+	return Key{
+		Engine:     EngineEpoch,
+		Experiment: s.Name,
+		Epoch:      s.Epoch,
+		Config:     s.Config,
+		Cell:       cell,
+		Seed:       s.TrialSeed(trial),
+	}
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its
+// canonical JSON encoding.
+func (k Key) Hash() string {
+	buf, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: key marshal: %v", err))
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}
+
+// markerName tags a directory as a campaign cache so Clean never
+// deletes a directory the cache did not create. The format follows
+// the CACHEDIR.TAG convention.
+const markerName = "CACHEDIR.TAG"
+
+const markerContent = "Signature: 8a477f597d28d172789f06886806bc55\n" +
+	"# This directory is a silenttracker campaign result cache.\n" +
+	"# See internal/campaign; safe to delete with `stcampaign clean`.\n"
+
+// Cache is a content-addressed on-disk result store: one JSON file
+// per trial unit at <dir>/<hh>/<hash>.json (hh = first hash byte, to
+// keep directories small). Writes are atomic (temp file + rename), so
+// concurrent workers and interrupted runs never leave a torn entry.
+type Cache struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Open creates (if needed) and opens a cache directory. It refuses
+// to adopt a pre-existing non-empty directory that does not carry the
+// cache marker: stamping arbitrary directories would arm both the
+// temp sweep and Clean against data the cache does not own.
+func Open(dir string) (*Cache, error) {
+	marker := filepath.Join(dir, markerName)
+	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+		if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("campaign: %s exists, is not empty, and is not a campaign cache (missing %s); refusing to adopt it", dir, markerName)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
+	}
+	if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
+		if err := os.WriteFile(marker, []byte(markerContent), 0o644); err != nil {
+			return nil, fmt.Errorf("campaign: open cache: %w", err)
+		}
+	}
+	sweepStaleTemps(dir)
+	return &Cache{dir: dir}, nil
+}
+
+// staleTempAge is how old an orphaned Put temp file must be before
+// Open sweeps it. Young temps may belong to a concurrent run writing
+// into the same cache; hour-old ones are debris from a killed run.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps removes temp files abandoned by interrupted runs so
+// they cannot accumulate across crashes. Best-effort: a sweep failure
+// never blocks opening the cache.
+func sweepStaleTemps(dir string) {
+	cutoff := time.Now().Add(-staleTempAge)
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.Contains(d.Name(), ".tmp") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get loads the metrics stored under the hash. A missing or
+// unreadable entry (torn write from a killed run, hand-edited file)
+// is a miss, never an error: the engine just recomputes the unit.
+func (c *Cache) Get(hash string) (Metrics, bool) {
+	buf, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var m Metrics
+	if err := json.Unmarshal(buf, &m); err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return m, true
+}
+
+// Put stores the metrics under the hash atomically.
+func (c *Cache) Put(hash string, m Metrics) error {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	path := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: cache put: %w", err)
+	}
+	return nil
+}
+
+// Hits returns how many Gets found an entry.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many Gets found nothing.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Entries walks the cache and returns how many units it stores.
+func (c *Cache) Entries() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Clean removes a cache directory. It refuses to delete a directory
+// that does not carry the cache marker, so a mistyped -cache-dir can
+// never destroy user data. A nonexistent directory is a no-op.
+func Clean(dir string) error {
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, markerName))
+	if err != nil || string(buf) != markerContent {
+		return fmt.Errorf("campaign: %s is not a campaign cache (missing %s); not removing", dir, markerName)
+	}
+	return os.RemoveAll(dir)
+}

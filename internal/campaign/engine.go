@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"silenttracker/internal/runner"
+)
+
+// RunStats summarises one engine run.
+type RunStats struct {
+	Units    int           // trial units the spec expanded to
+	Computed int           // units actually executed
+	Cached   int           // units served from the cache
+	Elapsed  time.Duration // wall clock of the Run call
+}
+
+// String renders the stats as the stable one-line form the CLI prints
+// (and CI greps) — Elapsed is excluded so the line is comparable
+// across runs.
+func (rs RunStats) String() string {
+	return fmt.Sprintf("units=%d computed=%d cached=%d", rs.Units, rs.Computed, rs.Cached)
+}
+
+// Engine executes specs. A nil Cache disables caching (every unit
+// computes); Workers follows the runner convention (0 = GOMAXPROCS)
+// and never changes results.
+type Engine struct {
+	Cache   *Cache
+	Workers int
+}
+
+// Run expands the spec into trial units, executes them (cache-first)
+// across the worker pool, and folds the results into per-cell trial
+// vectors. Determinism: units are indexed (cell-major, trial-minor)
+// before execution and folded by index, so the fold sees the exact
+// sequence a serial double loop over (cell, trial) would produce —
+// at any worker count, and whether a unit was computed or loaded.
+func (e *Engine) Run(spec *Spec) ([]CellResult, RunStats) {
+	start := time.Now()
+	cells := spec.Cells()
+
+	type unit struct {
+		cell  int
+		trial int
+		hash  string
+	}
+	units := make([]unit, 0, len(cells)*spec.Trials)
+	for ci, cell := range cells {
+		for t := 0; t < spec.Trials; t++ {
+			u := unit{cell: ci, trial: t}
+			if e.Cache != nil {
+				u.hash = spec.UnitKey(cell, t).Hash()
+			}
+			units = append(units, u)
+		}
+	}
+
+	type outcome struct {
+		m        Metrics
+		computed bool
+	}
+	results := runner.Map(len(units), e.Workers, func(i int) outcome {
+		u := units[i]
+		if e.Cache != nil {
+			if m, ok := e.Cache.Get(u.hash); ok {
+				return outcome{m: m}
+			}
+		}
+		m := spec.Trial(cells[u.cell], spec.TrialSeed(u.trial))
+		if e.Cache != nil {
+			// A failed store (full disk, read-only cache) degrades to
+			// recomputation on the next run; this run's result is
+			// unaffected, so the error is not fatal.
+			_ = e.Cache.Put(u.hash, m)
+		}
+		return outcome{m: m, computed: true}
+	})
+
+	out := make([]CellResult, len(cells))
+	for i := range cells {
+		out[i] = CellResult{Cell: cells[i], Trials: make([]Metrics, 0, spec.Trials)}
+	}
+	stats := RunStats{Units: len(units)}
+	for i, r := range results {
+		out[units[i].cell].Trials = append(out[units[i].cell].Trials, r.m)
+		if r.computed {
+			stats.Computed++
+		} else {
+			stats.Cached++
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return out, stats
+}
+
+// Collect is the convenience path the thin experiment runners use:
+// run the spec with no cache at the given parallelism and return the
+// folded cells.
+func Collect(spec *Spec, workers int) []CellResult {
+	eng := Engine{Workers: workers}
+	cells, _ := eng.Run(spec)
+	return cells
+}

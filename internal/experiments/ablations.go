@@ -1,14 +1,28 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/core"
 	"silenttracker/internal/handover"
 	"silenttracker/internal/netem"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 	"silenttracker/internal/world"
 )
+
+// floatAxis renders knob settings as exact symbolic axis values
+// (shortest round-trip formatting, parsed back by Cell.Float).
+func floatAxis(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return out
+}
 
 // ThresholdRow is one row of the handover-margin (T) ablation: the
 // trade-off between ping-pong instability (T too small) and late,
@@ -42,48 +56,68 @@ func DefaultThresholdOpts() ThresholdOpts {
 	}
 }
 
+// ThresholdCampaign declares the handover-margin ablation as a
+// campaign spec: one axis (the margin T in dB), a boundary walk with
+// a packet flow attached as the unit body.
+func ThresholdCampaign(opts ThresholdOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "threshold",
+		Description: "handover margin T ablation: ping-pong instability vs late, lossy handover",
+		Axes: []campaign.Axis{
+			{Name: "margin_db", Values: floatAxis(opts.Margins)},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 27644437,
+		Epoch:      "threshold/v1",
+		Config:     fmt.Sprintf("horizon=%d", opts.Horizon),
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			b := EdgeBuilder(seed)
+			b.Cfg.HandoverMarginDB = cell.Float("margin_db")
+			b.Mob = MobilityFor(Walk, seed)
+			w := b.Build()
+			aud := handover.NewAuditor(1, 0)
+			w.Tracker.SetEventHook(aud.Hook(nil))
+			flow := netem.Attach(w, sim.Millisecond)
+			w.Run(opts.Horizon)
+			flow.Stop()
+			m := campaign.NewMetrics()
+			m.Count("handovers", aud.Completed())
+			m.Count("pingpongs", aud.PingPongs())
+			m.Add("interrupt_ms", aud.TotalInterruption().Millis())
+			m.Add("loss_rate", flow.LossRate())
+			m.Record("no_ho", aud.Completed() == 0)
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteThreshold(w, ThresholdRows(cells, opts.Trials))
+		},
+	}
+}
+
+// ThresholdRows folds campaign cells back into the table's row structs.
+func ThresholdRows(cells []campaign.CellResult, trials int) []ThresholdRow {
+	out := make([]ThresholdRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out = append(out, ThresholdRow{
+			MarginDB:    c.Cell.Float("margin_db"),
+			Trials:      trials,
+			Handovers:   c.Sample("handovers"),
+			PingPongs:   c.Sample("pingpongs"),
+			InterruptMs: c.Sample("interrupt_ms"),
+			LossRate:    c.Sample("loss_rate"),
+			NoHandover:  c.Rate("no_ho"),
+		})
+	}
+	return out
+}
+
 // RunThreshold regenerates the T ablation. The workload is the
 // boundary walk with a packet flow attached, run long enough for the
 // mobile to dwell in the crossover region.
 func RunThreshold(opts ThresholdOpts) []ThresholdRow {
-	type result struct {
-		handovers   int
-		pingpongs   int
-		interruptMs float64
-		lossRate    float64
-	}
-	out := make([]ThresholdRow, 0, len(opts.Margins))
-	for _, margin := range opts.Margins {
-		row := ThresholdRow{MarginDB: margin, Trials: opts.Trials}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) result {
-				seed := opts.Seed + int64(i)*27644437
-				b := EdgeBuilder(seed)
-				b.Cfg.HandoverMarginDB = margin
-				b.Mob = MobilityFor(Walk, seed)
-				w := b.Build()
-				aud := handover.NewAuditor(1, 0)
-				w.Tracker.SetEventHook(aud.Hook(nil))
-				flow := netem.Attach(w, sim.Millisecond)
-				w.Run(opts.Horizon)
-				flow.Stop()
-				return result{
-					handovers:   aud.Completed(),
-					pingpongs:   aud.PingPongs(),
-					interruptMs: aud.TotalInterruption().Millis(),
-					lossRate:    flow.LossRate(),
-				}
-			},
-			func(_ int, r result) {
-				row.Handovers.Add(float64(r.handovers))
-				row.PingPongs.Add(float64(r.pingpongs))
-				row.InterruptMs.Add(r.interruptMs)
-				row.LossRate.Add(r.lossRate)
-				row.NoHandover.Record(r.handovers == 0)
-			})
-		out = append(out, row)
-	}
-	return out
+	return ThresholdRows(campaign.Collect(ThresholdCampaign(opts), opts.Workers), opts.Trials)
 }
 
 // HysteresisRow is one row of the adjacent-switch trigger ablation:
@@ -117,31 +151,60 @@ func DefaultHysteresisOpts() HysteresisOpts {
 	}
 }
 
-// RunHysteresis regenerates the 3 dB rule ablation under rotation.
-func RunHysteresis(opts HysteresisOpts) []HysteresisRow {
-	out := make([]HysteresisRow, 0, len(opts.Triggers))
-	for _, trig := range opts.Triggers {
-		row := HysteresisRow{TriggerDB: trig, Trials: opts.Trials}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) *HysteresisRow {
-				seed := opts.Seed + int64(i)*6700417
-				b := EdgeBuilder(seed)
-				b.Cfg.TrackTriggerDB = trig
-				b.Mob = MobilityFor(Rotation, seed)
-				w := b.Build()
-				var t HysteresisRow
-				runHysteresisTrial(w, &t)
-				return &t
-			},
-			func(_ int, t *HysteresisRow) {
-				row.Switches.Merge(&t.Switches)
-				row.Losses.Merge(&t.Losses)
-				row.MisalignDeg.Merge(&t.MisalignDeg)
-				row.HandoverOK.Merge(t.HandoverOK)
-			})
-		out = append(out, row)
+// HysteresisCampaign declares the adjacent-switch trigger ablation as
+// a campaign spec: one axis (the trigger in dB), the rotation stress
+// workload as the unit body.
+func HysteresisCampaign(opts HysteresisOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "hysteresis",
+		Description: "adjacent-switch trigger (3 dB rule) ablation under device rotation",
+		Axes: []campaign.Axis{
+			{Name: "trigger_db", Values: floatAxis(opts.Triggers)},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 6700417,
+		Epoch:      "hysteresis/v1",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			b := EdgeBuilder(seed)
+			b.Cfg.TrackTriggerDB = cell.Float("trigger_db")
+			b.Mob = MobilityFor(Rotation, seed)
+			w := b.Build()
+			var t HysteresisRow
+			runHysteresisTrial(w, &t)
+			m := campaign.NewMetrics()
+			m.Add("switches", t.Switches.Raw()...)
+			m.Add("losses", t.Losses.Raw()...)
+			m.Add("misalign_deg", t.MisalignDeg.Raw()...)
+			m.Record("ho_ok", t.HandoverOK.Successes > 0)
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteHysteresis(w, HysteresisRows(cells, opts.Trials))
+		},
+	}
+}
+
+// HysteresisRows folds campaign cells back into the table's row structs.
+func HysteresisRows(cells []campaign.CellResult, trials int) []HysteresisRow {
+	out := make([]HysteresisRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out = append(out, HysteresisRow{
+			TriggerDB:   c.Cell.Float("trigger_db"),
+			Trials:      trials,
+			Switches:    c.Sample("switches"),
+			Losses:      c.Sample("losses"),
+			MisalignDeg: c.Sample("misalign_deg"),
+			HandoverOK:  c.Rate("ho_ok"),
+		})
 	}
 	return out
+}
+
+// RunHysteresis regenerates the 3 dB rule ablation under rotation.
+func RunHysteresis(opts HysteresisOpts) []HysteresisRow {
+	return HysteresisRows(campaign.Collect(HysteresisCampaign(opts), opts.Workers), opts.Trials)
 }
 
 func runHysteresisTrial(w *world.World, row *HysteresisRow) {

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/geom"
 	"silenttracker/internal/handover"
 	"silenttracker/internal/mobility"
 	"silenttracker/internal/netem"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -37,6 +40,19 @@ func (v Variant) String() string {
 	default:
 		return "Genie"
 	}
+}
+
+// VariantNamed parses a Variant from its String form.
+func VariantNamed(name string) Variant {
+	switch name {
+	case "SilentTracker":
+		return SilentTracker
+	case "Reactive":
+		return Reactive
+	case "Genie":
+		return Genie
+	}
+	panic("experiments: unknown variant " + name)
 }
 
 // BaselineRow summarises one strategy over the baseline workload.
@@ -74,36 +90,73 @@ func DefaultBaselineOpts() BaselineOpts {
 	return BaselineOpts{Trials: 40, Seed: 6000, Horizon: 8 * sim.Second}
 }
 
-// RunBaseline regenerates the strategy comparison table.
-func RunBaseline(opts BaselineOpts) []BaselineRow {
-	out := make([]BaselineRow, 0, 3)
-	for _, v := range []Variant{SilentTracker, Reactive, Genie} {
-		out = append(out, RunBaselineVariant(v, opts))
+// BaselineCampaign declares the strategy comparison as a campaign
+// spec: one axis (the beam-management strategy), the walk-out-of-
+// coverage workload as the unit body.
+func BaselineCampaign(opts BaselineOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "baseline",
+		Description: "strategy comparison (SilentTracker vs Reactive vs Genie) on a coverage-exit walk",
+		Axes: []campaign.Axis{
+			{Name: "variant", Values: []string{"SilentTracker", "Reactive", "Genie"}},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 179426549,
+		Epoch:      "baseline/v1",
+		Config:     fmt.Sprintf("horizon=%d", opts.Horizon),
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			var t BaselineRow
+			oneBaselineTrial(VariantNamed(cell.Get("variant")), seed, opts.Horizon, &t)
+			m := campaign.NewMetrics()
+			m.Record("ho_ok", t.HandoverOK.Successes > 0)
+			if t.HardRate.Trials > 0 {
+				m.Record("hard", t.HardRate.Successes > 0)
+			}
+			m.Add("latency_ms", t.LatencyMs.Raw()...)
+			m.Add("interrupt_ms", t.InterruptMs.Raw()...)
+			m.Add("loss_rate", t.LossRate.Raw()...)
+			m.Add("outage_ms", t.OutageMs.Raw()...)
+			m.Add("recovery_ms", t.RecoveryMs.Raw()...)
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteBaseline(w, BaselineRows(cells, opts.Trials))
+		},
+	}
+}
+
+// BaselineRows folds campaign cells back into the table's row structs.
+func BaselineRows(cells []campaign.CellResult, trials int) []BaselineRow {
+	out := make([]BaselineRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out = append(out, BaselineRow{
+			Variant:     VariantNamed(c.Cell.Get("variant")),
+			Trials:      trials,
+			HandoverOK:  c.Rate("ho_ok"),
+			HardRate:    c.Rate("hard"),
+			LatencyMs:   c.Sample("latency_ms"),
+			InterruptMs: c.Sample("interrupt_ms"),
+			LossRate:    c.Sample("loss_rate"),
+			OutageMs:    c.Sample("outage_ms"),
+			RecoveryMs:  c.Sample("recovery_ms"),
+		})
 	}
 	return out
 }
 
-// RunBaselineVariant runs the baseline workload for one strategy,
-// sharding trials across the runner pool.
+// RunBaseline regenerates the strategy comparison table.
+func RunBaseline(opts BaselineOpts) []BaselineRow {
+	return BaselineRows(campaign.Collect(BaselineCampaign(opts), opts.Workers), opts.Trials)
+}
+
+// RunBaselineVariant runs the baseline workload for one strategy.
 func RunBaselineVariant(v Variant, opts BaselineOpts) BaselineRow {
-	row := BaselineRow{Variant: v, Trials: opts.Trials}
-	runner.Fold(opts.Trials, opts.Workers,
-		func(i int) *BaselineRow {
-			seed := opts.Seed + int64(i)*179426549
-			var t BaselineRow
-			oneBaselineTrial(v, seed, opts.Horizon, &t)
-			return &t
-		},
-		func(_ int, t *BaselineRow) {
-			row.HandoverOK.Merge(t.HandoverOK)
-			row.HardRate.Merge(t.HardRate)
-			row.LatencyMs.Merge(&t.LatencyMs)
-			row.InterruptMs.Merge(&t.InterruptMs)
-			row.LossRate.Merge(&t.LossRate)
-			row.OutageMs.Merge(&t.OutageMs)
-			row.RecoveryMs.Merge(&t.RecoveryMs)
-		})
-	return row
+	spec := BaselineCampaign(opts)
+	spec.Axes[0].Values = []string{v.String()}
+	rows := BaselineRows(campaign.Collect(spec, opts.Workers), opts.Trials)
+	return rows[0]
 }
 
 func oneBaselineTrial(v Variant, seed int64, horizon sim.Time, row *BaselineRow) {

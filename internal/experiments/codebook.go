@@ -3,10 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"silenttracker/internal/antenna"
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/geom"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/stats"
 )
 
@@ -43,40 +44,68 @@ func DefaultCodebookOpts() CodebookOpts {
 	}
 }
 
-// RunCodebook regenerates the codebook-size sweep under the human-walk
-// workload.
-func RunCodebook(opts CodebookOpts) []CodebookRow {
-	sOpts := DefaultFig2aOpts()
-	out := make([]CodebookRow, 0, len(opts.Sizes))
-	type result struct {
-		ok     bool
-		dwells int
+// CodebookCampaign declares the codebook-size sweep as a campaign
+// spec: one axis (the number of receive beams), the Fig. 2a search
+// trial with a generated ring codebook as the unit body.
+func CodebookCampaign(opts CodebookOpts) *campaign.Spec {
+	sizes := make([]string, len(opts.Sizes))
+	for i, n := range opts.Sizes {
+		sizes[i] = strconv.Itoa(n)
 	}
-	for _, n := range opts.Sizes {
-		hpbw := 360.0 / float64(n)
-		row := CodebookRow{Beams: n, HPBWDeg: hpbw}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) result {
-				seed := opts.Seed + int64(i)*7919
-				b := EdgeBuilder(seed)
-				b.UEBook = antenna.NewRingCodebook(
-					fmt.Sprintf("mobile-%d", n), n, geom.Deg(hpbw), antenna.ModelGaussian)
-				b.Mob = MobilityFor(Walk, seed)
-				ok, dwells := searchTrialWith(b, sOpts)
-				return result{ok, dwells}
-			},
-			func(_ int, r result) {
-				row.Success.Record(r.ok)
-				if r.ok {
-					row.Dwells.Add(float64(r.dwells))
-				}
-			})
+	return &campaign.Spec{
+		Name:        "codebook",
+		Description: "codebook-size sweep: search latency scaling toward the 5G 64-beam, 1.28 s scan",
+		Axes: []campaign.Axis{
+			{Name: "beams", Values: sizes},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 7919,
+		Epoch:      "codebook/v1",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			n := cell.Int("beams")
+			b := EdgeBuilder(seed)
+			b.UEBook = antenna.NewRingCodebook(
+				fmt.Sprintf("mobile-%d", n), n, geom.Deg(360.0/float64(n)), antenna.ModelGaussian)
+			b.Mob = MobilityFor(Walk, seed)
+			ok, dwells := searchTrialWith(b, DefaultFig2aOpts())
+			m := campaign.NewMetrics()
+			m.Record("ok", ok)
+			if ok {
+				m.Add("dwells", float64(dwells))
+			}
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteCodebook(w, CodebookRows(cells))
+		},
+	}
+}
+
+// CodebookRows folds campaign cells back into the table's row structs.
+func CodebookRows(cells []campaign.CellResult) []CodebookRow {
+	out := make([]CodebookRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		n := c.Cell.Int("beams")
+		row := CodebookRow{
+			Beams:   n,
+			HPBWDeg: 360.0 / float64(n),
+			Success: c.Rate("ok"),
+			Dwells:  c.Sample("dwells"),
+		}
 		row.MsP50 = row.Dwells.Median() * 20
 		row.MsMax = row.Dwells.Quantile(1) * 20
 		row.FullMs = float64(n) * 20
 		out = append(out, row)
 	}
 	return out
+}
+
+// RunCodebook regenerates the codebook-size sweep under the human-walk
+// workload.
+func RunCodebook(opts CodebookOpts) []CodebookRow {
+	return CodebookRows(campaign.Collect(CodebookCampaign(opts), opts.Workers))
 }
 
 // WriteCodebook renders the sweep.

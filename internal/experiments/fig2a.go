@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+	"io"
+
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/core"
 	"silenttracker/internal/rng"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 	"silenttracker/internal/world"
@@ -55,32 +58,57 @@ func DefaultFig2aOpts() Fig2aOpts {
 	}
 }
 
-// RunFig2a regenerates both panels of Fig. 2a. Trials shard across
-// the runner pool; rows are identical at any Workers value.
-func RunFig2a(opts Fig2aOpts) []Fig2aRow {
-	type result struct {
-		ok     bool
-		dwells int
+// Fig2aCampaign declares Fig. 2a as a campaign spec: one axis (the
+// mobile codebook configuration), the search trial as the unit body.
+func Fig2aCampaign(opts Fig2aOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "fig2a",
+		Description: "directional neighbor search under human walk: success rate and latency per codebook",
+		Axes: []campaign.Axis{
+			{Name: "config", Values: []string{"Narrow", "Wide", "Omni"}},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 7919,
+		Epoch:      "fig2a/v1",
+		Config:     fmt.Sprintf("budget=%d,verify=%d", opts.ScanBudget, opts.Verify),
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			ok, dwells := SearchTrial(BeamConfigNamed(cell.Get("config")), seed, opts)
+			m := campaign.NewMetrics()
+			m.Record("ok", ok)
+			if ok {
+				m.Add("dwells", float64(dwells))
+				m.Add("latency_ms", float64(dwells)*20)
+			}
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteFig2a(w, Fig2aRows(cells, opts.Trials))
+		},
 	}
-	rows := make([]Fig2aRow, 0, 3)
-	for _, cfgB := range []BeamConfig{Narrow, Wide, Omni} {
-		row := Fig2aRow{Config: cfgB, Trials: opts.Trials}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) result {
-				seed := opts.Seed + int64(i)*7919
-				ok, dwells := SearchTrial(cfgB, seed, opts)
-				return result{ok, dwells}
-			},
-			func(_ int, r result) {
-				row.Success.Record(r.ok)
-				if r.ok {
-					row.Dwells.Add(float64(r.dwells))
-					row.LatencyMs.Add(float64(r.dwells) * 20)
-				}
-			})
-		rows = append(rows, row)
+}
+
+// Fig2aRows folds campaign cells back into the table's row structs.
+func Fig2aRows(cells []campaign.CellResult, trials int) []Fig2aRow {
+	rows := make([]Fig2aRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		rows = append(rows, Fig2aRow{
+			Config:    BeamConfigNamed(c.Cell.Get("config")),
+			Trials:    trials,
+			Success:   c.Rate("ok"),
+			Dwells:    c.Sample("dwells"),
+			LatencyMs: c.Sample("latency_ms"),
+		})
 	}
 	return rows
+}
+
+// RunFig2a regenerates both panels of Fig. 2a. Trials shard across
+// the campaign engine's runner pool; rows are identical at any
+// Workers value.
+func RunFig2a(opts Fig2aOpts) []Fig2aRow {
+	return Fig2aRows(campaign.Collect(Fig2aCampaign(opts), opts.Workers), opts.Trials)
 }
 
 // SearchTrial runs a single Fig. 2a search procedure under the

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"io"
+
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/handover"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -39,37 +41,59 @@ func Fig2cQuick(trials int) Fig2cOpts {
 	return o
 }
 
+// Fig2cCampaign declares Fig. 2c as a campaign spec: one axis (the
+// mobility scenario), the handover trial as the unit body.
+func Fig2cCampaign(opts Fig2cOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "fig2c",
+		Description: "soft handover completion time CDF per mobility scenario (narrow codebook)",
+		Axes: []campaign.Axis{
+			{Name: "scenario", Values: ScenarioNames()},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 104729,
+		Epoch:      "fig2c/v1",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			rec, ok := HandoverTrial(ScenarioNamed(cell.Get("scenario")), seed)
+			m := campaign.NewMetrics()
+			m.Record("completed", ok)
+			if ok {
+				m.Record("soft", rec.Kind == handover.Soft)
+				m.Add("latency_ms", rec.Latency().Millis())
+				m.Add("dwells", float64(rec.Dwells))
+				m.Add("interrupt_ms", rec.Interruption.Millis())
+			}
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteFig2c(w, Fig2cSeriesOf(cells, opts.Trials))
+		},
+	}
+}
+
+// Fig2cSeriesOf folds campaign cells back into the CDF series.
+func Fig2cSeriesOf(cells []campaign.CellResult, trials int) []Fig2cSeries {
+	out := make([]Fig2cSeries, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out = append(out, Fig2cSeries{
+			Scenario:  ScenarioNamed(c.Cell.Get("scenario")),
+			Trials:    trials,
+			Completed: c.Rate("completed").Successes,
+			SoftCount: c.Rate("soft").Successes,
+			Latency:   c.Sample("latency_ms"),
+			Dwells:    c.Sample("dwells"),
+			Interrupt: c.Sample("interrupt_ms"),
+		})
+	}
+	return out
+}
+
 // RunFig2c regenerates the paper's Fig. 2c: per-scenario CDFs of soft
 // handover completion time with the narrow (20°) codebook.
 func RunFig2c(opts Fig2cOpts) []Fig2cSeries {
-	type result struct {
-		rec handover.Record
-		ok  bool
-	}
-	out := make([]Fig2cSeries, 0, 3)
-	for _, sc := range AllScenarios() {
-		series := Fig2cSeries{Scenario: sc, Trials: opts.Trials}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) result {
-				seed := opts.Seed + int64(i)*104729
-				rec, ok := HandoverTrial(sc, seed)
-				return result{rec, ok}
-			},
-			func(_ int, r result) {
-				if !r.ok {
-					return
-				}
-				series.Completed++
-				if r.rec.Kind == handover.Soft {
-					series.SoftCount++
-				}
-				series.Latency.Add(r.rec.Latency().Millis())
-				series.Dwells.Add(float64(r.rec.Dwells))
-				series.Interrupt.Add(r.rec.Interruption.Millis())
-			})
-		out = append(out, series)
-	}
-	return out
+	return Fig2cSeriesOf(campaign.Collect(Fig2cCampaign(opts), opts.Workers), opts.Trials)
 }
 
 // HandoverTrial runs one Fig. 2c scenario instance to its first

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"io"
+
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/core"
 	"silenttracker/internal/geom"
-	"silenttracker/internal/runner"
 	"silenttracker/internal/sim"
 	"silenttracker/internal/stats"
 )
@@ -43,29 +45,58 @@ type MobilityOpts struct {
 // DefaultMobilityOpts returns the full-fidelity settings.
 func DefaultMobilityOpts() MobilityOpts { return MobilityOpts{Trials: 60, Seed: 3000} }
 
-// RunMobility regenerates the alignment-held table. Each trial fills a
-// private MobilityRow; merging them in trial order reproduces the
-// serial accumulation exactly.
-func RunMobility(opts MobilityOpts) []MobilityRow {
-	out := make([]MobilityRow, 0, 3)
-	for _, sc := range AllScenarios() {
-		row := MobilityRow{Scenario: sc, Trials: opts.Trials}
-		runner.Fold(opts.Trials, opts.Workers,
-			func(i int) *MobilityRow {
-				seed := opts.Seed + int64(i)*31337
-				var t MobilityRow
-				oneAlignmentTrial(sc, seed, &t)
-				return &t
-			},
-			func(_ int, t *MobilityRow) {
-				row.AlignedFrac.Merge(t.AlignedFrac)
-				row.MisalignDeg.Merge(&t.MisalignDeg)
-				row.HandoverRate.Merge(t.HandoverRate)
-				row.HardRate.Merge(t.HardRate)
-			})
-		out = append(out, row)
+// MobilityCampaign declares the alignment study as a campaign spec.
+// Per-10 ms alignment records are carried as pre-aggregated counter
+// pairs plus the raw misalignment series, so folding cached trials
+// reproduces the serial accumulation exactly.
+func MobilityCampaign(opts MobilityOpts) *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "mobility",
+		Description: "alignment held until handover conclusion, per mobility scenario (§3 claim)",
+		Axes: []campaign.Axis{
+			{Name: "scenario", Values: ScenarioNames()},
+		},
+		Trials:     opts.Trials,
+		Seed:       opts.Seed,
+		SeedStride: 31337,
+		Epoch:      "mobility/v1",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			var t MobilityRow
+			oneAlignmentTrial(ScenarioNamed(cell.Get("scenario")), seed, &t)
+			m := campaign.NewMetrics()
+			m.Count("aligned_ok", t.AlignedFrac.Successes)
+			m.Count("aligned_n", t.AlignedFrac.Trials)
+			m.Add("misalign_deg", t.MisalignDeg.Raw()...)
+			m.Record("ho_done", t.HandoverRate.Successes > 0)
+			m.Record("hard", t.HardRate.Successes > 0)
+			return m
+		},
+		Render: func(w io.Writer, cells []campaign.CellResult) {
+			WriteMobility(w, MobilityRows(cells, opts.Trials))
+		},
+	}
+}
+
+// MobilityRows folds campaign cells back into the table's row structs.
+func MobilityRows(cells []campaign.CellResult, trials int) []MobilityRow {
+	out := make([]MobilityRow, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		out = append(out, MobilityRow{
+			Scenario:     ScenarioNamed(c.Cell.Get("scenario")),
+			Trials:       trials,
+			AlignedFrac:  c.RateCounts("aligned"),
+			MisalignDeg:  c.Sample("misalign_deg"),
+			HandoverRate: c.Rate("ho_done"),
+			HardRate:     c.Rate("hard"),
+		})
 	}
 	return out
+}
+
+// RunMobility regenerates the alignment-held table.
+func RunMobility(opts MobilityOpts) []MobilityRow {
+	return MobilityRows(campaign.Collect(MobilityCampaign(opts), opts.Workers), opts.Trials)
 }
 
 func oneAlignmentTrial(sc Scenario, seed int64, row *MobilityRow) {

@@ -40,6 +40,23 @@ func (s Scenario) String() string {
 // AllScenarios lists them in the paper's order.
 func AllScenarios() []Scenario { return []Scenario{Walk, Rotation, Vehicular} }
 
+// ScenarioNamed parses a Scenario from its String form (campaign axis
+// values are symbolic).
+func ScenarioNamed(name string) Scenario {
+	switch name {
+	case "Walk":
+		return Walk
+	case "Rotation":
+		return Rotation
+	case "Vehicular":
+		return Vehicular
+	}
+	panic("experiments: unknown scenario " + name)
+}
+
+// ScenarioNames returns the String forms in the paper's order.
+func ScenarioNames() []string { return []string{"Walk", "Rotation", "Vehicular"} }
+
 // BeamConfig names the paper's mobile codebook configurations.
 type BeamConfig int
 
@@ -60,6 +77,19 @@ func (b BeamConfig) String() string {
 	default:
 		return "Omni"
 	}
+}
+
+// BeamConfigNamed parses a BeamConfig from its String form.
+func BeamConfigNamed(name string) BeamConfig {
+	switch name {
+	case "Narrow":
+		return Narrow
+	case "Wide":
+		return Wide
+	case "Omni":
+		return Omni
+	}
+	panic("experiments: unknown beam config " + name)
 }
 
 // Book returns the mobile codebook for the configuration.

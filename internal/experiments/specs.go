@@ -1,0 +1,126 @@
+package experiments
+
+import "silenttracker/internal/campaign"
+
+// CampaignParams are the cross-experiment knobs the stcampaign CLI
+// exposes. Zero values select each experiment's full-fidelity
+// defaults; Quick substitutes the smoke-run trial counts (the same
+// reductions stbench -quick applies). Because trial seeds depend only
+// on (spec, trial index), a quick run's units are a prefix of the
+// full run's — a full sweep after a quick one computes just the
+// delta.
+type CampaignParams struct {
+	Quick  bool
+	Seed   int64 // 0 = per-experiment default
+	Trials int   // 0 = default (after the Quick reduction)
+}
+
+// quickTrials is the single source of the smoke-run trial counts,
+// keyed by campaign name; stbench's -quick uses the same numbers via
+// QuickTrials.
+var quickTrials = map[string]int{
+	"fig2a":      25,
+	"fig2c":      20,
+	"mobility":   10,
+	"threshold":  6,
+	"hysteresis": 6,
+	"baseline":   6,
+	"patterns":   8,
+	"codebook":   8,
+}
+
+// QuickTrials returns the -quick trial count for the named campaign.
+func QuickTrials(name string) int {
+	n, ok := quickTrials[name]
+	if !ok {
+		panic("experiments: no quick trial count for " + name)
+	}
+	return n
+}
+
+func (p CampaignParams) trials(name string, full int) int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
+	if p.Quick {
+		return QuickTrials(name)
+	}
+	return full
+}
+
+// CampaignDef names one registered campaign and builds its spec.
+type CampaignDef struct {
+	Name  string
+	Build func(p CampaignParams) *campaign.Spec
+}
+
+// Campaigns returns every registered campaign — the eight paper
+// experiments — in stbench's canonical order.
+func Campaigns() []CampaignDef {
+	return []CampaignDef{
+		{"fig2a", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultFig2aOpts()
+			opts.Trials = p.trials("fig2a", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return Fig2aCampaign(opts)
+		}},
+		{"fig2c", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultFig2cOpts()
+			opts.Trials = p.trials("fig2c", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return Fig2cCampaign(opts)
+		}},
+		{"mobility", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultMobilityOpts()
+			opts.Trials = p.trials("mobility", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return MobilityCampaign(opts)
+		}},
+		{"threshold", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultThresholdOpts()
+			opts.Trials = p.trials("threshold", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return ThresholdCampaign(opts)
+		}},
+		{"hysteresis", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultHysteresisOpts()
+			opts.Trials = p.trials("hysteresis", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return HysteresisCampaign(opts)
+		}},
+		{"baseline", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultBaselineOpts()
+			opts.Trials = p.trials("baseline", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return BaselineCampaign(opts)
+		}},
+		{"patterns", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultPatternOpts()
+			opts.Trials = p.trials("patterns", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return PatternsCampaign(opts)
+		}},
+		{"codebook", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultCodebookOpts()
+			opts.Trials = p.trials("codebook", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return CodebookCampaign(opts)
+		}},
+	}
+}

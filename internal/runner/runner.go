@@ -1,6 +1,7 @@
 // Package runner is the trial-execution engine the experiment runners
-// share: it fans a fixed number of independent trials out across a
-// worker pool while keeping the results bit-identical to a serial run.
+// and the campaign engine (internal/campaign) share: it fans a fixed
+// number of independent trials out across a worker pool while keeping
+// the results bit-identical to a serial run.
 //
 // Determinism rests on three rules the engine enforces by shape:
 //

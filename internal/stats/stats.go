@@ -117,6 +117,14 @@ func (s *Sample) Values() []float64 {
 	return s.xs
 }
 
+// Raw returns the observations in insertion order, provided no
+// order-destroying query (Values, Quantile, …) has run yet. The
+// campaign engine serialises per-trial samples with it so that
+// folding cached trials replays the exact observation sequence the
+// live accumulator saw. The returned slice is owned by the Sample;
+// callers must not modify it.
+func (s *Sample) Raw() []float64 { return s.xs }
+
 func (s *Sample) ensureSorted() {
 	if !s.sorted {
 		sort.Float64s(s.xs)
