@@ -136,6 +136,38 @@ func experimentsTable(quick bool) []experiment {
 			experiments.Banner(w, "Codebook-size sweep — where 1.28 s comes from")
 			experiments.WriteCodebook(w, experiments.RunCodebook(opts))
 		}},
+		// Scenario-generated families (internal/scenario): multi-cell,
+		// multi-UE worlds compiled from declarative specs.
+		{"urban", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultUrbanOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("urban"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Urban hex grid — handover storms under a mixed fleet")
+			experiments.WriteUrban(w, experiments.RunUrban(opts))
+		}},
+		{"highway", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultHighwayOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("highway"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Highway corridor — alignment hold duration vs speed")
+			experiments.WriteHighway(w, experiments.RunHighway(opts))
+		}},
+		{"hotspot", func(w io.Writer, seed int64, workers int, _ bool) {
+			opts := experiments.DefaultHotspotOpts()
+			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("hotspot"))
+			if seed != 0 {
+				opts.Seed = seed
+			}
+			opts.Workers = workers
+			experiments.Banner(w, "Hotspot ring — silent tracking under a blocker field")
+			experiments.WriteHotspot(w, experiments.RunHotspot(opts))
+		}},
 	}
 }
 

@@ -24,8 +24,10 @@
 //   - internal/{world, experiments, handover, netem, trace} — harness
 //   - internal/runner      — deterministic parallel trial engine
 //   - internal/campaign    — declarative sweeps + content-addressed result cache
+//   - internal/scenario    — declarative multi-cell, multi-UE world generator
 //   - cmd/{stbench, stcampaign, stsim, stmachine} — executables
 //   - examples/ — runnable scenarios
+//   - e2e/      — end-to-end CLI and examples tests (real binaries, os/exec)
 //
 // Every experiment shards its independent trials across a worker pool
 // (internal/runner; stbench's -j flag) with a hard determinism
@@ -33,7 +35,7 @@
 // worker count, because each trial's randomness is a pure function of
 // (seed, trial index) and results are folded in trial order.
 //
-// The eight experiments are declared as campaign specs
+// The eight paper experiments are declared as campaign specs
 // (internal/campaign): a grid of axes, a seed schedule, and a trial
 // body. The campaign engine keys every trial unit by a content hash
 // of (spec identity, cell, seed, code-relevant config) into an
@@ -41,6 +43,17 @@
 // spec performs zero trial computations while emitting byte-identical
 // tables, and a sweep that shares cells with a previous one computes
 // only the delta.
+//
+// Beyond the paper's three single-UE mobility cases, internal/scenario
+// generates whole families of worlds from declarative specs: a cell
+// topology (linear corridor, hex grid, ring), a UE fleet (count,
+// spawn region, a seeded mix of walk/rotation/vehicular mobility),
+// and a blocker field, compiled onto the world/cell/ue/mobility
+// substrates with one deterministic RNG stream per generated entity.
+// Three scenario families ship as campaigns — urban (hex-grid
+// handover storms), highway (alignment hold vs vehicular speed), and
+// hotspot (silent tracking under a blocker field) — swept and cached
+// like every other experiment.
 //
 // The per-sample simulation kernel is allocation-free and
 // table-driven: internal/sim pools events through a free list behind

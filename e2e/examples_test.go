@@ -1,0 +1,59 @@
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamples builds and runs every examples/* binary, asserting
+// exit 0 — examples are documentation, and documentation that does
+// not run is worse than none. Discovery is dynamic so a new example
+// can never dodge the test.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example")
+	}
+	entries, err := os.ReadDir(filepath.Join(repoRoot, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = repoRoot
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir()
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("example exited with %v", err)
+				}
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatal("example did not finish within 2 minutes")
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no examples found — discovery is broken")
+	}
+}

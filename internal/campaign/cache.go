@@ -138,6 +138,13 @@ func (c *Cache) Get(hash string) (Metrics, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
+	// JSON `null` unmarshals into a nil map without error; serving it
+	// as a hit would silently fold zero observations for the unit.
+	// Only a non-nil decode is a usable entry.
+	if m == nil {
+		c.misses.Add(1)
+		return nil, false
+	}
 	c.hits.Add(1)
 	return m, true
 }

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzCacheGet feeds arbitrary bytes to the cache's entry decoder.
+// The contract under attack: a corrupt, truncated, or adversarial
+// entry file must always decode as a cache miss or as well-formed
+// Metrics — never panic, and never produce a value that poisons the
+// fold accessors downstream. (A hit must also survive a re-encode:
+// the engine may Put what it read back under another key's hash.)
+func FuzzCacheGet(f *testing.F) {
+	// Well-formed entries.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"lat_ms":[1.5,2.25],"ok":[1,0,1]}`))
+	f.Add([]byte(`{"x":[]}`))
+	// Truncations of a real entry (torn write from a killed run).
+	whole := []byte(`{"misalign_deg":[0.125,3.5,11.75],"ho_done":[1]}`)
+	for i := 0; i < len(whole); i += 7 {
+		f.Add(whole[:i])
+	}
+	// Type confusion and structural attacks.
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"a":1}`))
+	f.Add([]byte(`{"a":["x"]}`))
+	f.Add([]byte(`{"a":[1e400]}`))
+	f.Add([]byte(`{"a":[NaN]}`))
+	f.Add([]byte(`{"a":{"b":[1]}}`))
+	f.Add([]byte(`{"a":[1],"a":[2]}`))
+	f.Add([]byte(strings.Repeat(`{"a":[`, 100)))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, entry []byte) {
+		cache, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const hash = "00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef0000"
+		path := cache.path(hash)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, entry, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		m, ok := cache.Get(hash)
+		if !ok {
+			if m != nil {
+				t.Fatalf("miss returned non-nil metrics %v", m)
+			}
+			return
+		}
+		if m == nil {
+			// A nil hit would make the engine fold zero observations
+			// for a unit it believes was served from cache.
+			t.Fatalf("hit returned nil metrics for entry %q", entry)
+		}
+
+		// A hit must be exactly the JSON-decodable subset: re-encoding
+		// and re-decoding must reproduce it (this is what warm runs
+		// rely on for byte-identical tables).
+		buf, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded metrics do not re-encode: %v (%q)", err, entry)
+		}
+		var again Metrics
+		if err := json.Unmarshal(buf, &again); err != nil {
+			t.Fatalf("re-encoded metrics do not decode: %v", err)
+		}
+
+		// And it must not poison a fold: every accessor the row
+		// builders use must run to completion on whatever decoded.
+		cr := CellResult{Trials: []Metrics{m, again}}
+		for name := range m {
+			_ = cr.Sample(name)
+			_ = cr.Rate(name)
+			_ = cr.RateCounts(strings.TrimSuffix(strings.TrimSuffix(name, "_ok"), "_n"))
+			_ = m.Scalar(name)
+		}
+		_ = m.Names()
+	})
+}

@@ -71,6 +71,16 @@ func TestParallelDeterminism(t *testing.T) {
 			opts.Workers = workers
 			WriteCodebook(w, RunCodebook(opts))
 		}},
+		// One scenario-generated family: trial units here are whole
+		// fleets, so this additionally pins down the per-entity seed
+		// scheduling inside internal/scenario.
+		{"highway", func(w io.Writer, workers int) {
+			opts := DefaultHighwayOpts()
+			opts.Speeds = []float64{10, 25}
+			opts.Trials = 2
+			opts.Workers = workers
+			WriteHighway(w, RunHighway(opts))
+		}},
 	}
 	for _, exp := range experiments {
 		exp := exp

@@ -27,6 +27,9 @@ var quickTrials = map[string]int{
 	"baseline":   6,
 	"patterns":   8,
 	"codebook":   8,
+	"urban":      2,
+	"highway":    3,
+	"hotspot":    3,
 }
 
 // QuickTrials returns the -quick trial count for the named campaign.
@@ -55,7 +58,8 @@ type CampaignDef struct {
 }
 
 // Campaigns returns every registered campaign — the eight paper
-// experiments — in stbench's canonical order.
+// experiments plus the three scenario-generated families (urban,
+// highway, hotspot) — in stbench's canonical order.
 func Campaigns() []CampaignDef {
 	return []CampaignDef{
 		{"fig2a", func(p CampaignParams) *campaign.Spec {
@@ -121,6 +125,30 @@ func Campaigns() []CampaignDef {
 				opts.Seed = p.Seed
 			}
 			return CodebookCampaign(opts)
+		}},
+		{"urban", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultUrbanOpts()
+			opts.Trials = p.trials("urban", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return UrbanCampaign(opts)
+		}},
+		{"highway", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultHighwayOpts()
+			opts.Trials = p.trials("highway", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return HighwayCampaign(opts)
+		}},
+		{"hotspot", func(p CampaignParams) *campaign.Spec {
+			opts := DefaultHotspotOpts()
+			opts.Trials = p.trials("hotspot", opts.Trials)
+			if p.Seed != 0 {
+				opts.Seed = p.Seed
+			}
+			return HotspotCampaign(opts)
 		}},
 	}
 }

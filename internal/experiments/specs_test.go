@@ -17,11 +17,12 @@ func renderSpec(t *testing.T, eng *campaign.Engine, spec *campaign.Spec) (string
 }
 
 // TestCampaignRegistryCoversAllExperiments is the `stcampaign list`
-// gate: all eight ported experiments must be registered, buildable,
-// and renderable.
+// gate: all eight ported experiments plus the three scenario-generated
+// families must be registered, buildable, and renderable.
 func TestCampaignRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{"fig2a", "fig2c", "mobility", "threshold",
-		"hysteresis", "baseline", "patterns", "codebook"}
+		"hysteresis", "baseline", "patterns", "codebook",
+		"urban", "highway", "hotspot"}
 	defs := Campaigns()
 	if len(defs) != len(want) {
 		t.Fatalf("%d campaigns registered, want %d", len(defs), len(want))

@@ -131,11 +131,19 @@ type Vehicle struct {
 
 // NewVehicle builds the paper's 20 mph vehicular trajectory.
 func NewVehicle(start geom.Vec, heading float64, seed int64) *Vehicle {
+	return NewVehicleSpeed(start, heading, VehicularSpeed, seed)
+}
+
+// NewVehicleSpeed builds a vehicular trajectory at an arbitrary speed
+// (m/s) — the highway scenario family sweeps this. The jitter draw
+// order matches NewVehicle exactly, so NewVehicleSpeed(…,
+// VehicularSpeed, seed) is identical to NewVehicle(…, seed).
+func NewVehicleSpeed(start geom.Vec, heading, speed float64, seed int64) *Vehicle {
 	src := rng.Stream(seed, "mobility/vehicle")
 	return &Vehicle{
 		Start:   start,
 		Heading: heading,
-		Speed:   VehicularSpeed,
+		Speed:   speed,
 		jitter:  newSway(src, geom.Deg(1.5), 1.1),
 	}
 }

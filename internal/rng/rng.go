@@ -64,11 +64,14 @@ func New(seed int64) *Source {
 	return &Source{r: rand.New(src), seed: seed}
 }
 
-// Stream derives an independent child stream identified by name.
-// The derivation hashes (seed, name) so streams with different names
-// are decorrelated, and the same (seed, name) always yields the same
-// stream.
-func Stream(seed int64, name string) *Source {
+// ChildSeed derives the seed of the child stream identified by name —
+// the integer Stream(seed, name) would seed its generator with. It is
+// the seed-scheduling primitive for code that generates whole entity
+// hierarchies (a scenario's cells and mobiles): give every generated
+// entity ChildSeed(parent, "<kind>/<index>") and each entity owns an
+// independent deterministic stream, regardless of how many siblings
+// exist or in what order they are built.
+func ChildSeed(seed int64, name string) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
@@ -76,7 +79,15 @@ func Stream(seed int64, name string) *Source {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(name))
-	return New(int64(h.Sum64()))
+	return int64(h.Sum64())
+}
+
+// Stream derives an independent child stream identified by name.
+// The derivation hashes (seed, name) so streams with different names
+// are decorrelated, and the same (seed, name) always yields the same
+// stream.
+func Stream(seed int64, name string) *Source {
+	return New(ChildSeed(seed, name))
 }
 
 // Split derives a child stream of s identified by name. Unlike Stream

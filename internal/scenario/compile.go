@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"silenttracker/internal/channel"
+	"silenttracker/internal/geom"
+	"silenttracker/internal/mobility"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/ue"
+	"silenttracker/internal/world"
+)
+
+// firstUEID is where generated fleet identities start; they stay well
+// below ue.MaxID (the cells' temporary-ID range) for any plausible
+// fleet.
+const firstUEID = 101
+
+// UE is one generated mobile: everything needed to rebuild its world
+// deterministically.
+type UE struct {
+	Index int    `json:"index"`
+	ID    uint16 `json:"id"`
+	// Seed is the UE's private seed: its mobility jitter and every
+	// stochastic process of its world derive from it alone.
+	Seed    int64        `json:"seed"`
+	Kind    MobilityKind `json:"kind"`
+	Spawn   geom.Vec     `json:"spawn"`
+	Heading float64      `json:"heading"`
+	// Serving is the nearest site at spawn — the cell the mobile is
+	// attached to when the scenario window opens.
+	Serving int `json:"serving"`
+}
+
+// Deployment is a compiled world family: concrete sites and mobiles.
+type Deployment struct {
+	Spec  Spec   `json:"spec"`
+	Seed  int64  `json:"seed"`
+	Sites []Site `json:"sites"`
+	UEs   []UE   `json:"ues"`
+}
+
+// Compile expands the spec under the seed. Entity seed scheduling:
+// UE i draws its seed, spawn, and heading from
+// ChildSeed(seed, "scenario/ue/<i>"), so those are invariant under
+// Count — growing a fleet does not disturb existing entities' private
+// draws. The mobility-kind assignment is the exception: it is an
+// exact apportionment permuted by one fleet-level stream, so kinds
+// may reshuffle when Count changes (see the package comment). Compile
+// panics on an invalid spec (specs are authored in code, not parsed
+// from input).
+func Compile(spec Spec, seed int64) *Deployment {
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if firstUEID+spec.Fleet.Count > ue.MaxID {
+		panic(fmt.Sprintf("scenario: fleet of %d would overflow the permanent UE-ID range", spec.Fleet.Count))
+	}
+	sites := spec.Topology.Sites()
+	d := &Deployment{Spec: spec, Seed: seed, Sites: sites}
+
+	// Exact mix counts, dealt into a kind-per-index slate, then
+	// permuted by the fleet stream so kinds are interleaved across the
+	// spawn region rather than blocked by index.
+	counts := spec.Fleet.Mix.Counts(spec.Fleet.Count)
+	kinds := make([]MobilityKind, 0, spec.Fleet.Count)
+	for k, c := range counts {
+		for j := 0; j < c; j++ {
+			kinds = append(kinds, MobilityKind(k))
+		}
+	}
+	fleetSrc := rng.Stream(seed, "scenario/fleet")
+	fleetSrc.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	d.UEs = make([]UE, spec.Fleet.Count)
+	for i := range d.UEs {
+		ueSeed := rng.ChildSeed(seed, fmt.Sprintf("scenario/ue/%d", i))
+		src := rng.Stream(ueSeed, "scenario/spawn")
+		spawn := spec.Fleet.Spawn.Sample(src)
+		heading := spec.Fleet.Heading
+		if j := spec.Fleet.HeadingJitter; j >= math.Pi {
+			heading = src.Uniform(0, geom.TwoPi)
+		} else if j > 0 {
+			heading += src.Uniform(-j, j)
+		}
+		d.UEs[i] = UE{
+			Index:   i,
+			ID:      uint16(firstUEID + i),
+			Seed:    ueSeed,
+			Kind:    kinds[i],
+			Spawn:   spawn,
+			Heading: geom.WrapAngle(heading),
+			Serving: nearestSite(sites, spawn),
+		}
+	}
+	return d
+}
+
+// nearestSite returns the ID of the site closest to p (lowest ID wins
+// ties, deterministically).
+func nearestSite(sites []Site, p geom.Vec) int {
+	best, bestD := sites[0].ID, sites[0].Pos.Dist(p)
+	for _, s := range sites[1:] {
+		if d := s.Pos.Dist(p); d < bestD {
+			best, bestD = s.ID, d
+		}
+	}
+	return best
+}
+
+// Mobility returns UE i's mobility model, rebuilt from its private
+// seed.
+func (d *Deployment) Mobility(i int) mobility.Model {
+	u := d.UEs[i]
+	switch u.Kind {
+	case RotationKind:
+		return mobility.NewRotation(u.Spawn, u.Seed)
+	case VehicularKind:
+		speed := d.Spec.Fleet.Speed
+		if speed == 0 {
+			speed = mobility.VehicularSpeed
+		}
+		return mobility.NewVehicleSpeed(u.Spawn, u.Heading, speed, u.Seed)
+	default:
+		return mobility.NewWalk(u.Spawn, u.Heading, u.Seed)
+	}
+}
+
+// BuildUE wires UE i's runnable world: every site as a cell (soft
+// range edge and blocker field applied), the mobile spawned on its
+// model, attached to its nearest cell, searching unconditionally —
+// generated worlds exist to exercise cell edges.
+func (d *Deployment) BuildUE(i int) *world.World {
+	u := d.UEs[i]
+	b := world.NewBuilder(u.Seed)
+	b.Cfg.AlwaysSearch = true
+	b.UEID = u.ID
+	b.ServingCell = u.Serving
+	blockLOS, blockHold, noBlock := d.blockage(b.P.Channel)
+	for _, s := range d.Sites {
+		b.AddCell(world.CellSpec{
+			ID:            s.ID,
+			Pos:           s.Pos,
+			Facing:        s.Facing,
+			BurstOffset:   s.BurstOffset,
+			RangeLimit:    d.Spec.CellRange,
+			NoBlockage:    noBlock,
+			BlockMeanLOS:  blockLOS,
+			BlockMeanHold: blockHold,
+		})
+	}
+	b.Mob = d.Mobility(i)
+	return b.Build()
+}
+
+// blockage maps the blocker-field density onto per-link blockage
+// dynamics: density scales how often bodies cross the link, so the
+// mean LOS interval shrinks as 1/density; hold times keep the
+// calibrated mean. Density 0 disables blockage, 1 keeps defaults.
+func (d *Deployment) blockage(p channel.Params) (meanLOS, meanHold float64, disabled bool) {
+	dens := d.Spec.Blockers.Density
+	if dens == 0 {
+		return 0, 0, true
+	}
+	return p.BlockMeanLOS / dens, p.BlockMeanHold, false
+}
+
+// Fingerprint returns the deployment's canonical JSON: two compiles
+// with equal fingerprints rebuild byte-identical worlds, because
+// every stochastic input of a world is either in the fingerprint or
+// derived from seeds that are.
+func (d *Deployment) Fingerprint() []byte {
+	buf, err := json.Marshal(d)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: deployment marshal: %v", err))
+	}
+	return buf
+}
+
+// NumUEs returns the fleet size.
+func (d *Deployment) NumUEs() int { return len(d.UEs) }

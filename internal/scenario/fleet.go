@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/rng"
+)
+
+// MobilityKind names one of the paper's three mobility models.
+type MobilityKind int
+
+// The mobility models a fleet mixes.
+const (
+	WalkKind MobilityKind = iota
+	RotationKind
+	VehicularKind
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k MobilityKind) String() string {
+	switch k {
+	case WalkKind:
+		return "walk"
+	case RotationKind:
+		return "rotation"
+	default:
+		return "vehicular"
+	}
+}
+
+// Mix weighs the mobility models of a fleet. Weights are relative
+// (they need not sum to 1); Counts apportions them exactly.
+type Mix struct {
+	Walk      float64 `json:"walk"`
+	Rotation  float64 `json:"rotation"`
+	Vehicular float64 `json:"vehicular"`
+}
+
+// Counts apportions n mobiles across the mix by largest remainder, so
+// the realised proportions are exact — never a stochastic draw whose
+// composition drifts between trials. Ties go to the lower kind index.
+func (m Mix) Counts(n int) [3]int {
+	w := [3]float64{m.Walk, m.Rotation, m.Vehicular}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	var out [3]int
+	if total <= 0 || n <= 0 {
+		out[0] = max(n, 0) // degenerate mix: everyone walks
+		return out
+	}
+	assigned := 0
+	var rem [3]float64
+	for i, x := range w {
+		exact := float64(n) * x / total
+		out[i] = int(math.Floor(exact))
+		rem[i] = exact - float64(out[i])
+		assigned += out[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < 3; i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = -1
+		assigned++
+	}
+	return out
+}
+
+// RegionKind names a spawn-region shape.
+type RegionKind int
+
+// The supported spawn regions.
+const (
+	RectKind RegionKind = iota
+	AnnulusKind
+)
+
+// Region is where a fleet spawns. Sampling is uniform over the
+// region's area.
+type Region struct {
+	Kind RegionKind `json:"kind"`
+	// Rect bounds (RectKind).
+	Min geom.Vec `json:"min,omitempty"`
+	Max geom.Vec `json:"max,omitempty"`
+	// Annulus parameters (AnnulusKind): Center plus inner/outer radii.
+	Center geom.Vec `json:"center,omitempty"`
+	R0     float64  `json:"r0,omitempty"`
+	R1     float64  `json:"r1,omitempty"`
+}
+
+// RectRegion returns the axis-aligned rectangle [min, max].
+func RectRegion(min, max geom.Vec) Region {
+	return Region{Kind: RectKind, Min: min, Max: max}
+}
+
+// AnnulusRegion returns the annulus centred at c with radii r0 <= r1
+// (r0 = 0 is a disc).
+func AnnulusRegion(c geom.Vec, r0, r1 float64) Region {
+	return Region{Kind: AnnulusKind, Center: c, R0: r0, R1: r1}
+}
+
+func (r Region) validate() error {
+	switch r.Kind {
+	case RectKind:
+		if r.Max.X < r.Min.X || r.Max.Y < r.Min.Y {
+			return fmt.Errorf("scenario: rect region %v..%v is inverted", r.Min, r.Max)
+		}
+	case AnnulusKind:
+		if r.R0 < 0 || r.R1 < r.R0 {
+			return fmt.Errorf("scenario: annulus radii [%g, %g] are invalid", r.R0, r.R1)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown region kind %d", int(r.Kind))
+	}
+	return nil
+}
+
+// Sample draws a point uniformly over the region's area.
+func (r Region) Sample(src *rng.Source) geom.Vec {
+	switch r.Kind {
+	case AnnulusKind:
+		// Uniform over area: radius via the inverse CDF of r², angle
+		// uniform.
+		u := src.Float64()
+		rad := math.Sqrt(u*(r.R1*r.R1-r.R0*r.R0) + r.R0*r.R0)
+		theta := src.Uniform(0, geom.TwoPi)
+		return r.Center.Add(geom.FromPolar(rad, theta))
+	default:
+		return geom.V(src.Uniform(r.Min.X, r.Max.X), src.Uniform(r.Min.Y, r.Max.Y))
+	}
+}
+
+// Fleet declares the mobiles of a scenario.
+type Fleet struct {
+	// Count is the fleet size.
+	Count int `json:"count"`
+	// Spawn is where mobiles start.
+	Spawn Region `json:"spawn"`
+	// Mix apportions mobility models across the fleet.
+	Mix Mix `json:"mix"`
+	// Heading is the mean travel direction (radians) for walk and
+	// vehicular mobiles; HeadingJitter is the uniform half-width
+	// around it. A jitter of π or more means a uniformly random
+	// heading.
+	Heading       float64 `json:"heading"`
+	HeadingJitter float64 `json:"heading_jitter"`
+	// Speed overrides the vehicular speed in m/s (0 keeps the paper's
+	// 20 mph).
+	Speed float64 `json:"speed,omitempty"`
+}
+
+func (f Fleet) validate() error {
+	if f.Count < 1 {
+		return fmt.Errorf("scenario: fleet count %d is not positive", f.Count)
+	}
+	if f.Mix.Walk < 0 || f.Mix.Rotation < 0 || f.Mix.Vehicular < 0 {
+		return fmt.Errorf("scenario: mix weights must be non-negative, got %+v", f.Mix)
+	}
+	if f.Speed < 0 {
+		return fmt.Errorf("scenario: fleet speed %g is negative", f.Speed)
+	}
+	return f.Spawn.validate()
+}

@@ -1,0 +1,94 @@
+// Package scenario is the declarative world generator: a small
+// composable Spec — a cell topology, a UE fleet, and a blocker field
+// — compiles into concrete multi-cell, multi-UE deployments on the
+// existing world/cell/ue/mobility substrates. It is the layer every
+// "imagined scenario" builds on instead of hand-rolling world setup.
+//
+// Determinism is the core contract. Compile(spec, seed) derives one
+// independent RNG stream per generated entity with
+// rng.ChildSeed-style seed scheduling: UE i's spawn point, heading,
+// and every stochastic process of its world (channel fading,
+// blockage, mobility jitter) are pure functions of (spec, seed, i) —
+// growing a fleet never perturbs those per-entity draws, and
+// trial-level -j sharding stays byte-identical at any worker count.
+// The one fleet-level quantity is the mobility-kind assignment: the
+// mix is apportioned exactly over Count and permuted by one fleet
+// stream, so kinds (and thus trajectories) can reshuffle when Count
+// changes — exact proportions and prefix-stable kinds are mutually
+// exclusive, and the exact mix wins.
+//
+// The simulator models UEs with independent links (no inter-UE
+// interference, matching the paper's single-mobile testbed), so a
+// deployment compiles into one World per UE sharing the same cell
+// layout; BuildUE(i) wires UE i's world on demand.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"silenttracker/internal/sim"
+)
+
+// Spec declares one family of worlds. The zero value is not useful:
+// every field participates in the compiled deployment, and experiment
+// families surface the interesting ones as campaign sweep axes.
+type Spec struct {
+	// Name labels the family in fingerprints and diagnostics.
+	Name string `json:"name"`
+
+	// Topology places the base stations.
+	Topology Topology `json:"topology"`
+
+	// Fleet populates the world with mobiles.
+	Fleet Fleet `json:"fleet"`
+
+	// Blockers scales the blockage dynamics on every cell link.
+	Blockers Blockers `json:"blockers"`
+
+	// CellRange, if positive, gives every cell a soft coverage edge at
+	// this many meters (world.CellSpec.RangeLimit) — what makes a
+	// mobile genuinely leave a cell and forces handovers.
+	CellRange float64 `json:"cell_range,omitempty"`
+
+	// Horizon is how long a trial of this world runs.
+	Horizon sim.Time `json:"horizon"`
+}
+
+// Blockers describes the blocker field as a density relative to the
+// calibrated default: 1 keeps the default blockage event rate, 2
+// doubles it (half the mean LOS interval), 0 disables blockage
+// entirely. Hold times keep the calibrated mean — density models how
+// often bodies cross the link, not how slowly they walk.
+type Blockers struct {
+	Density float64 `json:"density"`
+}
+
+// Validate reports the first structural problem of the spec, or nil.
+func (s Spec) Validate() error {
+	if err := s.Topology.validate(); err != nil {
+		return err
+	}
+	if err := s.Fleet.validate(); err != nil {
+		return err
+	}
+	if s.Blockers.Density < 0 {
+		return fmt.Errorf("scenario: blocker density %g is negative", s.Blockers.Density)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("scenario: horizon %v is not positive", s.Horizon)
+	}
+	return nil
+}
+
+// Fingerprint returns the spec's canonical JSON — the string two
+// specs must share to be the same family. Campaign Config strings
+// embed it so scenario parameters that are not sweep axes still
+// invalidate the cache when they change.
+func (s Spec) Fingerprint() string {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: spec marshal: %v", err))
+	}
+	return string(buf)
+}

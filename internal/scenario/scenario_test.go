@@ -1,0 +1,291 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/rng"
+	"silenttracker/internal/sim"
+)
+
+func testSpec(count int) Spec {
+	return Spec{
+		Name:     "test",
+		Topology: HexGrid(1, 20),
+		Fleet: Fleet{
+			Count:         count,
+			Spawn:         AnnulusRegion(geom.V(0, 0), 4, 16),
+			Mix:           Mix{Walk: 0.5, Rotation: 0.25, Vehicular: 0.25},
+			HeadingJitter: geom.TwoPi,
+		},
+		Blockers:  Blockers{Density: 1},
+		CellRange: 18,
+		Horizon:   2 * sim.Second,
+	}
+}
+
+// TestCompileDeterministic: same spec + seed ⇒ byte-identical
+// deployment, and the built worlds replay identically.
+func TestCompileDeterministic(t *testing.T) {
+	a := Compile(testSpec(12), 42)
+	b := Compile(testSpec(12), 42)
+	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	if bytes.Equal(a.Fingerprint(), Compile(testSpec(12), 43).Fingerprint()) {
+		t.Fatal("different seeds produced identical deployments")
+	}
+
+	// The compiled world is byte-identical in behaviour, not just in
+	// description: run the same UE twice and compare protocol state.
+	w1 := a.BuildUE(3)
+	w2 := b.BuildUE(3)
+	w1.Run(2 * sim.Second)
+	w2.Run(2 * sim.Second)
+	if w1.Tracker.HandoversDone != w2.Tracker.HandoversDone ||
+		w1.ServingListens != w2.ServingListens ||
+		w1.NeighborListens != w2.NeighborListens ||
+		w1.Device.Pose(2*sim.Second) != w2.Device.Pose(2*sim.Second) {
+		t.Fatalf("replays diverged: %+v vs %+v", w1.Tracker, w2.Tracker)
+	}
+}
+
+// TestFleetPrefixStable: growing the fleet appends UEs without
+// disturbing existing ones — per-entity seed scheduling at work.
+func TestFleetPrefixStable(t *testing.T) {
+	small := Compile(testSpec(8), 7)
+	large := Compile(testSpec(24), 7)
+	for i := range small.UEs {
+		su, lu := small.UEs[i], large.UEs[i]
+		// Kind assignment is a fleet-level permutation (it must keep
+		// mix proportions exact), so it may differ; everything derived
+		// from the per-UE stream must not.
+		if su.Seed != lu.Seed || su.Spawn != lu.Spawn || su.Heading != lu.Heading || su.ID != lu.ID {
+			t.Fatalf("UE %d changed when the fleet grew:\n%+v\n%+v", i, su, lu)
+		}
+	}
+}
+
+// TestMixCountsExact: largest-remainder apportionment realises the
+// mix exactly.
+func TestMixCountsExact(t *testing.T) {
+	cases := []struct {
+		mix  Mix
+		n    int
+		want [3]int
+	}{
+		{Mix{Walk: 0.5, Rotation: 0.25, Vehicular: 0.25}, 8, [3]int{4, 2, 2}},
+		{Mix{Walk: 0.6, Rotation: 0.2, Vehicular: 0.2}, 20, [3]int{12, 4, 4}},
+		{Mix{Walk: 0.75, Rotation: 0.25}, 8, [3]int{6, 2, 0}},
+		{Mix{Walk: 1, Rotation: 1, Vehicular: 1}, 10, [3]int{4, 3, 3}},
+		{Mix{Vehicular: 1}, 10, [3]int{0, 0, 10}},
+		{Mix{}, 5, [3]int{5, 0, 0}}, // degenerate: everyone walks
+	}
+	for _, c := range cases {
+		if got := c.mix.Counts(c.n); got != c.want {
+			t.Errorf("Counts(%+v, %d) = %v, want %v", c.mix, c.n, got, c.want)
+		}
+	}
+	// The compiled fleet realises exactly those counts.
+	d := Compile(testSpec(20), 99)
+	var got [3]int
+	for _, u := range d.UEs {
+		got[u.Kind]++
+	}
+	want := testSpec(20).Fleet.Mix.Counts(20)
+	if got != want {
+		t.Errorf("compiled kinds %v, want %v", got, want)
+	}
+}
+
+// TestTopologyClosedForm: cell counts and positions match the
+// closed-form layout definitions.
+func TestTopologyClosedForm(t *testing.T) {
+	for k := 0; k <= 3; k++ {
+		want := 1 + 3*k*(k+1)
+		if got := HexGrid(k, 20).NumCells(); got != want {
+			t.Errorf("hex radius %d: NumCells = %d, want %d", k, got, want)
+		}
+		if got := len(HexGrid(k, 20).Sites()); got != want {
+			t.Errorf("hex radius %d: len(Sites) = %d, want %d", k, got, want)
+		}
+	}
+
+	// Hex: every non-centre site is a multiple of the spacing from the
+	// centre along a lattice direction; ring-1 sites are exactly one
+	// spacing away.
+	const s = 20.0
+	hex := HexGrid(1, s).Sites()
+	if hex[0].Pos != geom.V(0, 0) || hex[0].Facing != 0 {
+		t.Errorf("hex centre = %+v, want origin facing east", hex[0])
+	}
+	for _, site := range hex[1:] {
+		if d := site.Pos.Len(); math.Abs(d-s) > 1e-9 {
+			t.Errorf("hex ring-1 site %d at distance %g, want %g", site.ID, d, s)
+		}
+		if got := geom.AngleDist(site.Facing, site.Pos.BearingTo(geom.V(0, 0))); got > 1e-9 {
+			t.Errorf("hex site %d does not face the centre", site.ID)
+		}
+	}
+
+	// Linear: x = i*spacing, alternating roadside offsets, each cell
+	// facing the road.
+	lin := LinearCorridor(4, 30).Sites()
+	for i, site := range lin {
+		side := -1.0
+		if i%2 == 1 {
+			side = 1
+		}
+		if site.Pos != geom.V(float64(i)*30, side*9) {
+			t.Errorf("linear site %d at %v", i, site.Pos)
+		}
+		if site.Facing != -side*math.Pi/2 {
+			t.Errorf("linear site %d facing %g, want %g", i, site.Facing, -side*math.Pi/2)
+		}
+	}
+
+	// Ring: on the circle, evenly spaced, facing the centre.
+	ring := Ring(6, 14).Sites()
+	if len(ring) != 6 {
+		t.Fatalf("ring: %d sites", len(ring))
+	}
+	for i, site := range ring {
+		if d := site.Pos.Len(); math.Abs(d-14) > 1e-9 {
+			t.Errorf("ring site %d at radius %g", i, d)
+		}
+		wantTheta := geom.TwoPi * float64(i) / 6
+		if got := geom.AngleDist(site.Pos.Heading(), geom.WrapAngle(wantTheta)); got > 1e-9 {
+			t.Errorf("ring site %d at angle %g, want %g", i, site.Pos.Heading(), wantTheta)
+		}
+		if got := geom.AngleDist(site.Facing, site.Pos.BearingTo(geom.V(0, 0))); got > 1e-9 {
+			t.Errorf("ring site %d does not face the centre", i)
+		}
+	}
+
+	// Burst offsets are staggered strictly inside one sweep period.
+	for i, site := range ring {
+		if site.BurstOffset < 0 || (i > 0 && site.BurstOffset <= ring[i-1].BurstOffset) {
+			t.Errorf("burst offsets not strictly staggered: %v", ring)
+		}
+	}
+}
+
+// TestServingIsNearest: every UE attaches to its closest site.
+func TestServingIsNearest(t *testing.T) {
+	d := Compile(testSpec(16), 5)
+	for _, u := range d.UEs {
+		for _, site := range d.Sites {
+			served := siteByID(t, d, u.Serving)
+			if site.Pos.Dist(u.Spawn) < served.Pos.Dist(u.Spawn)-1e-12 {
+				t.Errorf("UE %d serving %d but site %d is closer", u.Index, u.Serving, site.ID)
+			}
+		}
+	}
+}
+
+func siteByID(t *testing.T, d *Deployment, id int) Site {
+	t.Helper()
+	for _, s := range d.Sites {
+		if s.ID == id {
+			return s
+		}
+	}
+	t.Fatalf("no site %d", id)
+	return Site{}
+}
+
+// TestSpawnInsideRegion: sampled spawns respect the region bounds.
+func TestSpawnInsideRegion(t *testing.T) {
+	spec := testSpec(32)
+	d := Compile(spec, 11)
+	for _, u := range d.UEs {
+		r := u.Spawn.Len()
+		if r < 4-1e-9 || r > 16+1e-9 {
+			t.Errorf("UE %d spawned at radius %g, outside [4, 16]", u.Index, r)
+		}
+	}
+	rect := RectRegion(geom.V(-3, 1), geom.V(5, 2))
+	src := rng.Stream(1, "test")
+	for i := 0; i < 100; i++ {
+		p := rect.Sample(src)
+		if p.X < -3 || p.X > 5 || p.Y < 1 || p.Y > 2 {
+			t.Fatalf("rect sample %v outside bounds", p)
+		}
+	}
+}
+
+// TestValidate rejects malformed specs.
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		func() Spec { s := testSpec(4); s.Fleet.Count = 0; return s }(),
+		func() Spec { s := testSpec(4); s.Topology.Spacing = 0; return s }(),
+		func() Spec { s := testSpec(4); s.Horizon = 0; return s }(),
+		func() Spec { s := testSpec(4); s.Blockers.Density = -1; return s }(),
+		func() Spec { s := testSpec(4); s.Fleet.Mix.Walk = -0.1; return s }(),
+		func() Spec { s := testSpec(4); s.Fleet.Spawn.R1 = 1; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+	if err := testSpec(4).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestBlockerFieldMapping: density scales the blockage event rate and
+// density 0 disables blockage outright.
+func TestBlockerFieldMapping(t *testing.T) {
+	spec := testSpec(2)
+	spec.Blockers.Density = 4
+	d := Compile(spec, 1)
+	w := d.BuildUE(0)
+	los, hold, off := d.blockage(w.P.Channel)
+	if off || math.Abs(los-w.P.Channel.BlockMeanLOS/4) > 1e-12 || hold != w.P.Channel.BlockMeanHold {
+		t.Errorf("density 4: got (%g, %g, %v)", los, hold, off)
+	}
+	spec.Blockers.Density = 0
+	if _, _, off := Compile(spec, 1).blockage(w.P.Channel); !off {
+		t.Error("density 0 did not disable blockage")
+	}
+}
+
+// TestUEIDsDistinct: generated mobiles carry distinct permanent IDs
+// below the cells' temporary range.
+func TestUEIDsDistinct(t *testing.T) {
+	d := Compile(testSpec(40), 3)
+	seen := map[uint16]bool{}
+	for _, u := range d.UEs {
+		if seen[u.ID] {
+			t.Fatalf("duplicate UE ID %d", u.ID)
+		}
+		seen[u.ID] = true
+		if u.ID >= 0x8000 {
+			t.Fatalf("UE ID %#x in the temporary range", u.ID)
+		}
+	}
+	for i := range d.UEs {
+		if d.UEs[i].Seed == d.UEs[(i+1)%len(d.UEs)].Seed {
+			t.Fatalf("adjacent UEs share a seed")
+		}
+	}
+}
+
+// TestChildSeedMatchesStream: the exported seed-scheduling primitive
+// agrees with Stream's derivation, so entity streams rebuilt from a
+// ChildSeed are the streams Stream would have produced.
+func TestChildSeedMatchesStream(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("scenario/ue/%d", i)
+		a := rng.Stream(17, name).Float64()
+		b := rng.New(rng.ChildSeed(17, name)).Float64()
+		if a != b {
+			t.Fatalf("ChildSeed disagrees with Stream for %q", name)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"silenttracker/internal/geom"
+	"silenttracker/internal/phy"
+	"silenttracker/internal/sim"
+)
+
+// TopologyKind names a cell layout family.
+type TopologyKind int
+
+// The supported layouts.
+const (
+	// LinearKind is a corridor: roadside cells along the x axis at
+	// Spacing intervals, alternating sides of the road (offset
+	// ±0.3·Spacing) and facing it, so the 120° sectors tile the
+	// corridor with contiguous coverage (±0.3·Spacing·tan 60° ≈
+	// ±0.52·Spacing of road per cell).
+	LinearKind TopologyKind = iota
+	// HexKind is a hexagonal grid of the given radius (radius 0 is one
+	// cell, radius k adds k rings: 1+3k(k+1) cells), every cell facing
+	// the grid centre.
+	HexKind
+	// RingKind places cells evenly on a circle, facing the centre —
+	// the hotspot layout: coverage overlaps in the middle.
+	RingKind
+)
+
+// String implements fmt.Stringer.
+func (k TopologyKind) String() string {
+	switch k {
+	case LinearKind:
+		return "linear"
+	case HexKind:
+		return "hex"
+	default:
+		return "ring"
+	}
+}
+
+// Topology declares a cell layout.
+type Topology struct {
+	Kind TopologyKind `json:"kind"`
+	// Size is the cell count (LinearKind, RingKind) or the grid radius
+	// (HexKind).
+	Size int `json:"size"`
+	// Spacing is the inter-site distance in meters (LinearKind,
+	// HexKind) or the circle radius (RingKind).
+	Spacing float64 `json:"spacing"`
+}
+
+// LinearCorridor returns a corridor of n cells spaced s meters apart.
+func LinearCorridor(n int, s float64) Topology {
+	return Topology{Kind: LinearKind, Size: n, Spacing: s}
+}
+
+// HexGrid returns a hex grid of the given radius with inter-site
+// distance s.
+func HexGrid(radius int, s float64) Topology {
+	return Topology{Kind: HexKind, Size: radius, Spacing: s}
+}
+
+// Ring returns n cells on a circle of radius r.
+func Ring(n int, r float64) Topology {
+	return Topology{Kind: RingKind, Size: n, Spacing: r}
+}
+
+func (t Topology) validate() error {
+	switch t.Kind {
+	case LinearKind, RingKind:
+		if t.Size < 1 {
+			return fmt.Errorf("scenario: %v topology needs at least 1 cell, got %d", t.Kind, t.Size)
+		}
+	case HexKind:
+		if t.Size < 0 {
+			return fmt.Errorf("scenario: hex radius %d is negative", t.Size)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %d", int(t.Kind))
+	}
+	if t.Spacing <= 0 {
+		return fmt.Errorf("scenario: %v topology spacing %g is not positive", t.Kind, t.Spacing)
+	}
+	return nil
+}
+
+// NumCells returns the closed-form cell count of the layout.
+func (t Topology) NumCells() int {
+	if t.Kind == HexKind {
+		return 1 + 3*t.Size*(t.Size+1)
+	}
+	return t.Size
+}
+
+// Site is one generated base-station placement. IDs are 1-based and
+// dense, in layout order.
+type Site struct {
+	ID          int      `json:"id"`
+	Pos         geom.Vec `json:"pos"`
+	Facing      float64  `json:"facing"`
+	BurstOffset sim.Time `json:"burst_offset"`
+}
+
+// Sites expands the layout. Burst offsets are staggered evenly across
+// the SSB sweep period so neighboring bursts interleave instead of
+// colliding on the mobile's single RF chain — the same staggering the
+// hand-built two-cell scenario used.
+func (t Topology) Sites() []Site {
+	n := t.NumCells()
+	sites := make([]Site, 0, n)
+	period := phy.DefaultConfig().SweepPeriod
+	add := func(pos geom.Vec, facing float64) {
+		i := len(sites)
+		sites = append(sites, Site{
+			ID:          i + 1,
+			Pos:         pos,
+			Facing:      facing,
+			BurstOffset: period * sim.Time(i) / sim.Time(n),
+		})
+	}
+	switch t.Kind {
+	case LinearKind:
+		for i := 0; i < t.Size; i++ {
+			side := -1.0 // south of the road, facing north
+			if i%2 == 1 {
+				side = 1
+			}
+			add(geom.V(float64(i)*t.Spacing, side*0.3*t.Spacing), -side*math.Pi/2)
+		}
+	case HexKind:
+		// Axial coordinates (q, r) with |q|, |r|, |q+r| <= radius,
+		// spiralled out ring by ring so cell 1 is the centre.
+		add(geom.V(0, 0), 0)
+		for ring := 1; ring <= t.Size; ring++ {
+			q, r := ring, 0
+			// Walk the six edges of the ring counter-clockwise.
+			dirs := [6][2]int{{-1, 1}, {-1, 0}, {0, -1}, {1, -1}, {1, 0}, {0, 1}}
+			for _, d := range dirs {
+				for step := 0; step < ring; step++ {
+					pos := axialToPlane(q, r, t.Spacing)
+					add(pos, facingToCentre(pos))
+					q += d[0]
+					r += d[1]
+				}
+			}
+		}
+	case RingKind:
+		for i := 0; i < t.Size; i++ {
+			theta := geom.TwoPi * float64(i) / float64(t.Size)
+			pos := geom.FromPolar(t.Spacing, theta)
+			add(pos, facingToCentre(pos))
+		}
+	}
+	return sites
+}
+
+// axialToPlane converts hex axial coordinates to the plane with
+// inter-site distance s (pointy-top orientation).
+func axialToPlane(q, r int, s float64) geom.Vec {
+	x := s * (float64(q) + float64(r)/2)
+	y := s * (math.Sqrt(3) / 2) * float64(r)
+	return geom.V(x, y)
+}
+
+// facingToCentre points a sector at the origin; a cell at the origin
+// faces east by convention.
+func facingToCentre(pos geom.Vec) float64 {
+	if pos.X == 0 && pos.Y == 0 {
+		return 0
+	}
+	return pos.BearingTo(geom.V(0, 0))
+}

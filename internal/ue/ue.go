@@ -60,9 +60,20 @@ type Device struct {
 	BurstsSkipped  int
 }
 
+// MaxID is the highest permanent device identity. IDs at or above it
+// live in the temporary-ID range cells allocate from during random
+// access (see cell.New), so a generated fleet carrying such an ID
+// would collide with in-flight RAR grants.
+const MaxID = 0x8000
+
 // NewDevice constructs a mobile with the given identity, mobility and
-// codebook.
+// codebook. It panics on an ID in the cells' temporary-ID range:
+// scenario generators assign fleet IDs programmatically, and a silent
+// collision there would corrupt random access for everyone.
 func NewDevice(id uint16, mob mobility.Model, book *antenna.Codebook) *Device {
+	if id >= MaxID {
+		panic(fmt.Sprintf("ue: device ID %#x is in the temporary-ID range [%#x, 0xffff]", id, MaxID))
+	}
 	return &Device{
 		ID:        id,
 		Mob:       mob,

@@ -57,6 +57,13 @@ type CellSpec struct {
 	// the mm-wave corner-loss model for a mobile walking out of the
 	// cell.
 	RangeLimit float64
+	// BlockMeanLOS / BlockMeanHold, if positive, override the blockage
+	// dynamics on this cell's link (mean seconds between blockage
+	// events / mean seconds one lasts). Scenario generators use them to
+	// express blocker fields: dense foot traffic near one cell means
+	// more frequent blockage events on that cell's link only.
+	BlockMeanLOS  float64
+	BlockMeanHold float64
 }
 
 // World is a fully wired scenario.
@@ -94,6 +101,10 @@ type Builder struct {
 	Specs  []CellSpec
 
 	ServingCell int
+	// UEID is the mobile's identity (0 selects the historical default
+	// of 7). Generated fleets give every mobile a distinct ID so MAC
+	// contexts and connection tables stay per-device meaningful.
+	UEID uint16
 }
 
 // NewBuilder returns a builder with default parameters.
@@ -129,7 +140,11 @@ func (b *Builder) Build() *World {
 		Seed:        b.Seed,
 		rachOffsets: make(map[int]sim.Time),
 	}
-	dev := ue.NewDevice(7, b.Mob, b.UEBook)
+	ueID := b.UEID
+	if ueID == 0 {
+		ueID = 7
+	}
+	dev := ue.NewDevice(ueID, b.Mob, b.UEBook)
 	w.Device = dev
 
 	for _, spec := range b.Specs {
@@ -144,6 +159,12 @@ func (b *Builder) Build() *World {
 		if spec.RangeLimit > 0 {
 			chp.SoftRangeLimit = spec.RangeLimit
 			chp.SoftRangeRolloff = 10
+		}
+		if spec.BlockMeanLOS > 0 {
+			chp.BlockMeanLOS = spec.BlockMeanLOS
+		}
+		if spec.BlockMeanHold > 0 {
+			chp.BlockMeanHold = spec.BlockMeanHold
 		}
 		var ch *channel.Link
 		if spec.NoBlockage {
