@@ -11,12 +11,15 @@
 // trial order, so the same seed produces byte-identical tables at any
 // -j. Use -j 1 to force the serial path.
 //
-// For cached sweeps (warm re-runs that skip already-computed trials),
-// use cmd/stcampaign, which runs the same experiments through the
-// campaign engine's content-addressed result cache.
+// stbench is a thin shell over the public silenttracker/st package —
+// flag parsing and renderer selection only. For cached sweeps (warm
+// re-runs that skip already-computed trials), use cmd/stcampaign,
+// which runs the same experiments with the campaign engine's
+// content-addressed result cache enabled.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,151 +28,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 
-	"silenttracker/internal/experiments"
+	"silenttracker/st"
 )
-
-// experiment binds a name to its runner; opts plumbing stays inside
-// run so each experiment keeps its own options type.
-type experiment struct {
-	name string
-	run  func(w io.Writer, seed int64, workers int, csv bool)
-}
-
-// pick selects the reduced trial count under -quick (the counts come
-// from experiments.QuickTrials, shared with stcampaign).
-func pick(quick bool, full, reduced int) int {
-	if quick {
-		return reduced
-	}
-	return full
-}
-
-func experimentsTable(quick bool) []experiment {
-	return []experiment{
-		{"fig2a", func(w io.Writer, seed int64, workers int, csv bool) {
-			opts := experiments.DefaultFig2aOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("fig2a"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			rows := experiments.RunFig2a(opts)
-			if csv {
-				experiments.WriteFig2aCSV(w, rows)
-			} else {
-				experiments.Banner(w, "Figure 2a — directional search under mobility")
-				experiments.WriteFig2a(w, rows)
-			}
-		}},
-		{"fig2c", func(w io.Writer, seed int64, workers int, csv bool) {
-			opts := experiments.DefaultFig2cOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("fig2c"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			series := experiments.RunFig2c(opts)
-			if csv {
-				experiments.WriteFig2cCSV(w, series)
-			} else {
-				experiments.Banner(w, "Figure 2c — soft handover completion time CDF")
-				experiments.WriteFig2c(w, series)
-			}
-		}},
-		{"mobility", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultMobilityOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("mobility"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Alignment held until handover conclusion (§3 claim)")
-			experiments.WriteMobility(w, experiments.RunMobility(opts))
-		}},
-		{"ablation-threshold", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultThresholdOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("threshold"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Ablation — handover margin T")
-			experiments.WriteThreshold(w, experiments.RunThreshold(opts))
-		}},
-		{"ablation-hysteresis", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultHysteresisOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("hysteresis"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Ablation — adjacent-switch trigger (3 dB rule)")
-			experiments.WriteHysteresis(w, experiments.RunHysteresis(opts))
-		}},
-		{"baseline", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultBaselineOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("baseline"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Baseline comparison — soft vs reactive vs genie")
-			experiments.WriteBaseline(w, experiments.RunBaseline(opts))
-		}},
-		{"ablation-pattern", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultPatternOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("patterns"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Ablation — beam pattern model (Gaussian vs ULA)")
-			experiments.WritePatterns(w, experiments.RunPatterns(opts))
-		}},
-		{"ablation-codebook", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultCodebookOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("codebook"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Codebook-size sweep — where 1.28 s comes from")
-			experiments.WriteCodebook(w, experiments.RunCodebook(opts))
-		}},
-		// Scenario-generated families (internal/scenario): multi-cell,
-		// multi-UE worlds compiled from declarative specs.
-		{"urban", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultUrbanOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("urban"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Urban hex grid — handover storms under a mixed fleet")
-			experiments.WriteUrban(w, experiments.RunUrban(opts))
-		}},
-		{"highway", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultHighwayOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("highway"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Highway corridor — alignment hold duration vs speed")
-			experiments.WriteHighway(w, experiments.RunHighway(opts))
-		}},
-		{"hotspot", func(w io.Writer, seed int64, workers int, _ bool) {
-			opts := experiments.DefaultHotspotOpts()
-			opts.Trials = pick(quick, opts.Trials, experiments.QuickTrials("hotspot"))
-			if seed != 0 {
-				opts.Seed = seed
-			}
-			opts.Workers = workers
-			experiments.Banner(w, "Hotspot ring — silent tracking under a blocker field")
-			experiments.WriteHotspot(w, experiments.RunHotspot(opts))
-		}},
-	}
-}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment by exact name (see -list), or all")
@@ -183,11 +43,23 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	table := experimentsTable(*quick)
+	opts := []st.Option{st.WithWorkers(*jobs)}
+	if *quick {
+		opts = append(opts, st.WithQuick())
+	}
+	if *seed != 0 {
+		opts = append(opts, st.WithSeed(*seed))
+	}
+	client, err := st.NewClient(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+		os.Exit(1)
+	}
+	infos := client.Experiments()
 
 	if *list {
-		for _, e := range table {
-			fmt.Println(e.name)
+		for _, in := range infos {
+			fmt.Println(in.BenchName())
 		}
 		return
 	}
@@ -202,8 +74,8 @@ func main() {
 		selected = re.MatchString
 	} else if *exp != "all" {
 		known := false
-		for _, e := range table {
-			known = known || e.name == *exp
+		for _, in := range infos {
+			known = known || in.BenchName() == *exp
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", *exp)
@@ -242,15 +114,33 @@ func main() {
 	}
 
 	ran := 0
-	for _, e := range table {
-		if !selected(e.name) {
+	for _, in := range infos {
+		if !selected(in.BenchName()) {
 			continue
 		}
 		ran++
-		e.run(os.Stdout, *seed, *jobs, *csv)
+		res, err := client.Run(context.Background(), in.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", in.BenchName(), err)
+			os.Exit(1)
+		}
+		if err := render(os.Stdout, res, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", in.BenchName(), err)
+			os.Exit(1)
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (see -list)\n", *runPat)
 		os.Exit(2)
 	}
+}
+
+// render selects the experiment's presentation: raw CSV samples where
+// the experiment has that form and -csv asked for it, the banner +
+// text table otherwise.
+func render(w io.Writer, res *st.Result, csv bool) error {
+	if csv && res.HasCSV() {
+		return st.RenderCSV(w, res)
+	}
+	return st.RenderText(w, res)
 }

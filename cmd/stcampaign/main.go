@@ -1,9 +1,8 @@
-// Command stcampaign runs declarative experiment sweeps through the
-// campaign engine (internal/campaign) with a content-addressed
-// on-disk result cache: a warm re-run of an already-computed spec
-// performs zero trial computations while emitting byte-identical
-// tables, and a sweep that shares cells with a previous one only
-// computes the delta.
+// Command stcampaign runs declarative experiment sweeps with a
+// content-addressed on-disk result cache: a warm re-run of an
+// already-computed spec performs zero trial computations while
+// emitting byte-identical tables, and a sweep that shares cells with a
+// previous one only computes the delta.
 //
 // Subcommands:
 //
@@ -20,17 +19,26 @@
 // instead of text tables. Tables and JSON go to stdout; run
 // statistics (units/computed/cached) go to stderr so stdout stays
 // byte-comparable across runs.
+//
+// The first ^C cancels gracefully: no further trial unit is
+// dispatched, in-flight units finish and persist to the cache (a
+// rerun computes only the remainder), and the process exits 130
+// without rendering partial tables. A second ^C aborts immediately.
+//
+// stcampaign is a thin shell over the public silenttracker/st package
+// — flag parsing and renderer selection only.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"regexp"
 
-	"silenttracker/internal/campaign"
-	"silenttracker/internal/experiments"
+	"silenttracker/st"
 )
 
 const defaultCacheDir = ".stcache"
@@ -42,13 +50,13 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		cmdList()
+		os.Exit(cmdList())
 	case "describe":
-		cmdDescribe(os.Args[2:])
+		os.Exit(cmdDescribe(os.Args[2:]))
 	case "run":
 		os.Exit(cmdRun(os.Args[2:]))
 	case "clean":
-		cmdClean(os.Args[2:])
+		os.Exit(cmdClean(os.Args[2:]))
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -70,48 +78,51 @@ func usage() {
 `)
 }
 
-func cmdList() {
-	for _, def := range experiments.Campaigns() {
-		spec := def.Build(experiments.CampaignParams{})
-		fmt.Printf("%-12s %4d cells × %3d trials = %5d units   %s\n",
-			def.Name, len(spec.Cells()), spec.Trials, spec.Units(), spec.Description)
+func cmdList() int {
+	client, err := st.NewClient()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
 	}
+	if err := st.RenderList(os.Stdout, client.Experiments()); err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
-func cmdDescribe(args []string) {
+func cmdDescribe(args []string) int {
 	fs := flag.NewFlagSet("describe", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "describe the reduced smoke-run configuration")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: stcampaign describe [-quick] <name>")
-		os.Exit(2)
+		return 2
 	}
 	name := fs.Arg(0)
-	for _, def := range experiments.Campaigns() {
-		if def.Name != name {
-			continue
-		}
-		spec := def.Build(experiments.CampaignParams{Quick: *quick})
-		fmt.Printf("campaign:   %s\n", spec.Name)
-		fmt.Printf("about:      %s\n", spec.Description)
-		fmt.Printf("epoch:      %s\n", spec.Epoch)
-		if spec.Config != "" {
-			fmt.Printf("config:     %s\n", spec.Config)
-		}
-		fmt.Printf("seeds:      base %d, stride %d\n", spec.Seed, spec.SeedStride)
-		fmt.Printf("trials:     %d per cell\n", spec.Trials)
-		for _, a := range spec.Axes {
-			fmt.Printf("axis:       %s = %v\n", a.Name, a.Values)
-		}
-		cells := spec.Cells()
-		fmt.Printf("grid:       %d cells, %d units\n", len(cells), spec.Units())
-		for _, c := range cells {
-			fmt.Printf("  %-40s key %s…\n", c, spec.UnitKey(c, 0).Hash()[:12])
-		}
-		return
+	client, err := st.NewClient()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "stcampaign: unknown campaign %q (try `stcampaign list`)\n", name)
-	os.Exit(2)
+	var opts []st.Option
+	if *quick {
+		opts = append(opts, st.WithQuick())
+	}
+	desc, err := client.Describe(name, opts...)
+	if errors.Is(err, st.ErrUnknownExperiment) {
+		fmt.Fprintf(os.Stderr, "stcampaign: unknown campaign %q (try `stcampaign list`)\n", name)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
+	}
+	if err := st.RenderDescription(os.Stdout, desc); err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 func cmdRun(args []string) int {
@@ -139,47 +150,74 @@ func cmdRun(args []string) int {
 		return 2
 	}
 
-	var cache *campaign.Cache
+	opts := []st.Option{st.WithWorkers(*jobs)}
 	if !*noCache {
-		cache, err = campaign.Open(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
-			return 1
-		}
+		opts = append(opts, st.WithCacheDir(*cacheDir))
 	}
-	eng := campaign.Engine{Cache: cache, Workers: *jobs}
-	params := experiments.CampaignParams{Quick: *quick, Seed: *seed, Trials: *trials}
+	if *quick {
+		opts = append(opts, st.WithQuick())
+	}
+	if *seed != 0 {
+		opts = append(opts, st.WithSeed(*seed))
+	}
+	if *trials != 0 {
+		opts = append(opts, st.WithTrials(*trials))
+	}
+	client, err := st.NewClient(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+		return 1
+	}
 
-	type jsonDoc struct {
-		Name        string                `json:"name"`
-		Description string                `json:"description"`
-		Cells       []campaign.CellResult `json:"cells"`
-	}
-	var docs []jsonDoc
+	// First ^C: cancel the context — the engine stops dispatching,
+	// finishes in-flight units (persisting each to the cache), and Run
+	// returns a *st.CancelledError. Second ^C: the handler has been
+	// detached, so the default disposition kills the process.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "stcampaign: interrupt — finishing in-flight units (^C again to abort)")
+		signal.Stop(sigc)
+		cancel()
+	}()
+
+	var results []*st.Result
 	matched := 0
-	for _, def := range experiments.Campaigns() {
-		if !re.MatchString(def.Name) {
+	for _, in := range client.Experiments() {
+		if !re.MatchString(in.Name) {
 			continue
 		}
 		matched++
-		spec := def.Build(params)
-		cells, stats := eng.Run(spec)
-		fmt.Fprintf(os.Stderr, "%s: %s (%.1fs)\n", spec.Name, stats, stats.Elapsed.Seconds())
+		res, err := client.Run(ctx, in.Name)
+		var cancelled *st.CancelledError
+		if errors.As(err, &cancelled) {
+			fmt.Fprintf(os.Stderr, "stcampaign: %s: %v\n", in.Name, err)
+			return 130
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: %s: %v\n", in.Name, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s (%.1fs)\n", res.Campaign, res.Stats, res.Stats.Elapsed.Seconds())
 		if *asJSON {
-			docs = append(docs, jsonDoc{Name: spec.Name, Description: spec.Description, Cells: cells})
+			results = append(results, res)
 			continue
 		}
-		banner(spec.Name)
-		spec.Render(os.Stdout, cells)
+		if err := st.RenderCampaignText(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
+			return 1
+		}
 	}
 	if matched == 0 {
 		fmt.Fprintf(os.Stderr, "stcampaign: no campaign matches %q (try `stcampaign list`)\n", pattern)
 		return 2
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(docs); err != nil {
+		if err := st.RenderJSON(os.Stdout, results...); err != nil {
 			fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
 			return 1
 		}
@@ -187,16 +225,13 @@ func cmdRun(args []string) int {
 	return 0
 }
 
-func banner(name string) {
-	fmt.Printf("\n== campaign %s ==\n\n", name)
-}
-
-func cmdClean(args []string) {
+func cmdClean(args []string) int {
 	fs := flag.NewFlagSet("clean", flag.ExitOnError)
 	cacheDir := fs.String("cache-dir", defaultCacheDir, "cache directory to remove")
 	fs.Parse(args)
-	if err := campaign.Clean(*cacheDir); err != nil {
+	if err := st.CleanCache(*cacheDir); err != nil {
 		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

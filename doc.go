@@ -18,6 +18,9 @@
 //
 // Layout:
 //
+//   - st/ — the public, embeddable API: Client/Session execution with
+//     context cancellation, typed progress events, structured Results,
+//     and renderers reproducing the CLI output byte for byte
 //   - internal/core        — the Silent Tracker protocol (Fig. 2b machine)
 //   - internal/beamsurfer  — the serving-link protocol it builds on
 //   - internal/{antenna, channel, phy, mac, cell, ue, mobility} — substrates
@@ -25,8 +28,9 @@
 //   - internal/runner      — deterministic parallel trial engine
 //   - internal/campaign    — declarative sweeps + content-addressed result cache
 //   - internal/scenario    — declarative multi-cell, multi-UE world generator
-//   - cmd/{stbench, stcampaign, stsim, stmachine} — executables
-//   - examples/ — runnable scenarios
+//   - cmd/{stbench, stcampaign, stsim, stmachine} — executables; stbench
+//     and stcampaign are thin shells over st (flags + renderer choice)
+//   - examples/ — runnable scenarios (quickstart is the st API tour)
 //   - e2e/      — end-to-end CLI and examples tests (real binaries, os/exec)
 //
 // Every experiment shards its independent trials across a worker pool

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // binDir holds the binaries TestMain builds once for the whole run.
@@ -204,6 +205,148 @@ func TestBenchUnknownExperiment(t *testing.T) {
 	_, stderr, code := run(t, "stbench", "-exp", "no-such-experiment")
 	if code != 2 || !strings.Contains(stderr, "unknown experiment") {
 		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestCampaignRunSIGINT is the cancellation acceptance test: SIGINT a
+// cold run mid-flight — the process must exit 130 without rendering
+// partial tables, every completed unit must be in the cache, and the
+// warm rerun must compute exactly the remainder while emitting the
+// same bytes as an uninterrupted run.
+func TestCampaignRunSIGINT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Cold run at -j 1 (serial, so units land in the cache one at a
+	// time); interrupt as soon as the first unit is persisted.
+	cmd := exec.Command(filepath.Join(binDir, "stcampaign"),
+		"run", "-quick", "-j", "1", "-cache-dir", cacheDir, "urban")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for countCacheEntries(t, cacheDir) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no cache entry appeared within 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sigErr := cmd.Process.Signal(os.Interrupt)
+	err := cmd.Wait()
+	if err == nil || sigErr != nil {
+		// The run finished in the window between the last cache poll
+		// and signal delivery — nothing to assert about cancellation.
+		t.Skipf("cold run finished before the interrupt landed (signal err: %v)", sigErr)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 130 {
+		t.Fatalf("interrupted run: err %v (stderr %q), want exit 130", err, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("interrupted run rendered partial tables:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "run cancelled") {
+		t.Errorf("interrupted run stderr: %q", stderr.String())
+	}
+	entries := countCacheEntries(t, cacheDir)
+	if entries == 0 {
+		t.Fatal("interrupted run persisted no units")
+	}
+
+	// Warm rerun: computed == remainder, cached == what the cancelled
+	// run persisted.
+	warmOut, warmErr, code := run(t, "stcampaign",
+		"run", "-quick", "-j", "1", "-cache-dir", cacheDir, "urban")
+	if code != 0 {
+		t.Fatalf("warm rerun exited %d: %s", code, warmErr)
+	}
+	var units, computed, cached int
+	if _, err := fmt.Sscanf(lastLine(warmErr), "urban: units=%d computed=%d cached=%d",
+		&units, &computed, &cached); err != nil {
+		t.Fatalf("cannot parse warm stats from %q: %v", warmErr, err)
+	}
+	if entries >= units {
+		t.Skipf("interrupted run finished all %d units before the signal landed", units)
+	}
+	if cached != entries || computed != units-entries {
+		t.Errorf("warm rerun: units=%d computed=%d cached=%d, want cached=%d computed=%d",
+			units, computed, cached, entries, units-entries)
+	}
+
+	// Byte-identity with an uninterrupted cacheless run.
+	refOut, _, code := run(t, "stcampaign", "run", "-quick", "-j", "8", "-no-cache", "urban")
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+	if warmOut != refOut {
+		t.Errorf("warm-after-cancel stdout differs from a clean run:\n--- warm ---\n%s--- ref ---\n%s", warmOut, refOut)
+	}
+}
+
+// countCacheEntries counts persisted trial units (the CACHEDIR.TAG
+// marker is not a .json file, so it never counts).
+func countCacheEntries(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// lastLine returns the final non-empty line of s.
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return lines[len(lines)-1]
+}
+
+// TestCLIFlagErrors is the table-driven gate over both CLIs' flag and
+// usage error paths: each must print a one-line diagnostic to stderr
+// and exit 2, never panic or exit 0.
+func TestCLIFlagErrors(t *testing.T) {
+	cases := []struct {
+		bin    string
+		args   []string
+		stderr string // required substring of the diagnostic
+	}{
+		{"stbench", []string{"-exp", "no-such-experiment"}, "unknown experiment"},
+		{"stbench", []string{"-run", "("}, "bad -run pattern"},
+		{"stbench", []string{"-run", "zzz-no-match"}, "no experiment matches"},
+		{"stcampaign", []string{"run", "-no-cache", "("}, "bad pattern"},
+		{"stcampaign", []string{"run", "-no-cache", "zzz-no-match"}, "no campaign matches"},
+		{"stcampaign", []string{"run", "-no-cache", "a", "b"}, "usage: stcampaign run"},
+		{"stcampaign", []string{"describe", "no-such-campaign"}, "unknown campaign"},
+		{"stcampaign", []string{"describe"}, "usage: stcampaign describe"},
+		{"stcampaign", []string{"frobnicate"}, "unknown subcommand"},
+		{"stcampaign", []string{}, "usage: stcampaign"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.bin+"_"+strings.Join(tc.args, "_"), func(t *testing.T) {
+			stdout, stderr, code := run(t, tc.bin, tc.args...)
+			if code != 2 {
+				t.Errorf("exit %d, want 2 (stderr %q)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.stderr)
+			}
+			if stdout != "" {
+				t.Errorf("error path wrote to stdout: %q", stdout)
+			}
+			// The diagnostic must be short — at most a line or two plus
+			// the usage block, never a stack trace or a table dump.
+			if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n > 12 {
+				t.Errorf("diagnostic is %d lines", n+1)
+			}
+		})
 	}
 }
 

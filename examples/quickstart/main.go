@@ -1,52 +1,69 @@
-// Quickstart: one mobile walking between two mm-wave cells, Silent
-// Tracker managing the beams, one soft handover. This is the smallest
-// complete use of the library.
+// Quickstart: the smallest complete use of the public API
+// (silenttracker/st) — list the registered experiments, run one with
+// live progress, and read its typed result table. For a tour of the
+// protocol itself (event-by-event, inside one simulated world), see
+// examples/walk_handover.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math"
+	"os"
 
-	"silenttracker/internal/core"
-	"silenttracker/internal/geom"
-	"silenttracker/internal/mobility"
-	"silenttracker/internal/sim"
-	"silenttracker/internal/world"
+	"silenttracker/st"
 )
 
 func main() {
-	// Two cells 20 m apart facing each other; the mobile walks east
-	// through the boundary at pedestrian speed.
-	b := world.NewBuilder(42)
-	b.Cfg.AlwaysSearch = true // the scenario starts at the cell edge
-	b.ServingCell = 1
-	b.AddCell(world.CellSpec{ID: 1, Pos: geom.V(0, 0), Facing: 0})
-	b.AddCell(world.CellSpec{ID: 2, Pos: geom.V(20, 0), Facing: math.Pi,
-		BurstOffset: 10 * sim.Millisecond})
-	b.Mob = mobility.NewWalk(geom.V(9, 0.5), 0, 42)
-	w := b.Build()
+	// A Client carries cross-run configuration. WithQuick selects the
+	// smoke-run trial counts; add WithCacheDir(".stcache") and re-runs
+	// of the same experiment compute nothing at all.
+	client, err := st.NewClient(st.WithQuick())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 
-	// Watch the protocol work.
-	w.Tracker.SetEventHook(func(e core.Event) {
-		switch e.Type {
-		case core.EvSearchStarted:
-			fmt.Printf("%7.0f ms  B: searching for a neighbor cell\n", e.At.Millis())
-		case core.EvNeighborFound:
-			fmt.Printf("%7.0f ms  C: found cell %d beam %d after %.0f beam searches\n",
-				e.At.Millis(), e.Cell, e.Beam, e.Value)
-		case core.EvNeighborSwitch:
-			fmt.Printf("%7.0f ms  H: adjacent receive-beam switch → beam %d\n",
-				e.At.Millis(), e.Beam)
-		case core.EvHandoverTriggered:
-			fmt.Printf("%7.0f ms  E: neighbor beats serving by the margin — random access\n",
-				e.At.Millis())
-		case core.EvHandoverComplete:
-			fmt.Printf("%7.0f ms  soft handover to cell %d complete\n", e.At.Millis(), e.Cell)
-		}
-	})
+	// Every figure and sweep of the paper's evaluation is a registered
+	// experiment.
+	fmt.Println("registered experiments:")
+	for _, in := range client.Experiments() {
+		fmt.Printf("  %-12s %s\n", in.Name, in.Title)
+	}
 
-	w.Run(6 * sim.Second)
+	// Run one, watching the typed progress stream instead of parsing
+	// logs. Cancellation works the same way: cancel the context and
+	// Run returns once in-flight trials finish.
+	fmt.Println("\nrunning fig2a (quick):")
+	res, err := client.Run(context.Background(), "fig2a",
+		st.WithProgress(func(ev st.Event) {
+			switch ev := ev.(type) {
+			case st.UnitDone:
+				if ev.Done == ev.Units || ev.Done%25 == 0 {
+					fmt.Printf("  %d/%d trial units done\n", ev.Done, ev.Units)
+				}
+			case st.SpecDone:
+				fmt.Printf("  finished: %s\n", ev.Stats)
+			}
+		}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 
-	fmt.Printf("\nserving cell: %d, handovers: %d (hard: %d)\n",
-		w.Tracker.ServingCell(), w.Tracker.HandoversDone, w.Tracker.HardHandovers)
+	// The Result is structured data: typed columns, raw per-cell
+	// metrics, cache stats. Renderers reproduce the CLI tables from it.
+	fmt.Println("\ntyped columns:")
+	cfg, _ := res.Table.Column("config")
+	succ, _ := res.Table.Column("success")
+	lat, _ := res.Table.Column("dwells_mean")
+	for i, name := range cfg.Labels {
+		fmt.Printf("  %-8s %5.1f%% success, %4.1f dwells mean\n",
+			name, succ.Values[i], lat.Values[i])
+	}
+
+	fmt.Println("\nand the same result as the stbench table:")
+	if err := st.RenderText(os.Stdout, res); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 }

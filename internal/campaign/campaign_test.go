@@ -2,11 +2,13 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -351,6 +353,121 @@ func TestEngineEpochInvalidatesCache(t *testing.T) {
 	s.Axes[1].Values = append(s.Axes[1].Values, "4")
 	if _, st := e.Run(s); st.Computed != 2*s.Trials {
 		t.Errorf("new axis value computed %d units, want %d", st.Computed, 2*s.Trials)
+	}
+}
+
+func TestRunCtxCancelPersistsCompletedUnits(t *testing.T) {
+	cache, err := Open(t.TempDir() + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := syntheticSpec(50) // 6 cells × 50 = 300 units
+	ctx, cancel := context.WithCancel(context.Background())
+	var finished atomic.Int64
+	inner := s.Trial
+	s.Trial = func(cell Cell, seed int64) Metrics {
+		if finished.Add(1) == 10 {
+			cancel() // cancel with most units undispatched
+		}
+		return inner(cell, seed)
+	}
+	e := &Engine{Cache: cache, Workers: 4}
+	cells, st, err := e.RunCtx(ctx, s)
+	if err != context.Canceled {
+		t.Fatalf("RunCtx err = %v, want context.Canceled", err)
+	}
+	if cells != nil {
+		t.Fatal("cancelled RunCtx returned folded cells; a partial fold depends on worker timing")
+	}
+	entries, err := cache.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 || entries >= s.Units() {
+		t.Fatalf("cancelled run persisted %d units, want a non-empty strict subset of %d", entries, s.Units())
+	}
+	if st.Computed != entries {
+		t.Errorf("cancelled stats report %d computed, cache holds %d", st.Computed, entries)
+	}
+
+	// The warm rerun computes exactly the remainder and renders the
+	// same bytes as an uninterrupted no-cache run.
+	s.Trial = inner
+	warm, ws := render(t, e, s)
+	if ws.Cached != entries || ws.Computed != s.Units()-entries {
+		t.Errorf("warm rerun after cancel: %v, want cached=%d computed=%d", ws, entries, s.Units()-entries)
+	}
+	ref, _ := render(t, &Engine{Workers: 1}, s)
+	if warm != ref {
+		t.Errorf("warm-after-cancel output differs from a clean run:\n--- warm ---\n%s--- ref ---\n%s", warm, ref)
+	}
+}
+
+func TestRunCtxProgressEvents(t *testing.T) {
+	s := syntheticSpec(4) // 6 cells × 4 = 24 units
+	var events []Event
+	e := &Engine{Workers: 8, Progress: func(ev Event) { events = append(events, ev) }}
+	cells, st, err := e.RunCtx(context.Background(), s)
+	if err != nil || len(cells) != 6 {
+		t.Fatalf("run: %v cells, err %v", len(cells), err)
+	}
+	var units, cellsDone int
+	var specDone *SpecDone
+	lastDone := 0
+	for _, ev := range events {
+		switch ev := ev.(type) {
+		case UnitDone:
+			units++
+			if specDone != nil {
+				t.Fatal("UnitDone after SpecDone")
+			}
+			if ev.Spec != "synthetic" || ev.Units != 24 {
+				t.Fatalf("UnitDone %+v", ev)
+			}
+			if ev.Cached {
+				t.Fatal("cache-less run reported a cached unit")
+			}
+			if ev.Done != lastDone+1 {
+				t.Fatalf("UnitDone.Done = %d after %d; not a serialised tally", ev.Done, lastDone)
+			}
+			lastDone = ev.Done
+		case CellDone:
+			if ev.Index != cellsDone || ev.Cells != 6 {
+				t.Fatalf("CellDone out of fold order: %+v", ev)
+			}
+			if ev.Cell.String() != cells[ev.Index].Cell.String() {
+				t.Fatalf("CellDone cell %q at index %d", ev.Cell, ev.Index)
+			}
+			cellsDone++
+		case SpecDone:
+			sd := ev
+			specDone = &sd
+		}
+	}
+	if units != 24 || cellsDone != 6 {
+		t.Fatalf("saw %d UnitDone and %d CellDone events", units, cellsDone)
+	}
+	if specDone == nil {
+		t.Fatal("no SpecDone event")
+	}
+	if got, want := events[len(events)-1], (specDone); !reflect.DeepEqual(got, *want) {
+		t.Fatal("SpecDone is not the final event")
+	}
+	if specDone.Stats.Computed != 24 || specDone.Stats.Units != st.Units {
+		t.Fatalf("SpecDone stats %+v vs run stats %+v", specDone.Stats, st)
+	}
+
+	// A cancelled run never emits SpecDone.
+	events = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.RunCtx(ctx, s); err == nil {
+		t.Fatal("pre-cancelled RunCtx succeeded")
+	}
+	for _, ev := range events {
+		if _, ok := ev.(SpecDone); ok {
+			t.Fatal("cancelled run emitted SpecDone")
+		}
 	}
 }
 

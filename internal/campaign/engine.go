@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"silenttracker/internal/runner"
@@ -9,10 +11,10 @@ import (
 
 // RunStats summarises one engine run.
 type RunStats struct {
-	Units    int           // trial units the spec expanded to
-	Computed int           // units actually executed
-	Cached   int           // units served from the cache
-	Elapsed  time.Duration // wall clock of the Run call
+	Units    int           `json:"units"`    // trial units the spec expanded to
+	Computed int           `json:"computed"` // units actually executed
+	Cached   int           `json:"cached"`   // units served from the cache
+	Elapsed  time.Duration `json:"elapsed"`  // wall clock of the Run call
 }
 
 // String renders the stats as the stable one-line form the CLI prints
@@ -24,10 +26,23 @@ func (rs RunStats) String() string {
 
 // Engine executes specs. A nil Cache disables caching (every unit
 // computes); Workers follows the runner convention (0 = GOMAXPROCS)
-// and never changes results.
+// and never changes results. Progress, when non-nil, receives the
+// typed event stream (events.go); the engine serialises calls, so the
+// callback itself need not be safe for concurrent use.
 type Engine struct {
-	Cache   *Cache
-	Workers int
+	Cache    *Cache
+	Workers  int
+	Progress func(Event)
+}
+
+// emit delivers one progress event under the engine's lock.
+func (e *Engine) emit(mu *sync.Mutex, ev Event) {
+	if e.Progress == nil {
+		return
+	}
+	mu.Lock()
+	e.Progress(ev)
+	mu.Unlock()
 }
 
 // Run expands the spec into trial units, executes them (cache-first)
@@ -37,6 +52,24 @@ type Engine struct {
 // sequence a serial double loop over (cell, trial) would produce —
 // at any worker count, and whether a unit was computed or loaded.
 func (e *Engine) Run(spec *Spec) ([]CellResult, RunStats) {
+	cells, stats, err := e.RunCtx(context.Background(), spec)
+	if err != nil {
+		// Unreachable: a background context never cancels, and RunCtx
+		// has no other error path.
+		panic(fmt.Sprintf("campaign: Run: %v", err))
+	}
+	return cells, stats
+}
+
+// RunCtx is Run with cooperative cancellation. Once ctx is cancelled
+// the engine stops dispatching units; in-flight units run to
+// completion and their results are persisted to the cache (each unit
+// writes its own cache entry the moment it computes), so a cancelled
+// cold run followed by a warm run computes only the remainder. On
+// cancellation the folded cells are withheld (nil) — a partial fold
+// would depend on worker timing — and the returned error is ctx.Err().
+// The returned stats count the units that did finish.
+func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats, error) {
 	start := time.Now()
 	cells := spec.Cells()
 
@@ -56,14 +89,41 @@ func (e *Engine) Run(spec *Spec) ([]CellResult, RunStats) {
 		}
 	}
 
+	// Progress bookkeeping: done/computed/cached advance as units
+	// finish so a cancelled run still reports what it completed. The
+	// mutex both guards the counters and serialises Progress calls.
+	var mu sync.Mutex
+	done, computed, cached := 0, 0, 0
+	finish := func(u unit, wasCached bool) {
+		if wasCached {
+			cached++
+		} else {
+			computed++
+		}
+		done++
+		if e.Progress != nil {
+			e.Progress(UnitDone{
+				Spec:   spec.Name,
+				Cell:   cells[u.cell],
+				Trial:  u.trial,
+				Cached: wasCached,
+				Done:   done,
+				Units:  len(units),
+			})
+		}
+	}
+
 	type outcome struct {
 		m        Metrics
 		computed bool
 	}
-	results := runner.Map(len(units), e.Workers, func(i int) outcome {
+	results, err := runner.MapCtx(ctx, len(units), e.Workers, func(i int) outcome {
 		u := units[i]
 		if e.Cache != nil {
 			if m, ok := e.Cache.Get(u.hash); ok {
+				mu.Lock()
+				finish(u, true)
+				mu.Unlock()
 				return outcome{m: m}
 			}
 		}
@@ -74,8 +134,18 @@ func (e *Engine) Run(spec *Spec) ([]CellResult, RunStats) {
 			// unaffected, so the error is not fatal.
 			_ = e.Cache.Put(u.hash, m)
 		}
+		mu.Lock()
+		finish(u, false)
+		mu.Unlock()
 		return outcome{m: m, computed: true}
 	})
+	if err != nil {
+		mu.Lock()
+		stats := RunStats{Units: len(units), Computed: computed, Cached: cached,
+			Elapsed: time.Since(start)}
+		mu.Unlock()
+		return nil, stats, err
+	}
 
 	out := make([]CellResult, len(cells))
 	for i := range cells {
@@ -90,8 +160,15 @@ func (e *Engine) Run(spec *Spec) ([]CellResult, RunStats) {
 			stats.Cached++
 		}
 	}
+	if e.Progress != nil {
+		for i := range out {
+			e.emit(&mu, CellDone{Spec: spec.Name, Cell: out[i].Cell,
+				Index: i, Cells: len(out)})
+		}
+	}
 	stats.Elapsed = time.Since(start)
-	return out, stats
+	e.emit(&mu, SpecDone{Spec: spec.Name, Stats: stats})
+	return out, stats, nil
 }
 
 // Collect is the convenience path the thin experiment runners use:

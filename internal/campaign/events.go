@@ -1,0 +1,44 @@
+package campaign
+
+// Event is one item of the engine's typed progress stream — the
+// replacement for ad-hoc stderr prints in the execution path. Events
+// are delivered to Engine.Progress serially (the engine holds a lock
+// around every call), so a consumer needs no synchronisation of its
+// own; UnitDone arrives in completion order (which varies with worker
+// scheduling), CellDone and SpecDone arrive in deterministic fold
+// order after all units finish.
+type Event interface{ progressEvent() }
+
+// UnitDone reports one finished trial unit: either computed or served
+// from the result cache. Done counts units finished so far (including
+// this one) out of Units, so a consumer can render progress without
+// keeping its own tally.
+type UnitDone struct {
+	Spec   string
+	Cell   Cell
+	Trial  int
+	Cached bool // served from the cache; false = computed
+	Done   int  // units finished so far, including this one
+	Units  int  // total units of the running spec
+}
+
+// CellDone reports that every trial of one cell has been folded.
+// Index is the cell's position in Spec.Cells() order out of Cells.
+type CellDone struct {
+	Spec  string
+	Cell  Cell
+	Index int
+	Cells int
+}
+
+// SpecDone reports the completion of a whole spec run with its final
+// stats. It is the last event of a successful run; a cancelled run
+// never emits it.
+type SpecDone struct {
+	Spec  string
+	Stats RunStats
+}
+
+func (UnitDone) progressEvent() {}
+func (CellDone) progressEvent() {}
+func (SpecDone) progressEvent() {}

@@ -1,6 +1,10 @@
 package experiments
 
-import "silenttracker/internal/campaign"
+import (
+	"io"
+
+	"silenttracker/internal/campaign"
+)
 
 // CampaignParams are the cross-experiment knobs the stcampaign CLI
 // exposes. Zero values select each experiment's full-fidelity
@@ -52,103 +56,210 @@ func (p CampaignParams) trials(name string, full int) int {
 }
 
 // CampaignDef names one registered campaign and builds its spec.
+// Beyond Build (the sweep itself), a def carries everything a
+// presentation layer needs: the stbench-era alias and banner title,
+// the typed Table fold (results.go), and — where the experiment has a
+// raw-sample form — a CSV renderer. The st package is the public face
+// of this registry; the CLIs are shells over st.
 type CampaignDef struct {
-	Name  string
+	Name string
+	// Alias is the stbench-era experiment name ("" when identical to
+	// Name), e.g. "ablation-threshold" for "threshold".
+	Alias string
+	// Title is the banner headline stbench prints above the table.
+	Title string
 	Build func(p CampaignParams) *campaign.Spec
+	// Table folds cells into the experiment's typed summary table.
+	Table func(cells []campaign.CellResult, p CampaignParams) Table
+	// CSV writes the experiment's raw samples as CSV (nil when the
+	// experiment has no CSV form).
+	CSV func(w io.Writer, cells []campaign.CellResult, p CampaignParams)
+}
+
+// BenchName returns the stbench-era name (the alias when set).
+func (d *CampaignDef) BenchName() string {
+	if d.Alias != "" {
+		return d.Alias
+	}
+	return d.Name
+}
+
+// CampaignNamed returns the registered campaign with the given
+// canonical name or stbench alias, and whether one exists.
+func CampaignNamed(name string) (CampaignDef, bool) {
+	for _, def := range Campaigns() {
+		if def.Name == name || def.Alias == name {
+			return def, true
+		}
+	}
+	return CampaignDef{}, false
 }
 
 // Campaigns returns every registered campaign — the eight paper
 // experiments plus the three scenario-generated families (urban,
 // highway, hotspot) — in stbench's canonical order.
+//
+// This registry is the canonical execution path: the public st
+// package (and through it both CLIs) runs experiments exclusively via
+// these defs. The per-experiment Run* wrappers (RunFig2a … RunHotspot)
+// are the internal convenience form of the same specs — thin
+// Collect+fold shorthands kept for this package's tests and the root
+// benchmarks; they share the spec builders and row folds with the
+// defs, so they cannot drift from what the registry runs.
 func Campaigns() []CampaignDef {
 	return []CampaignDef{
-		{"fig2a", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultFig2aOpts()
-			opts.Trials = p.trials("fig2a", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return Fig2aCampaign(opts)
-		}},
-		{"fig2c", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultFig2cOpts()
-			opts.Trials = p.trials("fig2c", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return Fig2cCampaign(opts)
-		}},
-		{"mobility", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultMobilityOpts()
-			opts.Trials = p.trials("mobility", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return MobilityCampaign(opts)
-		}},
-		{"threshold", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultThresholdOpts()
-			opts.Trials = p.trials("threshold", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return ThresholdCampaign(opts)
-		}},
-		{"hysteresis", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultHysteresisOpts()
-			opts.Trials = p.trials("hysteresis", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return HysteresisCampaign(opts)
-		}},
-		{"baseline", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultBaselineOpts()
-			opts.Trials = p.trials("baseline", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return BaselineCampaign(opts)
-		}},
-		{"patterns", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultPatternOpts()
-			opts.Trials = p.trials("patterns", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return PatternsCampaign(opts)
-		}},
-		{"codebook", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultCodebookOpts()
-			opts.Trials = p.trials("codebook", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return CodebookCampaign(opts)
-		}},
-		{"urban", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultUrbanOpts()
-			opts.Trials = p.trials("urban", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return UrbanCampaign(opts)
-		}},
-		{"highway", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultHighwayOpts()
-			opts.Trials = p.trials("highway", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return HighwayCampaign(opts)
-		}},
-		{"hotspot", func(p CampaignParams) *campaign.Spec {
-			opts := DefaultHotspotOpts()
-			opts.Trials = p.trials("hotspot", opts.Trials)
-			if p.Seed != 0 {
-				opts.Seed = p.Seed
-			}
-			return HotspotCampaign(opts)
-		}},
+		{
+			Name:  "fig2a",
+			Title: "Figure 2a — directional search under mobility",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultFig2aOpts()
+				opts.Trials = p.trials("fig2a", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return Fig2aCampaign(opts)
+			},
+			Table: Fig2aTable,
+			CSV: func(w io.Writer, cells []campaign.CellResult, p CampaignParams) {
+				WriteFig2aCSV(w, Fig2aRows(cells, p.trials("fig2a", DefaultFig2aOpts().Trials)))
+			},
+		},
+		{
+			Name:  "fig2c",
+			Title: "Figure 2c — soft handover completion time CDF",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultFig2cOpts()
+				opts.Trials = p.trials("fig2c", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return Fig2cCampaign(opts)
+			},
+			Table: Fig2cTable,
+			CSV: func(w io.Writer, cells []campaign.CellResult, p CampaignParams) {
+				WriteFig2cCSV(w, Fig2cSeriesOf(cells, p.trials("fig2c", DefaultFig2cOpts().Trials)))
+			},
+		},
+		{
+			Name:  "mobility",
+			Title: "Alignment held until handover conclusion (§3 claim)",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultMobilityOpts()
+				opts.Trials = p.trials("mobility", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return MobilityCampaign(opts)
+			},
+			Table: MobilityTable,
+		},
+		{
+			Name:  "threshold",
+			Alias: "ablation-threshold",
+			Title: "Ablation — handover margin T",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultThresholdOpts()
+				opts.Trials = p.trials("threshold", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return ThresholdCampaign(opts)
+			},
+			Table: ThresholdTable,
+		},
+		{
+			Name:  "hysteresis",
+			Alias: "ablation-hysteresis",
+			Title: "Ablation — adjacent-switch trigger (3 dB rule)",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultHysteresisOpts()
+				opts.Trials = p.trials("hysteresis", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return HysteresisCampaign(opts)
+			},
+			Table: HysteresisTable,
+		},
+		{
+			Name:  "baseline",
+			Title: "Baseline comparison — soft vs reactive vs genie",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultBaselineOpts()
+				opts.Trials = p.trials("baseline", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return BaselineCampaign(opts)
+			},
+			Table: BaselineTable,
+		},
+		{
+			Name:  "patterns",
+			Alias: "ablation-pattern",
+			Title: "Ablation — beam pattern model (Gaussian vs ULA)",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultPatternOpts()
+				opts.Trials = p.trials("patterns", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return PatternsCampaign(opts)
+			},
+			Table: PatternsTable,
+		},
+		{
+			Name:  "codebook",
+			Alias: "ablation-codebook",
+			Title: "Codebook-size sweep — where 1.28 s comes from",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultCodebookOpts()
+				opts.Trials = p.trials("codebook", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return CodebookCampaign(opts)
+			},
+			Table: CodebookTable,
+		},
+		{
+			Name:  "urban",
+			Title: "Urban hex grid — handover storms under a mixed fleet",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultUrbanOpts()
+				opts.Trials = p.trials("urban", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return UrbanCampaign(opts)
+			},
+			Table: UrbanTable,
+		},
+		{
+			Name:  "highway",
+			Title: "Highway corridor — alignment hold duration vs speed",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultHighwayOpts()
+				opts.Trials = p.trials("highway", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return HighwayCampaign(opts)
+			},
+			Table: HighwayTable,
+		},
+		{
+			Name:  "hotspot",
+			Title: "Hotspot ring — silent tracking under a blocker field",
+			Build: func(p CampaignParams) *campaign.Spec {
+				opts := DefaultHotspotOpts()
+				opts.Trials = p.trials("hotspot", opts.Trials)
+				if p.Seed != 0 {
+					opts.Seed = p.Seed
+				}
+				return HotspotCampaign(opts)
+			},
+			Table: HotspotTable,
+		},
 	}
 }

@@ -20,8 +20,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -43,8 +45,19 @@ func Workers(n int) int {
 // any trial is re-raised on the caller's goroutine after the pool
 // drains.
 func Map[T any](n, workers int, trial func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), n, workers, trial)
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled
+// no further trial is dispatched, in-flight trials run to completion,
+// and the call returns (nil, ctx.Err()). Partial results are discarded
+// deterministically — the caller either gets every trial or none, so a
+// cancelled run can never fold a prefix that depends on worker timing.
+// With a never-cancelled ctx the returned error is always nil.
+func MapCtx[T any](ctx context.Context, n, workers int, trial func(i int) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	out := make([]T, n)
 	workers = Workers(workers)
@@ -53,9 +66,12 @@ func Map[T any](n, workers int, trial func(i int) T) []T {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			out[i] = trial(i)
 		}
-		return out
+		return out, nil
 	}
 
 	var next atomic.Int64
@@ -67,13 +83,15 @@ func Map[T any](n, workers int, trial func(i int) T) []T {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || panicked.Load() != nil {
+				if i >= n || panicked.Load() != nil || ctx.Err() != nil {
 					return
 				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicked.CompareAndSwap(nil, &trialPanic{trial: i, value: r})
+							panicked.CompareAndSwap(nil, &trialPanic{
+								trial: i, value: r, stack: debug.Stack(),
+							})
 						}
 					}()
 					out[i] = trial(i)
@@ -83,17 +101,26 @@ func Map[T any](n, workers int, trial func(i int) T) []T {
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
-		panic(fmt.Sprintf("runner: trial %d panicked: %v", p.trial, p.value))
+		// Re-raising on the caller's goroutine would otherwise lose the
+		// trial goroutine's stack — the one that names the faulty code —
+		// so it is captured at recover time and re-raised alongside.
+		panic(fmt.Sprintf("runner: trial %d panicked: %v\n\ntrial goroutine stack:\n%s",
+			p.trial, p.value, p.stack))
 	}
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // trialPanic records the first panic observed in the pool; the trial
-// index is re-raised alongside the value so a failing run can be
-// reproduced serially.
+// index and the trial goroutine's stack (captured at recover time) are
+// re-raised alongside the value so a failing run can be reproduced
+// serially and located without rerunning.
 type trialPanic struct {
 	trial int
 	value any
+	stack []byte
 }
 
 // Fold runs Map and then folds the results serially in trial order.

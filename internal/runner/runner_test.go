@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"context"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"silenttracker/internal/rng"
 	"silenttracker/internal/stats"
@@ -109,7 +112,12 @@ func TestMapPanicPropagates(t *testing.T) {
 	defer func() {
 		// The re-raised panic names the failing trial so the run can be
 		// reproduced serially.
-		if r := recover(); r != "runner: trial 13 panicked: trial 13 exploded" {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map should have panicked")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "runner: trial 13 panicked: trial 13 exploded") {
 			t.Fatalf("recovered %v", r)
 		}
 	}()
@@ -120,4 +128,97 @@ func TestMapPanicPropagates(t *testing.T) {
 		return i
 	})
 	t.Fatal("Map should have panicked")
+}
+
+// explodingTrial panics from a named function so the regression test
+// below can assert the re-raised value still carries the frame.
+func explodingTrial(i int) int {
+	panic("kaboom")
+}
+
+func TestMapPanicKeepsTrialStack(t *testing.T) {
+	// Re-raising on the caller's goroutine used to lose the trial
+	// goroutine's stack; the recovered value must now name the function
+	// the panic actually came from.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Map should have panicked")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("recovered %T, want string", r)
+		}
+		if !strings.Contains(msg, "explodingTrial") {
+			t.Fatalf("re-raised panic lost the trial stack:\n%s", msg)
+		}
+		if !strings.Contains(msg, "trial goroutine stack:") {
+			t.Fatalf("re-raised panic missing the stack section:\n%s", msg)
+		}
+	}()
+	Map(16, 4, explodingTrial)
+}
+
+func TestMapCtxCompletesWithoutCancel(t *testing.T) {
+	out, err := MapCtx(context.Background(), 50, 8, func(i int) int { return i + 1 })
+	if err != nil {
+		t.Fatalf("MapCtx: %v", err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapCtxCancelDiscardsPartialResults(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		before := runtime.NumGoroutine()
+		var done atomic.Int64
+		out, err := MapCtx(ctx, 10_000, workers, func(i int) int {
+			if done.Add(1) == 5 {
+				cancel() // cancel mid-run, with most trials undispatched
+			}
+			return i
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: cancelled MapCtx returned %d results, want nil (partial results must be discarded)", workers, len(out))
+		}
+		if n := done.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: all trials ran despite cancellation", workers)
+		}
+		// MapCtx waits for its pool; allow the runtime a moment to retire
+		// exiting goroutines before asserting no leak.
+		leaked := true
+		for wait := 0; wait < 100; wait++ {
+			if runtime.NumGoroutine() <= before {
+				leaked = false
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if leaked {
+			t.Fatalf("workers=%d: goroutines leaked: %d before, %d after", workers, before, runtime.NumGoroutine())
+		}
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	out, err := MapCtx(ctx, 100, 4, func(i int) int { calls.Add(1); return i })
+	if err != context.Canceled || out != nil {
+		t.Fatalf("out=%v err=%v, want nil results and context.Canceled", out, err)
+	}
+	if calls.Load() > int64(runtime.GOMAXPROCS(0)) {
+		// Workers may each race one dispatch check; a pre-cancelled ctx
+		// must not run the whole grid.
+		t.Fatalf("pre-cancelled ctx still ran %d trials", calls.Load())
+	}
 }

@@ -1,0 +1,345 @@
+package st
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"silenttracker/internal/campaign"
+	"silenttracker/internal/experiments"
+)
+
+// ErrUnknownExperiment is wrapped by errors returned for names that
+// match no registered experiment (test with errors.Is).
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// CancelledError is returned by Run when its context is cancelled.
+// Stats report what completed before the engine stopped dispatching —
+// every computed unit was persisted to the cache, so a follow-up run
+// computes only the remainder. It unwraps to the context's error.
+type CancelledError struct {
+	Stats Stats
+	Err   error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("run cancelled (%s): %v", e.Stats, e.Err)
+}
+
+// Unwrap exposes the underlying context error to errors.Is.
+func (e *CancelledError) Unwrap() error { return e.Err }
+
+// settings is the resolved option set. Client options set the
+// defaults; Session options override them per run.
+type settings struct {
+	seed     int64
+	trials   int
+	quick    bool
+	workers  int
+	cacheDir string
+	progress func(Event)
+}
+
+// Option configures a Client or a Session (functional options).
+type Option func(*settings)
+
+// WithSeed overrides the base seed (0 keeps each experiment's
+// default). Changing the seed changes the result-cache keys.
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithTrials overrides the per-cell trial count (0 keeps the default,
+// after any quick reduction).
+func WithTrials(n int) Option { return func(s *settings) { s.trials = n } }
+
+// WithQuick selects the reduced smoke-run trial counts — the same
+// reductions the CLIs apply under -quick. Quick runs share cache units
+// with full runs of the same experiment: a full sweep after a quick
+// one computes just the delta.
+func WithQuick() Option { return func(s *settings) { s.quick = true } }
+
+// WithFull selects full-fidelity trial counts (the default); it undoes
+// a client-level WithQuick for one session.
+func WithFull() Option { return func(s *settings) { s.quick = false } }
+
+// WithWorkers sets trial parallelism (0, the default, uses
+// GOMAXPROCS). Worker count never changes results.
+func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
+
+// WithCacheDir enables the content-addressed result cache at dir
+// (created on first use; an existing non-empty directory must carry
+// the cache marker). An empty dir — the default — disables caching.
+func WithCacheDir(dir string) Option { return func(s *settings) { s.cacheDir = dir } }
+
+// WithoutCache disables the result cache, overriding a client-level
+// WithCacheDir for one session.
+func WithoutCache() Option { return func(s *settings) { s.cacheDir = "" } }
+
+// WithProgress subscribes fn to the run's typed progress event stream.
+// Events are delivered serially; fn needs no locking. A nil fn
+// unsubscribes.
+func WithProgress(fn func(Event)) Option { return func(s *settings) { s.progress = fn } }
+
+// Client is the entry point of the public API: it carries cross-run
+// configuration (result cache, worker count, defaults for every
+// session) and hands out Sessions bound to single experiments. A
+// Client is safe for concurrent use; the result cache it opens is
+// shared by all its sessions.
+type Client struct {
+	cfg   settings
+	cache *campaign.Cache // nil when caching is disabled
+
+	// progressMu serialises progress callbacks across every session of
+	// this client, so WithProgress's no-locking-needed contract holds
+	// even when concurrent Runs share one callback. (The engine already
+	// serialises within a single run; this extends that across runs.)
+	progressMu sync.Mutex
+}
+
+// NewClient builds a Client. If WithCacheDir is given the cache is
+// opened (and its directory created) eagerly, so configuration errors
+// surface here rather than mid-run.
+func NewClient(opts ...Option) (*Client, error) {
+	var cfg settings
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Client{cfg: cfg}
+	if cfg.cacheDir != "" {
+		cache, err := campaign.Open(cfg.cacheDir)
+		if err != nil {
+			return nil, err // already package-prefixed and self-describing
+		}
+		c.cache = cache
+	}
+	return c, nil
+}
+
+// CleanCache removes a result-cache directory. It refuses to delete a
+// directory that does not carry the cache marker, so a mistyped path
+// can never destroy user data; a nonexistent directory is a no-op.
+func CleanCache(dir string) error { return campaign.Clean(dir) }
+
+// Info describes one registered experiment at the client's settings.
+type Info struct {
+	// Name is the canonical registry name ("threshold"); Alias is the
+	// stbench-era name when it differs ("ablation-threshold").
+	Name  string `json:"name"`
+	Alias string `json:"alias,omitempty"`
+	// Title is the banner headline; Description the one-line summary.
+	Title       string `json:"title"`
+	Description string `json:"description"`
+	// Cells × Trials = Units at the client's settings.
+	Cells  int `json:"cells"`
+	Trials int `json:"trials"`
+	Units  int `json:"units"`
+	// HasCSV reports whether the experiment has a raw-sample CSV form.
+	HasCSV bool `json:"has_csv,omitempty"`
+}
+
+// BenchName returns the stbench-era name: the alias when set, the
+// canonical name otherwise.
+func (in Info) BenchName() string {
+	if in.Alias != "" {
+		return in.Alias
+	}
+	return in.Name
+}
+
+// Experiments lists every registered experiment, in the registry's
+// canonical order, sized at the client's settings.
+func (c *Client) Experiments() []Info {
+	defs := experiments.Campaigns()
+	out := make([]Info, 0, len(defs))
+	for _, def := range defs {
+		spec := def.Build(c.params())
+		out = append(out, Info{
+			Name:        def.Name,
+			Alias:       def.Alias,
+			Title:       def.Title,
+			Description: spec.Description,
+			Cells:       len(spec.Cells()),
+			Trials:      spec.Trials,
+			Units:       spec.Units(),
+			HasCSV:      def.CSV != nil,
+		})
+	}
+	return out
+}
+
+// Axis is one dimension of a sweep grid.
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// CellKey pairs one grid cell with the content-address of its first
+// trial unit in the result cache.
+type CellKey struct {
+	Cell Cell   `json:"cell"`
+	Key  string `json:"key"`
+}
+
+// Description is the full declarative shape of one experiment at a
+// given option set: axes, seed schedule, cache identity, and the
+// expanded grid with cache keys.
+type Description struct {
+	Name        string    `json:"name"`
+	Description string    `json:"description"`
+	Epoch       string    `json:"epoch"`
+	Config      string    `json:"config,omitempty"`
+	Seed        int64     `json:"seed"`
+	SeedStride  int64     `json:"seed_stride"`
+	Trials      int       `json:"trials"`
+	Axes        []Axis    `json:"axes"`
+	Cells       []CellKey `json:"cells"`
+	Units       int       `json:"units"`
+}
+
+// Describe returns the named experiment's Description at the client's
+// settings plus any per-call options.
+func (c *Client) Describe(name string, opts ...Option) (*Description, error) {
+	s, err := c.Session(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Describe(), nil
+}
+
+// params maps the resolved settings onto the experiment registry's
+// parameter struct.
+func (c *Client) params() experiments.CampaignParams {
+	return experiments.CampaignParams{Quick: c.cfg.quick, Seed: c.cfg.seed, Trials: c.cfg.trials}
+}
+
+// Session binds one experiment (by canonical name or stbench alias) to
+// a resolved option set: the client's settings plus the given
+// overrides. The spec is built once, so a Session pins the exact sweep
+// it will run.
+func (c *Client) Session(name string, opts ...Option) (*Session, error) {
+	def, ok := experiments.CampaignNamed(name)
+	if !ok {
+		return nil, fmt.Errorf("st: %q: %w", name, ErrUnknownExperiment)
+	}
+	cfg := c.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cache := c.cache
+	if cfg.cacheDir != c.cfg.cacheDir {
+		// The session overrode the cache location; open its own.
+		cache = nil
+		if cfg.cacheDir != "" {
+			opened, err := campaign.Open(cfg.cacheDir)
+			if err != nil {
+				return nil, err
+			}
+			cache = opened
+		}
+	}
+	params := experiments.CampaignParams{Quick: cfg.quick, Seed: cfg.seed, Trials: cfg.trials}
+	return &Session{
+		def:        def,
+		cfg:        cfg,
+		cache:      cache,
+		progressMu: &c.progressMu,
+		spec:       def.Build(params),
+	}, nil
+}
+
+// Run is the one-shot convenience path: Session + Session.Run.
+func (c *Client) Run(ctx context.Context, name string, opts ...Option) (*Result, error) {
+	s, err := c.Session(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
+}
+
+// Session is one experiment bound to a resolved option set. Sessions
+// are cheap; build one per run.
+type Session struct {
+	def        experiments.CampaignDef
+	cfg        settings
+	cache      *campaign.Cache
+	progressMu *sync.Mutex // shared with the parent client's sessions
+	spec       *campaign.Spec
+}
+
+// Name returns the canonical experiment name.
+func (s *Session) Name() string { return s.def.Name }
+
+// Describe returns the session's full declarative shape, including
+// per-cell cache keys.
+func (s *Session) Describe() *Description {
+	spec := s.spec
+	axes := make([]Axis, len(spec.Axes))
+	for i, a := range spec.Axes {
+		axes[i] = Axis{Name: a.Name, Values: a.Values}
+	}
+	cells := spec.Cells()
+	keys := make([]CellKey, len(cells))
+	for i, cell := range cells {
+		keys[i] = CellKey{Cell: publicCell(cell), Key: spec.UnitKey(cell, 0).Hash()}
+	}
+	return &Description{
+		Name:        spec.Name,
+		Description: spec.Description,
+		Epoch:       spec.Epoch,
+		Config:      spec.Config,
+		Seed:        spec.Seed,
+		SeedStride:  spec.SeedStride,
+		Trials:      spec.Trials,
+		Axes:        axes,
+		Cells:       keys,
+		Units:       spec.Units(),
+	}
+}
+
+// Run executes the session's sweep: cache-first across the worker
+// pool, folded deterministically, returning the structured Result.
+// Cancellation via ctx stops dispatching units; completed units stay
+// in the cache, and the returned error is a *CancelledError wrapping
+// ctx.Err().
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	eng := campaign.Engine{Cache: s.cache, Workers: s.cfg.workers}
+	if fn := s.cfg.progress; fn != nil {
+		mu := s.progressMu
+		eng.Progress = func(ev campaign.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(publicEvent(ev))
+		}
+	}
+	cells, stats, err := eng.RunCtx(ctx, s.spec)
+	if err != nil {
+		return nil, &CancelledError{Stats: publicStats(stats), Err: err}
+	}
+	params := experiments.CampaignParams{Quick: s.cfg.quick, Seed: s.spec.Seed, Trials: s.spec.Trials}
+	return &Result{
+		Campaign:    s.def.Name,
+		Title:       s.def.Title,
+		Description: s.spec.Description,
+		Quick:       s.cfg.quick,
+		Seed:        s.spec.Seed,
+		Trials:      s.spec.Trials,
+		Cells:       publicCells(cells),
+		Table:       publicTable(s.def.Table(cells, params)),
+		Stats:       publicStats(stats),
+	}, nil
+}
+
+// publicEvent converts an engine progress event to its public mirror.
+func publicEvent(ev campaign.Event) Event {
+	switch ev := ev.(type) {
+	case campaign.UnitDone:
+		return UnitDone{Campaign: ev.Spec, Cell: publicCell(ev.Cell), Trial: ev.Trial,
+			Cached: ev.Cached, Done: ev.Done, Units: ev.Units}
+	case campaign.CellDone:
+		return CellDone{Campaign: ev.Spec, Cell: publicCell(ev.Cell),
+			Index: ev.Index, Cells: ev.Cells}
+	case campaign.SpecDone:
+		return SpecDone{Campaign: ev.Spec, Stats: publicStats(ev.Stats)}
+	}
+	panic(fmt.Sprintf("st: unknown campaign event %T", ev))
+}

@@ -1,0 +1,59 @@
+// Package st is the public, embeddable API of the silenttracker
+// module: everything the stbench and stcampaign CLIs do — listing,
+// describing, and running the registered experiments and campaigns —
+// is available programmatically, with context-aware cancellation, a
+// typed progress event stream, and structured results instead of
+// pre-rendered text.
+//
+// The layer boundary: st is the only public package; the CLIs under
+// cmd/ are thin shells over it (flag parsing and renderer selection),
+// and everything below stays internal:
+//
+//	cmd/stbench, cmd/stcampaign        (flags + renderer choice)
+//	            │
+//	            ▼
+//	           st                      (Client/Session, Result, renderers)
+//	            │
+//	            ▼
+//	internal/experiments               (the 11 registered campaigns)
+//	            │
+//	            ▼
+//	internal/campaign ── internal/runner   (sweeps, cache, worker pool)
+//	            │
+//	            ▼
+//	internal/{sim, world, scenario, core, …}  (the simulated stack)
+//
+// # Sessions and results
+//
+// A Client carries cross-run configuration (result cache, worker
+// count); a Session binds one experiment with per-run knobs (seed,
+// trial count, quick mode). Run returns a Result: the experiment's
+// typed summary Table (named, unit-annotated columns), the raw
+// per-cell Metrics of every trial, and the run's cache Stats.
+//
+//	client, err := st.NewClient(st.WithCacheDir(".stcache"))
+//	...
+//	res, err := client.Run(ctx, "fig2a", st.WithQuick())
+//	...
+//	st.RenderText(os.Stdout, res)
+//
+// # Determinism and rendering
+//
+// Results are deterministic: the same experiment, seed, and trial
+// count produce identical Results at any worker count, cold or warm.
+// RenderText reproduces the stbench table bytes exactly;
+// RenderCampaignText and RenderJSON reproduce the stcampaign text and
+// JSON wire format, byte for byte. Rendering is a pure function of the
+// Result value, so a Result that has round-tripped through JSON still
+// renders identically.
+//
+// # Cancellation and progress
+//
+// Run honours its context: once cancelled, no further trial unit is
+// dispatched, in-flight units complete and persist to the cache, and
+// the error (a *CancelledError wrapping ctx.Err()) reports how much
+// finished. A cancelled cold run followed by a warm run computes only
+// the remainder. WithProgress subscribes a callback to the typed event
+// stream (UnitDone, CellDone, SpecDone); events are delivered
+// serially, so the callback needs no locking.
+package st

@@ -1,0 +1,43 @@
+package st
+
+// Event is one item of a run's typed progress stream, subscribed with
+// WithProgress. Events are delivered serially — the engine holds a
+// lock around every callback — so a consumer needs no synchronisation.
+// UnitDone arrives in completion order (which varies with worker
+// scheduling); CellDone and SpecDone arrive in deterministic fold
+// order once all units have finished. A cancelled run stops after its
+// last UnitDone and never emits SpecDone.
+type Event interface{ progressEvent() }
+
+// UnitDone reports one finished trial unit — computed, or served from
+// the result cache. Done counts units finished so far (including this
+// one) out of Units, so a consumer can render progress bars without
+// keeping a tally.
+type UnitDone struct {
+	Campaign string
+	Cell     Cell
+	Trial    int
+	Cached   bool // served from the cache; false = computed
+	Done     int  // units finished so far, including this one
+	Units    int  // total units of the run
+}
+
+// CellDone reports that every trial of one cell has been folded; Index
+// is the cell's position in grid order out of Cells.
+type CellDone struct {
+	Campaign string
+	Cell     Cell
+	Index    int
+	Cells    int
+}
+
+// SpecDone reports the completion of the whole run with its final
+// stats. It is the last event of a successful run.
+type SpecDone struct {
+	Campaign string
+	Stats    Stats
+}
+
+func (UnitDone) progressEvent() {}
+func (CellDone) progressEvent() {}
+func (SpecDone) progressEvent() {}

@@ -1,0 +1,34 @@
+package st_test
+
+import (
+	"context"
+	"fmt"
+
+	"silenttracker/st"
+)
+
+// ExampleClient_Run runs one experiment through the public API and
+// reads its typed summary table. Results are deterministic — the same
+// seed and trial count print these exact lines at any worker count —
+// which is what makes this example runnable.
+func ExampleClient_Run() {
+	client, err := st.NewClient(st.WithQuick(), st.WithTrials(5))
+	if err != nil {
+		panic(err)
+	}
+	res, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Stats)
+	cfg, _ := res.Table.Column("config")
+	succ, _ := res.Table.Column("success")
+	for i, name := range cfg.Labels {
+		fmt.Printf("%-6s %5.1f%% search success\n", name, succ.Values[i])
+	}
+	// Output:
+	// units=15 computed=15 cached=0
+	// Narrow 100.0% search success
+	// Wide    80.0% search success
+	// Omni    40.0% search success
+}
