@@ -10,9 +10,11 @@
 package silenttracker
 
 import (
+	"fmt"
 	"testing"
 
 	"silenttracker/internal/antenna"
+	"silenttracker/internal/campaign"
 	"silenttracker/internal/channel"
 	"silenttracker/internal/core"
 	"silenttracker/internal/experiments"
@@ -170,6 +172,116 @@ func benchRunBaseline(b *testing.B, workers int) {
 		opts.Workers = workers
 		experiments.RunBaseline(opts)
 	}
+}
+
+// --- Result-store tiers ----------------------------------------------
+//
+// Get/Put micro-benchmarks per backend, plus warm engine re-runs that
+// show what the mem hot tier buys over disk alone. Entry shape mirrors
+// a real trial unit (a few short metric vectors).
+
+func storeBenchMetrics(i int) campaign.Metrics {
+	return campaign.Metrics{
+		"lat_ms": {float64(i), float64(i) * 0.5, float64(i) * 0.25},
+		"ok":     {1, 0, 1, 1},
+	}
+}
+
+func storeBenchHashes(n int) []string {
+	hs := make([]string, n)
+	for i := range hs {
+		hs[i] = fmt.Sprintf("%064x", i)
+	}
+	return hs
+}
+
+func benchStoreGet(b *testing.B, s campaign.Store) {
+	const n = 256
+	hashes := storeBenchHashes(n)
+	for i, h := range hashes {
+		if err := s.Put(h, storeBenchMetrics(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(hashes[i%n]); !ok {
+			b.Fatal("warm store missed")
+		}
+	}
+}
+
+func benchStorePut(b *testing.B, s campaign.Store) {
+	const n = 256
+	hashes := storeBenchHashes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(hashes[i%n], storeBenchMetrics(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDiskStore(b *testing.B) *campaign.DiskStore {
+	disk, err := campaign.Open(b.TempDir() + "/cache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return disk
+}
+
+func BenchmarkStoreMemGet(b *testing.B)  { benchStoreGet(b, campaign.NewMemStore(1<<20)) }
+func BenchmarkStoreMemPut(b *testing.B)  { benchStorePut(b, campaign.NewMemStore(1<<20)) }
+func BenchmarkStoreDiskGet(b *testing.B) { benchStoreGet(b, benchDiskStore(b)) }
+func BenchmarkStoreDiskPut(b *testing.B) { benchStorePut(b, benchDiskStore(b)) }
+
+// Tiered Get served by the hot mem tier (the steady state of a warm
+// tiered run) vs forced down to disk every time (mem tier thrashing
+// at a 1-entry budget).
+func BenchmarkStoreTieredGetHot(b *testing.B) {
+	benchStoreGet(b, campaign.NewTiered(campaign.NewMemStore(1<<20), benchDiskStore(b)))
+}
+
+func BenchmarkStoreTieredGetThrash(b *testing.B) {
+	benchStoreGet(b, campaign.NewTiered(campaign.NewMemStore(1), benchDiskStore(b)))
+}
+
+// storeBenchSpec is a sweep whose trial body is nearly free, so a
+// warm re-run's cost is dominated by store reads — the store overhead
+// in isolation.
+func storeBenchSpec() *campaign.Spec {
+	return &campaign.Spec{
+		Name:   "store-bench",
+		Axes:   []campaign.Axis{{Name: "a", Values: []string{"1", "2", "3", "4"}}},
+		Trials: 64,
+		Seed:   1,
+		Epoch:  "bench",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			m := campaign.NewMetrics()
+			m.Add("v", float64(seed)+float64(cell.Int("a")))
+			return m
+		},
+	}
+}
+
+func benchWarmRun(b *testing.B, store campaign.Store) {
+	spec := storeBenchSpec()
+	eng := campaign.Engine{Store: store, Workers: 1}
+	if _, st := eng.Run(spec); st.Computed != spec.Units() {
+		b.Fatalf("seeding run: %v", st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, st := eng.Run(spec); st.Computed != 0 {
+			b.Fatalf("warm run recomputed: %v", st)
+		}
+	}
+}
+
+func BenchmarkStoreWarmRunDisk(b *testing.B) { benchWarmRun(b, benchDiskStore(b)) }
+
+func BenchmarkStoreWarmRunTiered(b *testing.B) {
+	benchWarmRun(b, campaign.NewTiered(campaign.NewMemStore(1<<20), benchDiskStore(b)))
 }
 
 // --- Micro-benchmarks: substrate hot paths ---------------------------

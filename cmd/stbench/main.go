@@ -11,6 +11,11 @@
 // trial order, so the same seed produces byte-identical tables at any
 // -j. Use -j 1 to force the serial path.
 //
+// -mem-cache N keeps up to N bytes of trial results in an in-memory
+// LRU, so experiments that revisit identical (cell, seed) units within
+// one process skip recomputation. The cache never changes output — the
+// same bytes are rendered with it on, off, or thrashing.
+//
 // stbench is a thin shell over the public silenttracker/st package —
 // flag parsing and renderer selection only. For cached sweeps (warm
 // re-runs that skip already-computed trials), use cmd/stcampaign,
@@ -39,11 +44,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit raw CSV samples instead of tables (fig2a/fig2c)")
 	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	jobs := flag.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
+	memCache := flag.Int64("mem-cache", 0, "in-memory LRU result-cache budget in bytes (0 = disabled); never changes output")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	opts := []st.Option{st.WithWorkers(*jobs)}
+	if *memCache > 0 {
+		opts = append(opts, st.WithMemCache(*memCache))
+	}
 	if *quick {
 		opts = append(opts, st.WithQuick())
 	}

@@ -12,13 +12,18 @@
 //	stcampaign clean [flags]             remove the result cache
 //
 // Run flags: -j N shards trial units across N workers (0 =
-// GOMAXPROCS) and never changes results; -cache-dir selects the cache
-// (default .stcache; -no-cache disables it); -quick cuts trial
-// counts; -seed/-trials override the spec defaults (changing either
-// changes the cache keys); -json emits folded cell results as JSON
-// instead of text tables. Tables and JSON go to stdout; run
-// statistics (units/computed/cached) go to stderr so stdout stays
-// byte-comparable across runs.
+// GOMAXPROCS) and never changes results; -cache-dir selects the disk
+// cache tier (default .stcache; -no-cache disables it); -mem-cache N
+// adds an in-memory LRU hot tier of N bytes in front of the disk
+// tier; -remote-cache URL adds a shared storehttp tier behind it (a
+// dead remote degrades to recomputation, never failure); -quick cuts
+// trial counts; -seed/-trials override the spec defaults (changing
+// either changes the cache keys); -json emits folded cell results as
+// JSON instead of text tables. The store mix never changes rendered
+// bytes — only how many units recompute. Tables and JSON go to
+// stdout; run statistics (units/computed/cached plus per-tier
+// hit/miss counters) go to stderr so stdout stays byte-comparable
+// across runs.
 //
 // The first ^C cancels gracefully: no further trial unit is
 // dispatched, in-flight units finish and persist to the cache (a
@@ -73,7 +78,8 @@ func usage() {
   describe <name>         show a campaign's axes, seeds, and cache keys
   run [flags] [pattern]   run campaigns whose name matches the regexp
                           (default: all); flags: -j, -cache-dir,
-                          -no-cache, -quick, -seed, -trials, -json
+                          -no-cache, -mem-cache, -remote-cache,
+                          -quick, -seed, -trials, -json
   clean [-cache-dir D]    remove the result cache
 `)
 }
@@ -129,7 +135,9 @@ func cmdRun(args []string) int {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	jobs := fs.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
 	cacheDir := fs.String("cache-dir", defaultCacheDir, "content-addressed result cache directory")
-	noCache := fs.Bool("no-cache", false, "compute every unit; do not read or write the cache")
+	noCache := fs.Bool("no-cache", false, "compute every unit; do not read or write the disk cache")
+	memCache := fs.Int64("mem-cache", 0, "in-memory LRU hot tier budget in bytes (0 = disabled)")
+	remoteCache := fs.String("remote-cache", "", "base URL of a shared storehttp result store (\"\" = disabled)")
 	quick := fs.Bool("quick", false, "reduced trial counts (smoke run)")
 	seed := fs.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
@@ -154,6 +162,12 @@ func cmdRun(args []string) int {
 	if !*noCache {
 		opts = append(opts, st.WithCacheDir(*cacheDir))
 	}
+	if *memCache > 0 {
+		opts = append(opts, st.WithMemCache(*memCache))
+	}
+	if *remoteCache != "" {
+		opts = append(opts, st.WithRemoteCache(*remoteCache))
+	}
 	if *quick {
 		opts = append(opts, st.WithQuick())
 	}
@@ -168,6 +182,7 @@ func cmdRun(args []string) int {
 		fmt.Fprintf(os.Stderr, "stcampaign: %v\n", err)
 		return 1
 	}
+	defer client.Close()
 
 	// First ^C: cancel the context — the engine stops dispatching,
 	// finishes in-flight units (persisting each to the cache), and Run

@@ -26,7 +26,10 @@
 //   - internal/{antenna, channel, phy, mac, cell, ue, mobility} — substrates
 //   - internal/{world, experiments, handover, netem, trace} — harness
 //   - internal/runner      — deterministic parallel trial engine
-//   - internal/campaign    — declarative sweeps + content-addressed result cache
+//   - internal/campaign    — declarative sweeps + pluggable content-addressed
+//     result stores (mem LRU / disk / remote HTTP, composed into tiers)
+//   - internal/campaign/storehttp — serves any campaign.Store over HTTP
+//     (the server half of the remote tier)
 //   - internal/scenario    — declarative multi-cell, multi-UE world generator
 //   - cmd/{stbench, stcampaign, stsim, stmachine} — executables; stbench
 //     and stcampaign are thin shells over st (flags + renderer choice)
@@ -42,11 +45,14 @@
 // The eight paper experiments are declared as campaign specs
 // (internal/campaign): a grid of axes, a seed schedule, and a trial
 // body. The campaign engine keys every trial unit by a content hash
-// of (spec identity, cell, seed, code-relevant config) into an
-// on-disk cache, so a warm `stcampaign run` of an already-computed
-// spec performs zero trial computations while emitting byte-identical
-// tables, and a sweep that shares cells with a previous one computes
-// only the delta.
+// of (spec identity, cell, seed, code-relevant config) into a
+// pluggable result store — an on-disk cache, a size-budgeted
+// in-memory LRU, a shared remote store, or a read-through tiered mix
+// — so a warm `stcampaign run` of an already-computed spec performs
+// zero trial computations while emitting byte-identical tables, and a
+// sweep that shares cells with a previous one computes only the
+// delta. The store mix never changes rendered bytes; it only changes
+// how many units recompute.
 //
 // Beyond the paper's three single-UE mobility cases, internal/scenario
 // generates whole families of worlds from declarative specs: a cell

@@ -114,6 +114,10 @@ func TestCampaignRunColdWarm(t *testing.T) {
 	}{
 		{"json", []string{"-json"}},
 		{"table", nil},
+		// Tiered: mem LRU hot tier in front of the disk cache. The
+		// warm run (fresh process, cold mem) must be served entirely
+		// by the disk tier with identical bytes.
+		{"tiered", []string{"-mem-cache", "1048576"}},
 	} {
 		t.Run(mode.name, func(t *testing.T) {
 			t.Parallel()

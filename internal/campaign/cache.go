@@ -1,58 +1,13 @@
 package campaign
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
 	"time"
 )
-
-// EngineEpoch versions the campaign engine itself: the unit key
-// schema, the Metrics serialisation, and the fold rules. Bumping it
-// invalidates every cached unit of every spec.
-const EngineEpoch = "campaign/v1"
-
-// Key identifies one trial unit for caching: the spec's identity and
-// versions, the cell coordinates, and the unit's seed. Two units with
-// equal keys are guaranteed to compute identical Metrics, because the
-// trial body derives all randomness from the seed and cell alone.
-type Key struct {
-	Engine     string `json:"engine"`
-	Experiment string `json:"experiment"`
-	Epoch      string `json:"epoch"`
-	Config     string `json:"config,omitempty"`
-	Cell       Cell   `json:"cell"`
-	Seed       int64  `json:"seed"`
-}
-
-// UnitKey builds the cache key for trial i of the given cell.
-func (s *Spec) UnitKey(cell Cell, trial int) Key {
-	return Key{
-		Engine:     EngineEpoch,
-		Experiment: s.Name,
-		Epoch:      s.Epoch,
-		Config:     s.Config,
-		Cell:       cell,
-		Seed:       s.TrialSeed(trial),
-	}
-}
-
-// Hash returns the key's content address: the hex SHA-256 of its
-// canonical JSON encoding.
-func (k Key) Hash() string {
-	buf, err := json.Marshal(k)
-	if err != nil {
-		panic(fmt.Sprintf("campaign: key marshal: %v", err))
-	}
-	sum := sha256.Sum256(buf)
-	return hex.EncodeToString(sum[:])
-}
 
 // markerName tags a directory as a campaign cache so Clean never
 // deletes a directory the cache did not create. The format follows
@@ -63,21 +18,29 @@ const markerContent = "Signature: 8a477f597d28d172789f06886806bc55\n" +
 	"# This directory is a silenttracker campaign result cache.\n" +
 	"# See internal/campaign; safe to delete with `stcampaign clean`.\n"
 
-// Cache is a content-addressed on-disk result store: one JSON file
-// per trial unit at <dir>/<hh>/<hash>.json (hh = first hash byte, to
-// keep directories small). Writes are atomic (temp file + rename), so
-// concurrent workers and interrupted runs never leave a torn entry.
-type Cache struct {
-	dir    string
-	hits   atomic.Int64
-	misses atomic.Int64
+// DiskStore is the content-addressed on-disk result store: one JSON
+// file per trial unit at <dir>/<hh>/<hash>.json (hh = first hash
+// byte, to keep directories small). Writes are atomic (temp file +
+// rename), so concurrent workers and interrupted runs never leave a
+// torn entry. It is the durable middle tier of a Tiered store, and
+// the default store on its own.
+type DiskStore struct {
+	dir   string
+	stats counters
 }
+
+// DiskStore implements Store.
+var _ Store = (*DiskStore)(nil)
 
 // Open creates (if needed) and opens a cache directory. It refuses
 // to adopt a pre-existing non-empty directory that does not carry the
 // cache marker: stamping arbitrary directories would arm both the
 // temp sweep and Clean against data the cache does not own.
-func Open(dir string) (*Cache, error) {
+//
+// Open is safe to race with itself across goroutines and processes:
+// the marker is created with O_EXCL, so exactly one opener writes it
+// and every other opener tolerates it already existing.
+func Open(dir string) (*DiskStore, error) {
 	marker := filepath.Join(dir, markerName)
 	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
 		if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
@@ -87,13 +50,33 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: open cache: %w", err)
 	}
-	if _, err := os.Stat(marker); errors.Is(err, os.ErrNotExist) {
-		if err := os.WriteFile(marker, []byte(markerContent), 0o644); err != nil {
-			return nil, fmt.Errorf("campaign: open cache: %w", err)
-		}
+	if err := writeMarker(marker); err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
 	}
 	sweepStaleTemps(dir)
-	return &Cache{dir: dir}, nil
+	return &DiskStore{dir: dir}, nil
+}
+
+// writeMarker creates the cache marker idempotently: the O_EXCL
+// create means two concurrent Opens of a fresh directory never
+// interleave writes into the same file — the loser simply observes
+// the winner's marker. A half-written marker from a failed write is
+// removed so a retry can recreate it.
+func writeMarker(marker string) error {
+	f, err := os.OpenFile(marker, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		return nil // another Open (possibly in another process) won the race
+	}
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString(markerContent)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(marker)
+		return errors.Join(werr, cerr)
+	}
+	return nil
 }
 
 // staleTempAge is how old an orphaned Put temp file must be before
@@ -117,44 +100,48 @@ func sweepStaleTemps(dir string) {
 	})
 }
 
-// Dir returns the cache's root directory.
-func (c *Cache) Dir() string { return c.dir }
+// Dir returns the store's root directory.
+func (c *DiskStore) Dir() string { return c.dir }
 
-func (c *Cache) path(hash string) string {
+func (c *DiskStore) path(hash string) string {
 	return filepath.Join(c.dir, hash[:2], hash+".json")
 }
 
-// Get loads the metrics stored under the hash. A missing or
-// unreadable entry (torn write from a killed run, hand-edited file)
-// is a miss, never an error: the engine just recomputes the unit.
-func (c *Cache) Get(hash string) (Metrics, bool) {
+// Get loads the metrics stored under the hash. A missing entry is a
+// miss; a present but unreadable one (torn write from a killed run,
+// hand-edited file) is counted corrupt and served as a miss — never
+// an error: the engine just recomputes the unit.
+func (c *DiskStore) Get(hash string) (Metrics, bool) {
 	buf, err := os.ReadFile(c.path(hash))
 	if err != nil {
-		c.misses.Add(1)
+		c.stats.misses.Add(1)
 		return nil, false
 	}
-	var m Metrics
-	if err := json.Unmarshal(buf, &m); err != nil {
-		c.misses.Add(1)
+	m, ok := decodeEntry(buf)
+	if !ok {
+		c.stats.corrupt.Add(1)
 		return nil, false
 	}
-	// JSON `null` unmarshals into a nil map without error; serving it
-	// as a hit would silently fold zero observations for the unit.
-	// Only a non-nil decode is a usable entry.
-	if m == nil {
-		c.misses.Add(1)
-		return nil, false
-	}
-	c.hits.Add(1)
+	c.stats.hits.Add(1)
 	return m, true
 }
 
 // Put stores the metrics under the hash atomically.
-func (c *Cache) Put(hash string, m Metrics) error {
-	buf, err := json.Marshal(m)
+func (c *DiskStore) Put(hash string, m Metrics) error {
+	buf, err := marshalEntry(m)
 	if err != nil {
-		return fmt.Errorf("campaign: cache put: %w", err)
+		c.stats.errors.Add(1)
+		return err
 	}
+	if err := c.putRaw(hash, buf); err != nil {
+		c.stats.errors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// putRaw writes pre-encoded entry bytes via temp file + rename.
+func (c *DiskStore) putRaw(hash string, buf []byte) error {
 	path := c.path(hash)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("campaign: cache put: %w", err)
@@ -179,14 +166,16 @@ func (c *Cache) Put(hash string, m Metrics) error {
 	return nil
 }
 
-// Hits returns how many Gets found an entry.
-func (c *Cache) Hits() int64 { return c.hits.Load() }
+// Stats returns the store's single tier of counters.
+func (c *DiskStore) Stats() []TierStats {
+	return []TierStats{c.stats.snapshot("disk")}
+}
 
-// Misses returns how many Gets found nothing.
-func (c *Cache) Misses() int64 { return c.misses.Load() }
+// Close is a no-op: every write is already durable at Put.
+func (c *DiskStore) Close() error { return nil }
 
-// Entries walks the cache and returns how many units it stores.
-func (c *Cache) Entries() (int, error) {
+// Entries walks the store and returns how many units it holds.
+func (c *DiskStore) Entries() (int, error) {
 	n := 0
 	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {

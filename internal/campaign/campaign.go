@@ -7,9 +7,12 @@
 // experiment runners produced.
 //
 // Every trial unit is keyed by a content hash of (spec identity,
-// cell, seed, code-relevant config) into an on-disk result cache
-// (cache.go), so a warm re-run — or a new sweep that shares cells
-// with a previous one — only computes the delta. The engine preserves
+// cell, seed, code-relevant config) into a pluggable result store
+// (store.go): an on-disk cache (cache.go), a size-budgeted in-memory
+// LRU hot tier (mem.go), a shared remote store (http.go, served by
+// campaign/storehttp), or any read-through/write-through Tiered mix
+// of them. A warm re-run — or a new sweep that shares cells with a
+// previous one — only computes the delta. The engine preserves
 // the runner's determinism contract: results are folded in unit
 // order, so cold, warm, and any-worker-count runs of the same spec
 // render byte-identical tables.

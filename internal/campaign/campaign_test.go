@@ -162,8 +162,8 @@ func TestCacheRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("round trip: got %v want %v", got, m)
 	}
-	if c.Hits() != 1 || c.Misses() != 1 {
-		t.Errorf("hits=%d misses=%d", c.Hits(), c.Misses())
+	if ts := c.Stats(); len(ts) != 1 || ts[0].Tier != "disk" || ts[0].Hits != 1 || ts[0].Misses != 1 {
+		t.Errorf("disk stats %+v, want tier=disk hits=1 misses=1", ts)
 	}
 	n, err := c.Entries()
 	if err != nil || n != 1 {
@@ -187,6 +187,11 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(h); ok {
 		t.Fatal("corrupt entry served as hit")
+	}
+	// A torn entry is distinguished from a plain miss in the stats.
+	ts := c.Stats()[0]
+	if ts.Corrupt != 1 || ts.Misses != 0 || ts.Hits != 0 {
+		t.Errorf("corrupt entry counted as %+v, want corrupt=1 misses=0", ts)
 	}
 }
 
@@ -295,7 +300,7 @@ func TestEngineColdWarmIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := syntheticSpec(5)
-	e := &Engine{Cache: cache, Workers: 4}
+	e := &Engine{Store: cache, Workers: 4}
 
 	cold, cs := render(t, e, s)
 	if cs.Computed != s.Units() || cs.Cached != 0 {
@@ -324,7 +329,7 @@ func TestEngineSharedCellsComputeDelta(t *testing.T) {
 	}
 	small := syntheticSpec(3)
 	big := syntheticSpec(5) // same cells, 2 more trials each
-	e := &Engine{Cache: cache}
+	e := &Engine{Store: cache}
 	if _, st := e.Run(small); st.Computed != small.Units() {
 		t.Fatalf("cold small run: %v", st)
 	}
@@ -343,7 +348,7 @@ func TestEngineEpochInvalidatesCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := syntheticSpec(3)
-	e := &Engine{Cache: cache}
+	e := &Engine{Store: cache}
 	e.Run(s)
 	s.Epoch = "v2"
 	if _, st := e.Run(s); st.Computed != s.Units() {
@@ -371,7 +376,7 @@ func TestRunCtxCancelPersistsCompletedUnits(t *testing.T) {
 		}
 		return inner(cell, seed)
 	}
-	e := &Engine{Cache: cache, Workers: 4}
+	e := &Engine{Store: cache, Workers: 4}
 	cells, st, err := e.RunCtx(ctx, s)
 	if err != context.Canceled {
 		t.Fatalf("RunCtx err = %v, want context.Canceled", err)

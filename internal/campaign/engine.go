@@ -11,26 +11,41 @@ import (
 
 // RunStats summarises one engine run.
 type RunStats struct {
-	Units    int           `json:"units"`    // trial units the spec expanded to
-	Computed int           `json:"computed"` // units actually executed
-	Cached   int           `json:"cached"`   // units served from the cache
-	Elapsed  time.Duration `json:"elapsed"`  // wall clock of the Run call
+	Units    int `json:"units"`    // trial units the spec expanded to
+	Computed int `json:"computed"` // units actually executed
+	Cached   int `json:"cached"`   // units served from the result store
+	// Tiers carries this run's per-store-tier counters (hit / miss /
+	// corrupt / evict / error), one entry per tier in tier order.
+	// Empty for a store-less run. Counters are per-run deltas of the
+	// store's cumulative totals; concurrent runs sharing one store
+	// see a best-effort attribution.
+	Tiers   []TierStats   `json:"tiers,omitempty"`
+	Elapsed time.Duration `json:"elapsed"` // wall clock of the Run call
 }
 
 // String renders the stats as the stable one-line form the CLI prints
-// (and CI greps) — Elapsed is excluded so the line is comparable
-// across runs.
+// (and CI greps): the fixed units/computed/cached triple first — so
+// existing parsers keep working — then one bracket group per store
+// tier. Elapsed is excluded so the line is comparable across runs.
 func (rs RunStats) String() string {
-	return fmt.Sprintf("units=%d computed=%d cached=%d", rs.Units, rs.Computed, rs.Cached)
+	s := fmt.Sprintf("units=%d computed=%d cached=%d", rs.Units, rs.Computed, rs.Cached)
+	for _, t := range rs.Tiers {
+		s += " " + t.String()
+	}
+	return s
 }
 
-// Engine executes specs. A nil Cache disables caching (every unit
+// Engine executes specs. A nil Store disables caching (every unit
 // computes); Workers follows the runner convention (0 = GOMAXPROCS)
 // and never changes results. Progress, when non-nil, receives the
 // typed event stream (events.go); the engine serialises calls, so the
 // callback itself need not be safe for concurrent use.
+//
+// The store invariant: the backend mix (disk, mem, remote, tiered,
+// none) may only change RunStats.Computed/Cached/Tiers, never the
+// folded cells — any Store yields byte-identical rendered output.
 type Engine struct {
-	Cache    *Cache
+	Store    Store
 	Workers  int
 	Progress func(Event)
 }
@@ -73,6 +88,19 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	start := time.Now()
 	cells := spec.Cells()
 
+	// Snapshot the store's cumulative tier counters so the returned
+	// stats carry this run's deltas.
+	var tiersBefore []TierStats
+	if e.Store != nil {
+		tiersBefore = e.Store.Stats()
+	}
+	tiersNow := func() []TierStats {
+		if e.Store == nil {
+			return nil
+		}
+		return tierDelta(tiersBefore, e.Store.Stats())
+	}
+
 	type unit struct {
 		cell  int
 		trial int
@@ -82,7 +110,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	for ci, cell := range cells {
 		for t := 0; t < spec.Trials; t++ {
 			u := unit{cell: ci, trial: t}
-			if e.Cache != nil {
+			if e.Store != nil {
 				u.hash = spec.UnitKey(cell, t).Hash()
 			}
 			units = append(units, u)
@@ -119,8 +147,8 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	}
 	results, err := runner.MapCtx(ctx, len(units), e.Workers, func(i int) outcome {
 		u := units[i]
-		if e.Cache != nil {
-			if m, ok := e.Cache.Get(u.hash); ok {
+		if e.Store != nil {
+			if m, ok := e.Store.Get(u.hash); ok {
 				mu.Lock()
 				finish(u, true)
 				mu.Unlock()
@@ -128,11 +156,11 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 			}
 		}
 		m := spec.Trial(cells[u.cell], spec.TrialSeed(u.trial))
-		if e.Cache != nil {
-			// A failed store (full disk, read-only cache) degrades to
+		if e.Store != nil {
+			// A failed store (full disk, dead remote) degrades to
 			// recomputation on the next run; this run's result is
 			// unaffected, so the error is not fatal.
-			_ = e.Cache.Put(u.hash, m)
+			_ = e.Store.Put(u.hash, m)
 		}
 		mu.Lock()
 		finish(u, false)
@@ -142,7 +170,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	if err != nil {
 		mu.Lock()
 		stats := RunStats{Units: len(units), Computed: computed, Cached: cached,
-			Elapsed: time.Since(start)}
+			Tiers: tiersNow(), Elapsed: time.Since(start)}
 		mu.Unlock()
 		return nil, stats, err
 	}
@@ -166,6 +194,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 				Index: i, Cells: len(out)})
 		}
 	}
+	stats.Tiers = tiersNow()
 	stats.Elapsed = time.Since(start)
 	e.emit(&mu, SpecDone{Spec: spec.Name, Stats: stats})
 	return out, stats, nil

@@ -4,16 +4,20 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
 
-// FuzzCacheGet feeds arbitrary bytes to the cache's entry decoder.
-// The contract under attack: a corrupt, truncated, or adversarial
-// entry file must always decode as a cache miss or as well-formed
-// Metrics — never panic, and never produce a value that poisons the
-// fold accessors downstream. (A hit must also survive a re-encode:
-// the engine may Put what it read back under another key's hash.)
+// FuzzCacheGet feeds arbitrary bytes to the store backends' shared
+// entry decoder — through a disk entry file, a MemStore slot, and a
+// mem+disk Tiered composition. The contract under attack: a corrupt,
+// truncated, or adversarial entry must always decode as a miss or as
+// well-formed Metrics — never panic, never produce a value that
+// poisons the fold accessors downstream — and every backend must
+// agree on the outcome, or the tier mix could change rendered bytes.
+// (A hit must also survive a re-encode: the engine may Put what it
+// read back under another key's hash.)
 func FuzzCacheGet(f *testing.F) {
 	// Well-formed entries.
 	f.Add([]byte(`{}`))
@@ -52,6 +56,31 @@ func FuzzCacheGet(f *testing.F) {
 		}
 
 		m, ok := cache.Get(hash)
+
+		// Every backend must reach the same verdict on the same bytes.
+		mem := NewMemStore(1 << 20)
+		mem.putRaw(hash, append([]byte(nil), entry...))
+		mm, mok := mem.Get(hash)
+		if mok != ok {
+			t.Fatalf("mem and disk disagree on %q: mem=%v disk=%v", entry, mok, ok)
+		}
+		if ok && !reflect.DeepEqual(mm, m) {
+			t.Fatalf("mem decoded %v, disk decoded %v", mm, m)
+		}
+		// A corrupt mem entry is dropped, never served later.
+		if !ok && mem.Len() != 0 {
+			t.Fatalf("mem kept a corrupt entry for %q", entry)
+		}
+		// Tiered over (cold mem, this disk) must agree with disk alone.
+		tiered := NewTiered(NewMemStore(1<<20), cache)
+		tm, tok := tiered.Get(hash)
+		if tok != ok {
+			t.Fatalf("tiered and disk disagree on %q: tiered=%v disk=%v", entry, tok, ok)
+		}
+		if ok && !reflect.DeepEqual(tm, m) {
+			t.Fatalf("tiered decoded %v, disk decoded %v", tm, m)
+		}
+
 		if !ok {
 			if m != nil {
 				t.Fatalf("miss returned non-nil metrics %v", m)

@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// DefaultHTTPTimeout bounds every remote store request. A shared
+// warm store that stalls must degrade to recomputation, not hang the
+// sweep behind it.
+const DefaultHTTPTimeout = 10 * time.Second
+
+// maxEntryBytes bounds how much of a remote response the client will
+// read for one entry. Real entries are a few KB; anything past this
+// is a misbehaving server and reads as corrupt.
+const maxEntryBytes = 16 << 20
+
+// HTTPStore is the remote result-store client: it speaks the
+// storehttp protocol (GET/PUT /units/<hash>) so distributed workers
+// and CI can share one warm store. Every failure mode — network
+// error, timeout, non-OK status, undecodable body — degrades to a
+// miss (Get) or a dropped write (Put) and is tallied in the tier's
+// error counters: a dead or flaky remote slows a run down to
+// recomputation, it never breaks it.
+type HTTPStore struct {
+	base   string
+	client *http.Client
+	stats  counters
+}
+
+// HTTPStore implements Store.
+var _ Store = (*HTTPStore)(nil)
+
+// NewHTTPStore builds a remote store client for the server at
+// baseURL (e.g. "http://cache.internal:8080"). A nil client gets a
+// default one with DefaultHTTPTimeout applied.
+func NewHTTPStore(baseURL string, client *http.Client) *HTTPStore {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultHTTPTimeout}
+	}
+	return &HTTPStore{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+func (s *HTTPStore) url(hash string) string { return s.base + "/units/" + hash }
+
+// Get fetches the entry from the remote store. 404 is a plain miss;
+// any transport or server error counts in Errors and reads as a miss
+// so the engine recomputes the unit.
+func (s *HTTPStore) Get(hash string) (Metrics, bool) {
+	resp, err := s.client.Get(s.url(hash))
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		s.stats.misses.Add(1)
+		return nil, false
+	case resp.StatusCode != http.StatusOK:
+		s.stats.errors.Add(1)
+		return nil, false
+	}
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil {
+		s.stats.errors.Add(1)
+		return nil, false
+	}
+	m, ok := decodeEntry(buf)
+	if !ok || len(buf) > maxEntryBytes {
+		s.stats.corrupt.Add(1)
+		return nil, false
+	}
+	s.stats.hits.Add(1)
+	return m, true
+}
+
+// Put uploads the entry. The returned error is informational — the
+// engine treats a failed store write as non-fatal — but it is tallied
+// so a dead remote shows up in the run's tier stats.
+func (s *HTTPStore) Put(hash string, m Metrics) error {
+	buf, err := marshalEntry(m)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, s.url(hash), bytes.NewReader(buf))
+	if err != nil {
+		s.stats.errors.Add(1)
+		return fmt.Errorf("campaign: remote put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return fmt.Errorf("campaign: remote put: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		s.stats.errors.Add(1)
+		return fmt.Errorf("campaign: remote put: server returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Stats returns the store's single tier of counters.
+func (s *HTTPStore) Stats() []TierStats {
+	return []TierStats{s.stats.snapshot("remote")}
+}
+
+// Close releases idle connections.
+func (s *HTTPStore) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package storehttp serves a campaign.Store over HTTP — the server
+// half of campaign.HTTPStore. Mounting Handler in any HTTP server
+// (the future stserve daemon, a plain net/http listener in CI, an
+// httptest server in tests) turns a local store into a shared warm
+// tier for distributed workers:
+//
+//	GET  /units/<hash>  →  200 + entry JSON, or 404 on a miss
+//	PUT  /units/<hash>  →  204 after a durable store write
+//	GET  /stats         →  200 + the backing store's []TierStats
+//
+// Unit hashes are the engine's content addresses (64 hex chars) and
+// are validated strictly, so a crafted path can never escape into
+// the backing store's namespace.
+package storehttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"silenttracker/internal/campaign"
+)
+
+// maxEntryBytes bounds an uploaded entry. Mirrors the client-side
+// read bound: real entries are a few KB.
+const maxEntryBytes = 16 << 20
+
+// validHash reports whether s is a well-formed unit content address:
+// exactly 64 lowercase hex characters (a SHA-256 in hex).
+func validHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Handler serves the given store. The store must be safe for
+// concurrent use (every campaign.Store is).
+func Handler(s campaign.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/units/", func(w http.ResponseWriter, r *http.Request) {
+		hash := strings.TrimPrefix(r.URL.Path, "/units/")
+		if !validHash(hash) {
+			http.Error(w, "storehttp: malformed unit hash", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			serveGet(w, s, hash)
+		case http.MethodPut:
+			servePut(w, r, s, hash)
+		default:
+			w.Header().Set("Allow", "GET, PUT")
+			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	})
+	return mux
+}
+
+func serveGet(w http.ResponseWriter, s campaign.Store, hash string) {
+	m, ok := s.Get(hash)
+	if !ok {
+		http.Error(w, "storehttp: no such unit", http.StatusNotFound)
+		return
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		http.Error(w, "storehttp: encode entry", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func servePut(w http.ResponseWriter, r *http.Request, s campaign.Store, hash string) {
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEntryBytes))
+	if err != nil {
+		http.Error(w, "storehttp: read entry", http.StatusBadRequest)
+		return
+	}
+	// Decode before storing: the store must never hold an entry that
+	// would read back corrupt, and a JSON null decodes to a nil map.
+	var m campaign.Metrics
+	if err := json.Unmarshal(buf, &m); err != nil || m == nil {
+		http.Error(w, "storehttp: malformed entry", http.StatusBadRequest)
+		return
+	}
+	if err := s.Put(hash, m); err != nil {
+		http.Error(w, "storehttp: store entry", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

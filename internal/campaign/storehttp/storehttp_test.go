@@ -1,0 +1,187 @@
+package storehttp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"silenttracker/internal/campaign"
+	"silenttracker/internal/campaign/storehttp"
+)
+
+const hash = "00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef0000"
+
+func newServer(t *testing.T) (*httptest.Server, *campaign.MemStore) {
+	t.Helper()
+	backing := campaign.NewMemStore(1 << 20)
+	srv := httptest.NewServer(storehttp.Handler(backing))
+	t.Cleanup(srv.Close)
+	return srv, backing
+}
+
+// TestClientServerRoundTrip drives the full remote path: HTTPStore
+// client against Handler against a real backing store.
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, _ := newServer(t)
+	client := campaign.NewHTTPStore(srv.URL, nil)
+	defer client.Close()
+
+	if _, ok := client.Get(hash); ok {
+		t.Fatal("cold remote store served a hit")
+	}
+	want := campaign.Metrics{"lat_ms": {1.5, 2.25}, "ok": {1, 0, 1}}
+	if err := client.Put(hash, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := client.Get(hash)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip = %v, %v; want %v", got, ok, want)
+	}
+	ts := client.Stats()[0]
+	if ts.Tier != "remote" || ts.Hits != 1 || ts.Misses != 1 || ts.Errors != 0 {
+		t.Errorf("client stats = %+v", ts)
+	}
+}
+
+func TestMalformedHashRejected(t *testing.T) {
+	srv, backing := newServer(t)
+	for _, bad := range []string{
+		"short",
+		strings.Repeat("g", 64),         // not hex
+		strings.ToUpper(hash),           // uppercase is not canonical
+		"../../" + hash[:58],            // traversal attempt
+		hash + "/" + hash,               // extra path segment
+		strings.Repeat("0", 63) + "%2e", // encoded suffix
+	} {
+		resp, err := http.Get(srv.URL + "/units/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound &&
+			resp.StatusCode != http.StatusMovedPermanently {
+			t.Errorf("GET with hash %q: status %d, want rejection", bad, resp.StatusCode)
+		}
+	}
+	if backing.Len() != 0 {
+		t.Error("malformed requests reached the backing store")
+	}
+}
+
+func TestMalformedEntryRejected(t *testing.T) {
+	srv, backing := newServer(t)
+	for _, body := range []string{`{"v":[1,`, `null`, `[]`, `"x"`} {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+"/units/"+hash, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("PUT %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if backing.Len() != 0 {
+		t.Error("malformed entries were stored")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newServer(t)
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/units/"+hash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, PUT" {
+		t.Errorf("Allow = %q, want \"GET, PUT\"", allow)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, backing := newServer(t)
+	entry, err := json.Marshal(campaign.Metrics{"v": {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/units/"+hash, bytes.NewReader(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if _, ok := backing.Get(hash); !ok {
+		t.Fatal("PUT entry did not reach the backing store")
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ts []campaign.TierStats
+	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Tier != "mem" || ts[0].Hits != 1 {
+		t.Errorf("/stats = %+v, want the backing mem tier with our Get counted", ts)
+	}
+}
+
+// TestEngineOverRemoteStore is the distributed-worker picture in
+// miniature: two engine runs sharing only the remote store must not
+// recompute, and must render byte-identical output.
+func TestEngineOverRemoteStore(t *testing.T) {
+	srv, _ := newServer(t)
+
+	spec := &campaign.Spec{
+		Name:   "remote-smoke",
+		Axes:   []campaign.Axis{{Name: "a", Values: []string{"1", "2"}}},
+		Trials: 3,
+		Seed:   42,
+		Epoch:  "v1",
+		Trial: func(cell campaign.Cell, seed int64) campaign.Metrics {
+			m := campaign.NewMetrics()
+			m.Add("v", float64(seed)+float64(cell.Int("a")))
+			return m
+		},
+	}
+
+	run := func() ([]campaign.CellResult, campaign.RunStats) {
+		store := campaign.NewHTTPStore(srv.URL, nil)
+		defer store.Close()
+		eng := campaign.Engine{Store: store, Workers: 2}
+		return eng.Run(spec)
+	}
+	cold, cs := run()
+	if cs.Computed != spec.Units() {
+		t.Fatalf("cold run: %v", cs)
+	}
+	warm, ws := run()
+	if ws.Computed != 0 || ws.Cached != spec.Units() {
+		t.Fatalf("warm run against shared remote: %v", ws)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Error("remote-cached run folded different cells")
+	}
+	if len(ws.Tiers) != 1 || ws.Tiers[0].Tier != "remote" || ws.Tiers[0].Hits != int64(spec.Units()) {
+		t.Errorf("warm tiers = %+v", ws.Tiers)
+	}
+}

@@ -63,11 +63,11 @@ func TestCampaignColdWarmByteIdentical(t *testing.T) {
 			}
 			spec := def.Build(CampaignParams{Quick: true, Trials: 3})
 
-			cold, cs := renderSpec(t, &campaign.Engine{Cache: cache, Workers: 8}, spec)
+			cold, cs := renderSpec(t, &campaign.Engine{Store: cache, Workers: 8}, spec)
 			if cs.Computed != spec.Units() || cs.Cached != 0 {
 				t.Fatalf("cold run: %v, want %d computed", cs, spec.Units())
 			}
-			warm, ws := renderSpec(t, &campaign.Engine{Cache: cache, Workers: 1}, spec)
+			warm, ws := renderSpec(t, &campaign.Engine{Store: cache, Workers: 1}, spec)
 			if ws.Computed != 0 || ws.Cached != spec.Units() {
 				t.Fatalf("warm run not fully cached: %v", ws)
 			}
@@ -94,7 +94,7 @@ func TestCampaignCacheInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := &campaign.Engine{Cache: cache, Workers: 8}
+	eng := &campaign.Engine{Store: cache, Workers: 8}
 	build := func(p CampaignParams) *campaign.Spec {
 		opts := DefaultThresholdOpts()
 		opts.Trials = 2
@@ -148,7 +148,7 @@ func TestCampaignQuickIsPrefixOfFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := &campaign.Engine{Cache: cache, Workers: 8}
+	eng := &campaign.Engine{Store: cache, Workers: 8}
 	opts := DefaultCodebookOpts()
 	opts.Sizes = []int{6, 18}
 

@@ -33,12 +33,23 @@ func (e *CancelledError) Unwrap() error { return e.Err }
 // settings is the resolved option set. Client options set the
 // defaults; Session options override them per run.
 type settings struct {
-	seed     int64
-	trials   int
-	quick    bool
-	workers  int
-	cacheDir string
-	progress func(Event)
+	seed      int64
+	trials    int
+	quick     bool
+	workers   int
+	cacheDir  string
+	memBudget int64
+	remoteURL string
+	store     Store
+	progress  func(Event)
+}
+
+// storeCfg extracts the store-shaping subset of the settings. Two
+// sessions with equal store configs share the client's store; a
+// session that changes any of these builds (and owns) its own.
+func (s *settings) storeCfg() storeConfig {
+	return storeConfig{cacheDir: s.cacheDir, memBudget: s.memBudget,
+		remoteURL: s.remoteURL, custom: s.store}
 }
 
 // Option configures a Client or a Session (functional options).
@@ -66,14 +77,42 @@ func WithFull() Option { return func(s *settings) { s.quick = false } }
 // GOMAXPROCS). Worker count never changes results.
 func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
 
-// WithCacheDir enables the content-addressed result cache at dir
-// (created on first use; an existing non-empty directory must carry
-// the cache marker). An empty dir — the default — disables caching.
+// WithCacheDir enables the on-disk tier of the content-addressed
+// result store at dir (created on first use; an existing non-empty
+// directory must carry the cache marker). An empty dir — the default —
+// disables the disk tier.
 func WithCacheDir(dir string) Option { return func(s *settings) { s.cacheDir = dir } }
 
-// WithoutCache disables the result cache, overriding a client-level
-// WithCacheDir for one session.
-func WithoutCache() Option { return func(s *settings) { s.cacheDir = "" } }
+// WithMemCache enables an in-memory LRU hot tier holding up to budget
+// bytes of entries, checked before any disk or remote tier. A budget
+// ≤ 0 disables the tier (the default). However small the budget, the
+// tier keeps at least the most recent entry; eviction only changes
+// how many units recompute, never the rendered bytes.
+func WithMemCache(budget int64) Option { return func(s *settings) { s.memBudget = budget } }
+
+// WithRemoteCache enables a shared remote tier: a storehttp server at
+// baseURL, checked after any memory and disk tiers. A dead or
+// misbehaving remote degrades to misses (units recompute); it never
+// fails a run. An empty URL disables the tier (the default).
+func WithRemoteCache(baseURL string) Option { return func(s *settings) { s.remoteURL = baseURL } }
+
+// WithStore plugs in a custom result-store backend, replacing every
+// built-in tier (WithCacheDir / WithMemCache / WithRemoteCache are
+// ignored while a custom store is set). The store must satisfy the
+// Store contract. Close is forwarded to it when the owning Client or
+// Session is closed. Stores are compared by interface identity when
+// deciding whether a session shares the client's store, so use a
+// pointer type.
+func WithStore(store Store) Option { return func(s *settings) { s.store = store } }
+
+// WithoutCache disables the result store entirely — every tier, and
+// any custom WithStore backend — overriding client-level store options
+// for one session.
+func WithoutCache() Option {
+	return func(s *settings) {
+		s.cacheDir, s.memBudget, s.remoteURL, s.store = "", 0, "", nil
+	}
+}
 
 // WithProgress subscribes fn to the run's typed progress event stream.
 // Events are delivered serially; fn needs no locking. A nil fn
@@ -81,13 +120,13 @@ func WithoutCache() Option { return func(s *settings) { s.cacheDir = "" } }
 func WithProgress(fn func(Event)) Option { return func(s *settings) { s.progress = fn } }
 
 // Client is the entry point of the public API: it carries cross-run
-// configuration (result cache, worker count, defaults for every
+// configuration (result store, worker count, defaults for every
 // session) and hands out Sessions bound to single experiments. A
-// Client is safe for concurrent use; the result cache it opens is
+// Client is safe for concurrent use; the result store it builds is
 // shared by all its sessions.
 type Client struct {
 	cfg   settings
-	cache *campaign.Cache // nil when caching is disabled
+	store campaign.Store // nil when caching is disabled
 
 	// progressMu serialises progress callbacks across every session of
 	// this client, so WithProgress's no-locking-needed contract holds
@@ -96,23 +135,31 @@ type Client struct {
 	progressMu sync.Mutex
 }
 
-// NewClient builds a Client. If WithCacheDir is given the cache is
-// opened (and its directory created) eagerly, so configuration errors
-// surface here rather than mid-run.
+// NewClient builds a Client. The result store — whatever mix of
+// memory, disk, and remote tiers (or custom backend) the options
+// select — is assembled eagerly, so configuration errors surface here
+// rather than mid-run.
 func NewClient(opts ...Option) (*Client, error) {
 	var cfg settings
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c := &Client{cfg: cfg}
-	if cfg.cacheDir != "" {
-		cache, err := campaign.Open(cfg.cacheDir)
-		if err != nil {
-			return nil, err // already package-prefixed and self-describing
-		}
-		c.cache = cache
+	store, err := buildStore(cfg.storeCfg())
+	if err != nil {
+		return nil, err
 	}
-	return c, nil
+	return &Client{cfg: cfg, store: store}, nil
+}
+
+// Close releases the client's result store (idle HTTP connections,
+// in-memory tiers). Sessions that built their own store via overriding
+// options are unaffected — close those separately. Safe on a
+// store-less client.
+func (c *Client) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Close()
 }
 
 // CleanCache removes a result-cache directory. It refuses to delete a
@@ -225,34 +272,35 @@ func (c *Client) Session(name string, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	cache := c.cache
-	if cfg.cacheDir != c.cfg.cacheDir {
-		// The session overrode the cache location; open its own.
-		cache = nil
-		if cfg.cacheDir != "" {
-			opened, err := campaign.Open(cfg.cacheDir)
-			if err != nil {
-				return nil, err
-			}
-			cache = opened
+	store, ownsStore := c.store, false
+	if cfg.storeCfg() != c.cfg.storeCfg() {
+		// The session overrode the store shape; build its own.
+		built, err := buildStore(cfg.storeCfg())
+		if err != nil {
+			return nil, err
 		}
+		store, ownsStore = built, built != nil
 	}
 	params := experiments.CampaignParams{Quick: cfg.quick, Seed: cfg.seed, Trials: cfg.trials}
 	return &Session{
 		def:        def,
 		cfg:        cfg,
-		cache:      cache,
+		store:      store,
+		ownsStore:  ownsStore,
 		progressMu: &c.progressMu,
 		spec:       def.Build(params),
 	}, nil
 }
 
-// Run is the one-shot convenience path: Session + Session.Run.
+// Run is the one-shot convenience path: Session + Session.Run. Any
+// session-private store the overriding options built is closed before
+// returning.
 func (c *Client) Run(ctx context.Context, name string, opts ...Option) (*Result, error) {
 	s, err := c.Session(name, opts...)
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close() // built-in stores never fail Close; a custom one's error is dropped
 	return s.Run(ctx)
 }
 
@@ -261,9 +309,22 @@ func (c *Client) Run(ctx context.Context, name string, opts ...Option) (*Result,
 type Session struct {
 	def        experiments.CampaignDef
 	cfg        settings
-	cache      *campaign.Cache
+	store      campaign.Store
+	ownsStore  bool        // the session built store (overriding options); Close releases it
 	progressMu *sync.Mutex // shared with the parent client's sessions
 	spec       *campaign.Spec
+}
+
+// Close releases the session's result store if the session built one
+// (its options overrode the client's store shape); a session sharing
+// the client's store is untouched. Safe to call repeatedly.
+func (s *Session) Close() error {
+	if !s.ownsStore || s.store == nil {
+		return nil
+	}
+	store := s.store
+	s.store, s.ownsStore = nil, false
+	return store.Close()
 }
 
 // Name returns the canonical experiment name.
@@ -302,7 +363,7 @@ func (s *Session) Describe() *Description {
 // in the cache, and the returned error is a *CancelledError wrapping
 // ctx.Err().
 func (s *Session) Run(ctx context.Context) (*Result, error) {
-	eng := campaign.Engine{Cache: s.cache, Workers: s.cfg.workers}
+	eng := campaign.Engine{Store: s.store, Workers: s.cfg.workers}
 	if fn := s.cfg.progress; fn != nil {
 		mu := s.progressMu
 		eng.Progress = func(ev campaign.Event) {

@@ -18,24 +18,36 @@
 //	internal/experiments               (the 11 registered campaigns)
 //	            │
 //	            ▼
-//	internal/campaign ── internal/runner   (sweeps, cache, worker pool)
+//	internal/campaign ── internal/runner   (sweeps, result stores, worker pool)
 //	            │
 //	            ▼
 //	internal/{sim, world, scenario, core, …}  (the simulated stack)
 //
 // # Sessions and results
 //
-// A Client carries cross-run configuration (result cache, worker
+// A Client carries cross-run configuration (result store, worker
 // count); a Session binds one experiment with per-run knobs (seed,
 // trial count, quick mode). Run returns a Result: the experiment's
 // typed summary Table (named, unit-annotated columns), the raw
-// per-cell Metrics of every trial, and the run's cache Stats.
+// per-cell Metrics of every trial, and the run's Stats (including
+// per-store-tier counters).
 //
 //	client, err := st.NewClient(st.WithCacheDir(".stcache"))
 //	...
 //	res, err := client.Run(ctx, "fig2a", st.WithQuick())
 //	...
 //	st.RenderText(os.Stdout, res)
+//
+// # Result stores
+//
+// The content-addressed result store is pluggable and tiered:
+// WithCacheDir enables the on-disk tier, WithMemCache adds a
+// size-budgeted in-memory LRU hot tier in front of it, and
+// WithRemoteCache adds a shared storehttp server behind it (reads
+// fall through mem → disk → remote; hits backfill the faster tiers;
+// writes go to every tier). WithStore plugs in a custom backend. The
+// store mix never changes rendered bytes — eviction, cold tiers, and
+// dead remotes only change how many units recompute.
 //
 // # Determinism and rendering
 //

@@ -85,17 +85,26 @@ func (t *Table) Column(name string) (Column, bool) {
 
 // Stats summarises one run's cache behaviour and cost.
 type Stats struct {
-	Units    int           `json:"units"`    // trial units the sweep expanded to
-	Computed int           `json:"computed"` // units actually executed
-	Cached   int           `json:"cached"`   // units served from the result cache
-	Elapsed  time.Duration `json:"elapsed"`  // wall clock of the run
+	Units    int `json:"units"`    // trial units the sweep expanded to
+	Computed int `json:"computed"` // units actually executed
+	Cached   int `json:"cached"`   // units served from the result store
+	// Store carries the run's per-tier store counters (hit / miss /
+	// corrupt / evict / error), one entry per tier in tier order; nil
+	// for a store-less run. Counters are per-run deltas.
+	Store   []TierStats   `json:"store,omitempty"`
+	Elapsed time.Duration `json:"elapsed"` // wall clock of the run
 }
 
 // String renders the stats in the stable one-line form the stcampaign
 // CLI prints on stderr (Elapsed excluded, so the line is comparable
-// across runs).
+// across runs): the fixed units/computed/cached triple first, then one
+// bracket group per store tier, e.g. "... mem[hit=3 miss=7 evict=2]".
 func (s Stats) String() string {
-	return fmt.Sprintf("units=%d computed=%d cached=%d", s.Units, s.Computed, s.Cached)
+	out := fmt.Sprintf("units=%d computed=%d cached=%d", s.Units, s.Computed, s.Cached)
+	for _, t := range s.Store {
+		out += " " + t.String()
+	}
+	return out
 }
 
 // Result is the structured outcome of one experiment run. It is plain
@@ -184,5 +193,6 @@ func publicTable(t experiments.Table) Table {
 }
 
 func publicStats(rs campaign.RunStats) Stats {
-	return Stats{Units: rs.Units, Computed: rs.Computed, Cached: rs.Cached, Elapsed: rs.Elapsed}
+	return Stats{Units: rs.Units, Computed: rs.Computed, Cached: rs.Cached,
+		Store: publicTiers(rs.Tiers), Elapsed: rs.Elapsed}
 }

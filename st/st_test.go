@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -200,7 +201,7 @@ func TestProgressStream(t *testing.T) {
 			cells++
 		case st.SpecDone:
 			sawSpecDone = true
-			if ev.Stats != res.Stats {
+			if !reflect.DeepEqual(ev.Stats, res.Stats) {
 				t.Fatalf("SpecDone stats %+v, run stats %+v", ev.Stats, res.Stats)
 			}
 		}

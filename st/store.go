@@ -1,0 +1,130 @@
+package st
+
+import (
+	"silenttracker/internal/campaign"
+)
+
+// TierStats is one result-store tier's counters for a run: how the
+// tier served the sweep (hits vs misses), what it dropped to stay in
+// budget (evicted), what it found damaged (corrupt), and how often
+// the backend itself failed (errors). Result.Stats.Store carries one
+// entry per tier in tier order; the whole struct round-trips through
+// JSON without loss.
+type TierStats struct {
+	Tier    string `json:"tier"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Corrupt int64  `json:"corrupt,omitempty"`
+	Evicted int64  `json:"evicted,omitempty"`
+	Errors  int64  `json:"errors,omitempty"`
+}
+
+// String renders the tier in the compact stderr-stats form, e.g.
+// "mem[hit=3 miss=7 evict=2]".
+func (t TierStats) String() string { return campaignTier(t).String() }
+
+// Store is the pluggable result-store interface — the public mirror
+// of the campaign engine's. A Store maps a unit's content address
+// (hex SHA-256) to the Metrics it computed; the engine reads through
+// it before computing a unit and writes through after.
+//
+// Contract: Get returns (metrics, true) only for a well-formed entry
+// previously Put under the same hash — anything missing or damaged
+// is (nil, false), never an error; Get/Put must be safe for
+// concurrent use; Stats returns one TierStats per tier. The built-in
+// backends (WithCacheDir disk, WithMemCache LRU, WithRemoteCache
+// HTTP) satisfy this; WithStore plugs in a custom implementation.
+// Whatever the backend does, rendered output is byte-identical — a
+// store may only change how many units recompute.
+type Store interface {
+	Get(hash string) (Metrics, bool)
+	Put(hash string, m Metrics) error
+	Stats() []TierStats
+	Close() error
+}
+
+// storeAdapter lifts a public Store into the engine's interface.
+// Metrics and TierStats convert structurally; no copying of vectors.
+type storeAdapter struct{ s Store }
+
+func (a storeAdapter) Get(hash string) (campaign.Metrics, bool) {
+	m, ok := a.s.Get(hash)
+	return campaign.Metrics(m), ok
+}
+
+func (a storeAdapter) Put(hash string, m campaign.Metrics) error {
+	return a.s.Put(hash, Metrics(m))
+}
+
+func (a storeAdapter) Stats() []campaign.TierStats {
+	ts := a.s.Stats()
+	out := make([]campaign.TierStats, len(ts))
+	for i, t := range ts {
+		out[i] = campaignTier(t)
+	}
+	return out
+}
+
+func (a storeAdapter) Close() error { return a.s.Close() }
+
+func campaignTier(t TierStats) campaign.TierStats {
+	return campaign.TierStats{Tier: t.Tier, Hits: t.Hits, Misses: t.Misses,
+		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors}
+}
+
+func publicTier(t campaign.TierStats) TierStats {
+	return TierStats{Tier: t.Tier, Hits: t.Hits, Misses: t.Misses,
+		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors}
+}
+
+func publicTiers(ts []campaign.TierStats) []TierStats {
+	if ts == nil {
+		return nil
+	}
+	out := make([]TierStats, len(ts))
+	for i, t := range ts {
+		out[i] = publicTier(t)
+	}
+	return out
+}
+
+// storeConfig is the comparable tuple of store-shaping settings; two
+// equal configs share one store, a differing session config builds
+// its own.
+type storeConfig struct {
+	cacheDir  string
+	memBudget int64
+	remoteURL string
+	custom    Store
+}
+
+// buildStore assembles the resolved settings' store: the custom one
+// verbatim if WithStore was given, otherwise the mem → disk → remote
+// tiers that are enabled, composed read-through/write-through when
+// there is more than one. Returns nil for a cacheless config.
+func buildStore(cfg storeConfig) (campaign.Store, error) {
+	if cfg.custom != nil {
+		return storeAdapter{cfg.custom}, nil
+	}
+	var tiers []campaign.Store
+	if cfg.memBudget > 0 {
+		tiers = append(tiers, campaign.NewMemStore(cfg.memBudget))
+	}
+	if cfg.cacheDir != "" {
+		disk, err := campaign.Open(cfg.cacheDir)
+		if err != nil {
+			return nil, err // already package-prefixed and self-describing
+		}
+		tiers = append(tiers, disk)
+	}
+	if cfg.remoteURL != "" {
+		tiers = append(tiers, campaign.NewHTTPStore(cfg.remoteURL, nil))
+	}
+	switch len(tiers) {
+	case 0:
+		return nil, nil
+	case 1:
+		return tiers[0], nil
+	}
+	return campaign.NewTiered(tiers...), nil
+}

@@ -1,0 +1,279 @@
+package st_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"silenttracker/internal/campaign"
+	"silenttracker/internal/campaign/storehttp"
+	"silenttracker/st"
+)
+
+// crossBackendExperiments are the sweeps the byte-identity gate runs —
+// a scenario campaign, the highway mobility variant, and a paper
+// figure, so the gate covers distinct renderers and trial bodies.
+var crossBackendExperiments = []string{"urban", "highway", "fig2a"}
+
+// renderAll runs each experiment through the client and renders its
+// text table, returning name → bytes.
+func renderAll(t *testing.T, client *st.Client) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(crossBackendExperiments))
+	for _, name := range crossBackendExperiments {
+		res, err := client.Run(context.Background(), name)
+		if err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := st.RenderText(&buf, res); err != nil {
+			t.Fatalf("render %s: %v", name, err)
+		}
+		out[name] = buf.String()
+	}
+	return out
+}
+
+// TestCrossBackendByteIdentity is the store invariant, end to end:
+// cacheless, disk-cached, mem+disk tiered, and remote-backed clients
+// must all render byte-identical quick tables. This is the same gate
+// CI runs against the stcampaign binary.
+func TestCrossBackendByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three experiments four times")
+	}
+
+	remote := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(16 << 20)))
+	defer remote.Close()
+
+	configs := []struct {
+		name string
+		opts []st.Option
+	}{
+		{"cacheless", nil},
+		{"disk", []st.Option{st.WithCacheDir(t.TempDir() + "/disk")}},
+		{"mem+disk", []st.Option{st.WithMemCache(16 << 20), st.WithCacheDir(t.TempDir() + "/tiered")}},
+		{"remote", []st.Option{st.WithRemoteCache(remote.URL)}},
+	}
+
+	var baseline map[string]string
+	for _, cfg := range configs {
+		client, err := st.NewClient(append([]st.Option{st.WithQuick()}, cfg.opts...)...)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		got := renderAll(t, client)
+		client.Close()
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		for _, name := range crossBackendExperiments {
+			if got[name] != baseline[name] {
+				t.Errorf("%s backend rendered different bytes for %s:\n--- %s ---\n%s--- cacheless ---\n%s",
+					cfg.name, name, cfg.name, got[name], baseline[name])
+			}
+		}
+	}
+}
+
+// TestWarmTieredRunComputesNothing reruns one experiment against a
+// warm mem+disk store: zero units computed, identical bytes, and the
+// per-tier stats attribute every unit to the mem tier.
+func TestWarmTieredRunComputesNothing(t *testing.T) {
+	client, err := st.NewClient(st.WithQuick(),
+		st.WithMemCache(16<<20), st.WithCacheDir(t.TempDir()+"/cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cold, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Computed != cold.Stats.Units {
+		t.Fatalf("cold run: %v", cold.Stats)
+	}
+	warm, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Computed != 0 || warm.Stats.Cached != warm.Stats.Units {
+		t.Fatalf("warm run: %v", warm.Stats)
+	}
+	if len(warm.Stats.Store) != 2 || warm.Stats.Store[0].Tier != "mem" || warm.Stats.Store[1].Tier != "disk" {
+		t.Fatalf("warm store tiers = %+v, want [mem disk]", warm.Stats.Store)
+	}
+	if warm.Stats.Store[0].Hits != int64(warm.Stats.Units) {
+		t.Errorf("warm mem tier = %+v, want every unit served hot", warm.Stats.Store[0])
+	}
+
+	var coldText, warmText bytes.Buffer
+	if err := st.RenderText(&coldText, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderText(&warmText, warm); err != nil {
+		t.Fatal(err)
+	}
+	if coldText.String() != warmText.String() {
+		t.Error("cold and warm tiered runs rendered different bytes")
+	}
+}
+
+// TestEvictionForcedRecomputeSameBytes runs against only a 1-byte
+// mem budget (a thrashing 1-entry cache, no disk): the rerun
+// recomputes units, evictions are reported, and the bytes still match.
+func TestEvictionForcedRecomputeSameBytes(t *testing.T) {
+	client, err := st.NewClient(st.WithQuick(), st.WithMemCache(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	first, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Computed == 0 {
+		t.Fatal("1-entry mem store served a fully warm run; eviction did not bite")
+	}
+	if len(second.Stats.Store) != 1 || second.Stats.Store[0].Tier != "mem" || second.Stats.Store[0].Evicted == 0 {
+		t.Errorf("thrashing store stats = %+v, want mem tier with evictions", second.Stats.Store)
+	}
+
+	var a, b bytes.Buffer
+	if err := st.RenderText(&a, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderText(&b, second); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("eviction changed rendered bytes")
+	}
+}
+
+// TestStatsStoreRoundTrip: per-tier counters must survive a Result
+// JSON round trip — they are part of the structured result a caller
+// may ship elsewhere.
+func TestStatsStoreRoundTrip(t *testing.T) {
+	client, err := st.NewClient(st.WithQuick(), st.WithCacheDir(t.TempDir()+"/cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Store) != 1 || res.Stats.Store[0].Tier != "disk" {
+		t.Fatalf("stats store = %+v, want the disk tier", res.Stats.Store)
+	}
+	if res.Stats.Store[0].Misses != int64(res.Stats.Units) {
+		t.Errorf("cold disk tier = %+v, want misses=%d", res.Stats.Store[0], res.Stats.Units)
+	}
+
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back st.Result
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Stats, res.Stats) {
+		t.Errorf("stats did not round-trip:\ngot  %+v\nwant %+v", back.Stats, res.Stats)
+	}
+}
+
+// mapStore is a minimal custom st.Store: what a third-party backend
+// (redis client, cloud bucket) would implement.
+type mapStore struct {
+	mu           sync.Mutex
+	m            map[string]st.Metrics
+	hits, misses int64
+	closed       bool
+}
+
+func (s *mapStore) Get(hash string) (st.Metrics, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.m[hash]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return m, ok
+}
+
+func (s *mapStore) Put(hash string, m st.Metrics) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[hash] = m
+	return nil
+}
+
+func (s *mapStore) Stats() []st.TierStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []st.TierStats{{Tier: "custom", Hits: s.hits, Misses: s.misses}}
+}
+
+func (s *mapStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// TestWithStoreCustomBackend plugs a custom Store into the client:
+// the engine must read and write through it, report its tier in the
+// run stats, and forward Close.
+func TestWithStoreCustomBackend(t *testing.T) {
+	store := &mapStore{m: map[string]st.Metrics{}}
+	client, err := st.NewClient(st.WithQuick(), st.WithStore(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Stats.Store) != 1 || cold.Stats.Store[0].Tier != "custom" {
+		t.Fatalf("custom tier missing from stats: %+v", cold.Stats.Store)
+	}
+	warm, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Computed != 0 || warm.Stats.Store[0].Hits != int64(warm.Stats.Units) {
+		t.Fatalf("warm run through custom store: %+v", warm.Stats)
+	}
+
+	// A session that disables the store must not touch it.
+	before := len(store.m)
+	if _, err := client.Run(context.Background(), "fig2a", st.WithoutCache()); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.m) != before {
+		t.Error("WithoutCache session wrote to the custom store")
+	}
+
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !store.closed {
+		t.Error("client Close did not forward to the custom store")
+	}
+}
