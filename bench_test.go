@@ -284,6 +284,28 @@ func BenchmarkStoreWarmRunTiered(b *testing.B) {
 	benchWarmRun(b, campaign.NewTiered(campaign.NewMemStore(1<<20), benchDiskStore(b)))
 }
 
+// The resilience wrappers over a healthy store: what the retry and
+// breaker layers cost when nothing fails. PERFORMANCE.md pins this
+// overhead at effectively zero — a healthy op is one extra function
+// call and an atomic load or two, no sleeping, no locking on the Get
+// path beyond the breaker's state check.
+func BenchmarkStoreRetryHealthyGet(b *testing.B) {
+	benchStoreGet(b, campaign.NewRetryStore(campaign.NewMemStore(1<<20), campaign.DefaultRetryPolicy()))
+}
+
+func BenchmarkStoreResilientStackGet(b *testing.B) {
+	benchStoreGet(b, campaign.NewBreakerStore(
+		campaign.NewRetryStore(campaign.NewMemStore(1<<20), campaign.DefaultRetryPolicy()),
+		campaign.DefaultBreakerPolicy()))
+}
+
+func BenchmarkStoreWarmRunResilientTiered(b *testing.B) {
+	benchWarmRun(b, campaign.NewTiered(campaign.NewMemStore(1<<20),
+		campaign.NewBreakerStore(
+			campaign.NewRetryStore(benchDiskStore(b), campaign.DefaultRetryPolicy()),
+			campaign.DefaultBreakerPolicy())))
+}
+
 // --- Micro-benchmarks: substrate hot paths ---------------------------
 
 func BenchmarkEngineEvents(b *testing.B) {

@@ -13,8 +13,13 @@
 //
 // -mem-cache N keeps up to N bytes of trial results in an in-memory
 // LRU, so experiments that revisit identical (cell, seed) units within
-// one process skip recomputation. The cache never changes output — the
-// same bytes are rendered with it on, off, or thrashing.
+// one process skip recomputation. -remote-cache URL adds a shared
+// storehttp result-store tier; -remote-retry N arms retries with
+// backoff plus a circuit breaker around it; -chaos PROFILE wraps one
+// tier in deterministic fault injection (schedule fixed by
+// -chaos-seed) for resilience testing. No store mix changes output —
+// the same bytes are rendered with caching on, off, thrashing, or
+// under injected faults.
 //
 // stbench is a thin shell over the public silenttracker/st package —
 // flag parsing and renderer selection only. For cached sweeps (warm
@@ -32,6 +37,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"silenttracker/st"
 )
@@ -45,6 +51,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	jobs := flag.Int("j", 0, "trial parallelism (0 = GOMAXPROCS); output is identical at any value")
 	memCache := flag.Int64("mem-cache", 0, "in-memory LRU result-cache budget in bytes (0 = disabled); never changes output")
+	remoteCache := flag.String("remote-cache", "", "base URL of a shared storehttp result store (\"\" = disabled)")
+	remoteRetry := flag.Int("remote-retry", 0, "attempts per remote-store op, with backoff and a circuit breaker (0 = disabled)")
+	chaos := flag.String("chaos", "", "fault-injection profile for resilience testing: "+strings.Join(st.ChaosProfiles(), ", ")+" (\"\" = disabled)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the -chaos fault schedule (same seed = same faults)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -53,6 +63,24 @@ func main() {
 	if *memCache > 0 {
 		opts = append(opts, st.WithMemCache(*memCache))
 	}
+	if *remoteCache != "" {
+		opts = append(opts, st.WithRemoteCache(*remoteCache))
+	}
+	if *remoteRetry > 0 {
+		p := st.DefaultRetryPolicy()
+		p.Attempts = *remoteRetry
+		opts = append(opts, st.WithRemoteRetry(p))
+	}
+	if *chaos != "" {
+		opts = append(opts, st.WithChaos(*chaosSeed, *chaos))
+	}
+	// Surface the first failed store write the moment it happens; the
+	// warning goes to stderr so stdout stays byte-comparable.
+	opts = append(opts, st.WithProgress(func(ev st.Event) {
+		if d, ok := ev.(st.StoreDegraded); ok {
+			fmt.Fprintf(os.Stderr, "stbench: warning: %s: result store degraded: %v\n", d.Campaign, d.Err)
+		}
+	}))
 	if *quick {
 		opts = append(opts, st.WithQuick())
 	}
@@ -132,6 +160,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", in.BenchName(), err)
 			os.Exit(1)
+		}
+		if n := res.Stats.PutFailed; n > 0 {
+			fmt.Fprintf(os.Stderr, "stbench: warning: %s: %d result-store write(s) failed\n", in.BenchName(), n)
 		}
 		if err := render(os.Stdout, res, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", in.BenchName(), err)

@@ -16,14 +16,21 @@
 // cache tier (default .stcache; -no-cache disables it); -mem-cache N
 // adds an in-memory LRU hot tier of N bytes in front of the disk
 // tier; -remote-cache URL adds a shared storehttp tier behind it (a
-// dead remote degrades to recomputation, never failure); -quick cuts
-// trial counts; -seed/-trials override the spec defaults (changing
-// either changes the cache keys); -json emits folded cell results as
-// JSON instead of text tables. The store mix never changes rendered
-// bytes — only how many units recompute. Tables and JSON go to
+// dead remote degrades to recomputation, never failure);
+// -remote-retry N arms retries with backoff plus a circuit breaker
+// around the remote tier (N attempts per op; 0 = disabled); -chaos
+// PROFILE wraps one tier in deterministic fault injection for
+// resilience testing, with -chaos-seed fixing the fault schedule;
+// -quick cuts trial counts; -seed/-trials override the spec defaults
+// (changing either changes the cache keys); -json emits folded cell
+// results as JSON instead of text tables. The store mix — retries,
+// breaker, and injected chaos included — never changes rendered
+// bytes, only how many units recompute. Tables and JSON go to
 // stdout; run statistics (units/computed/cached plus per-tier
-// hit/miss counters) go to stderr so stdout stays byte-comparable
-// across runs.
+// hit/miss/retry counters) go to stderr so stdout stays
+// byte-comparable across runs. A degraded store (failed writes)
+// warns once on stderr and reports the failure count; it never fails
+// the run.
 //
 // The first ^C cancels gracefully: no further trial unit is
 // dispatched, in-flight units finish and persist to the cache (a
@@ -42,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"regexp"
+	"strings"
 
 	"silenttracker/st"
 )
@@ -79,6 +87,7 @@ func usage() {
   run [flags] [pattern]   run campaigns whose name matches the regexp
                           (default: all); flags: -j, -cache-dir,
                           -no-cache, -mem-cache, -remote-cache,
+                          -remote-retry, -chaos, -chaos-seed,
                           -quick, -seed, -trials, -json
   clean [-cache-dir D]    remove the result cache
 `)
@@ -138,6 +147,9 @@ func cmdRun(args []string) int {
 	noCache := fs.Bool("no-cache", false, "compute every unit; do not read or write the disk cache")
 	memCache := fs.Int64("mem-cache", 0, "in-memory LRU hot tier budget in bytes (0 = disabled)")
 	remoteCache := fs.String("remote-cache", "", "base URL of a shared storehttp result store (\"\" = disabled)")
+	remoteRetry := fs.Int("remote-retry", 0, "attempts per remote-store op, with backoff and a circuit breaker (0 = disabled)")
+	chaos := fs.String("chaos", "", "fault-injection profile for resilience testing: "+strings.Join(st.ChaosProfiles(), ", ")+" (\"\" = disabled)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the -chaos fault schedule (same seed = same faults)")
 	quick := fs.Bool("quick", false, "reduced trial counts (smoke run)")
 	seed := fs.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
@@ -168,6 +180,23 @@ func cmdRun(args []string) int {
 	if *remoteCache != "" {
 		opts = append(opts, st.WithRemoteCache(*remoteCache))
 	}
+	if *remoteRetry > 0 {
+		p := st.DefaultRetryPolicy()
+		p.Attempts = *remoteRetry
+		opts = append(opts, st.WithRemoteRetry(p))
+	}
+	if *chaos != "" {
+		opts = append(opts, st.WithChaos(*chaosSeed, *chaos))
+	}
+	// The engine announces the first failed store write once per run;
+	// relay it so a degraded store is visible the moment it degrades,
+	// not just in the final count. Warnings go to stderr — stdout stays
+	// byte-comparable across store mixes.
+	opts = append(opts, st.WithProgress(func(ev st.Event) {
+		if d, ok := ev.(st.StoreDegraded); ok {
+			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: result store degraded: %v\n", d.Campaign, d.Err)
+		}
+	}))
 	if *quick {
 		opts = append(opts, st.WithQuick())
 	}
@@ -216,6 +245,9 @@ func cmdRun(args []string) int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stcampaign: %s: %v\n", in.Name, err)
 			return 1
+		}
+		if n := res.Stats.PutFailed; n > 0 {
+			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: %d result-store write(s) failed; those units recompute next run\n", res.Campaign, n)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %s (%.1fs)\n", res.Campaign, res.Stats, res.Stats.Elapsed.Seconds())
 		if *asJSON {

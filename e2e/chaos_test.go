@@ -1,0 +1,154 @@
+package e2e
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"silenttracker/internal/campaign"
+	"silenttracker/internal/campaign/storehttp"
+)
+
+// This file is the chaos gate: the stcampaign binary run against
+// deliberately failing result stores. The acceptance criterion is the
+// store invariant under fire — rendered stdout must stay byte-
+// identical to a cacheless run while the stderr tier counters show
+// the resilience stack absorbing the faults (retries, breaker opens,
+// short-circuits, corrupt reads).
+
+// elapsedRe strips the trailing wall-clock bracket from a stats line
+// so lines are comparable across runs.
+var elapsedRe = regexp.MustCompile(` \(\d+\.\d+s\)$`)
+
+// statsLine extracts the campaign's frozen stats line from stderr,
+// elapsed stripped. Warnings and progress lines are skipped — the
+// stats line is the one starting "<name>: units=".
+func statsLine(t *testing.T, stderr, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(stderr), "\n") {
+		if strings.HasPrefix(line, name+": units=") {
+			return elapsedRe.ReplaceAllString(line, "")
+		}
+	}
+	t.Fatalf("no stats line for %s in stderr:\n%s", name, stderr)
+	return ""
+}
+
+// cachelessRun returns the campaign's baseline stdout: every unit
+// computed, no store in the path.
+func cachelessRun(t *testing.T, name string) string {
+	t.Helper()
+	stdout, stderr, code := run(t, "stcampaign",
+		"run", "-no-cache", "-quick", "-j", "8", name)
+	if code != 0 {
+		t.Fatalf("cacheless %s exited %d: %s", name, code, stderr)
+	}
+	return stdout
+}
+
+func TestChaosGateFlakyRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns against a live store server")
+	}
+	t.Parallel()
+	baseline := cachelessRun(t, "highway")
+
+	srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(16 << 20)))
+	defer srv.Close()
+	stdout, stderr, code := run(t, "stcampaign",
+		"run", "-no-cache", "-quick", "-j", "4",
+		"-remote-cache", srv.URL, "-remote-retry", "4",
+		"-chaos", "flaky-remote", "-chaos-seed", "3", "highway")
+	if code != 0 {
+		t.Fatalf("flaky-remote run exited %d: %s", code, stderr)
+	}
+	if stdout != baseline {
+		t.Errorf("flaky-remote run changed stdout:\n--- chaos ---\n%s--- baseline ---\n%s", stdout, baseline)
+	}
+	line := statsLine(t, stderr, "highway")
+	if !strings.Contains(line, " retry=") {
+		t.Errorf("no retries in the stats line under a 25%%-flaky remote: %q", line)
+	}
+	if !strings.Contains(line, " err=") {
+		t.Errorf("no injected errors in the stats line: %q", line)
+	}
+}
+
+func TestChaosGateCorruptMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	t.Parallel()
+	baseline := cachelessRun(t, "fig2a")
+
+	stdout, stderr, code := run(t, "stcampaign",
+		"run", "-no-cache", "-quick", "-j", "4",
+		"-mem-cache", "16777216", "-chaos", "corrupt-mem", "-chaos-seed", "3", "fig2a")
+	if code != 0 {
+		t.Fatalf("corrupt-mem run exited %d: %s", code, stderr)
+	}
+	if stdout != baseline {
+		t.Errorf("corrupt-mem run changed stdout:\n--- chaos ---\n%s--- baseline ---\n%s", stdout, baseline)
+	}
+	if line := statsLine(t, stderr, "fig2a"); !strings.Contains(line, " corrupt=") {
+		t.Errorf("no corrupt reads in the stats line under a 30%%-corrupting mem tier: %q", line)
+	}
+}
+
+func TestChaosGateDeadRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns against a live store server")
+	}
+	t.Parallel()
+	baseline := cachelessRun(t, "urban")
+
+	srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(16 << 20)))
+	defer srv.Close()
+	// Serial engine: the dead-remote script is matched against the
+	// global op ordinal, so -j 1 makes the outage window exact.
+	stdout, stderr, code := run(t, "stcampaign",
+		"run", "-no-cache", "-quick", "-j", "1",
+		"-remote-cache", srv.URL, "-remote-retry", "2",
+		"-chaos", "dead-remote", "urban")
+	if code != 0 {
+		t.Fatalf("dead-remote run exited %d: %s", code, stderr)
+	}
+	if stdout != baseline {
+		t.Errorf("dead-remote run changed stdout:\n--- chaos ---\n%s--- baseline ---\n%s", stdout, baseline)
+	}
+	line := statsLine(t, stderr, "urban")
+	if !strings.Contains(line, " open=") {
+		t.Errorf("breaker never opened during the outage: %q", line)
+	}
+	if !strings.Contains(line, " short=") {
+		t.Errorf("open breaker short-circuited nothing: %q", line)
+	}
+}
+
+// TestChaosCountersReproducible is the replay acceptance: two serial
+// runs with the same chaos seed against fresh stores must emit the
+// exact same stats line — fault schedule, retries, and counters are a
+// pure function of the seed.
+func TestChaosCountersReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns against live store servers")
+	}
+	t.Parallel()
+	once := func() string {
+		srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(16 << 20)))
+		defer srv.Close()
+		_, stderr, code := run(t, "stcampaign",
+			"run", "-no-cache", "-quick", "-j", "1",
+			"-remote-cache", srv.URL, "-remote-retry", "4",
+			"-chaos", "flaky-remote", "-chaos-seed", "9", "fig2a")
+		if code != 0 {
+			t.Fatalf("run exited %d: %s", code, stderr)
+		}
+		return statsLine(t, stderr, "fig2a")
+	}
+	first, second := once(), once()
+	if first != second {
+		t.Errorf("same chaos seed produced different counters:\nfirst  %q\nsecond %q", first, second)
+	}
+}

@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerPolicy configures a BreakerStore.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive op failures (Gets or
+	// Puts whose final outcome is an error) that opens the breaker.
+	// Values < 1 behave as 1.
+	Threshold int
+	// Cooldown is how long an open breaker short-circuits ops before
+	// letting one probe through (wall-clock mode). Used only when
+	// CooldownOps is 0.
+	Cooldown time.Duration
+	// CooldownOps, when > 0, selects op-count cooldown instead: the
+	// breaker shorts exactly this many ops, then probes. Op-count
+	// cooldown is deterministic — the same op sequence produces the
+	// same breaker transitions regardless of wall-clock speed — which
+	// is what the chaos gates replay.
+	CooldownOps int
+}
+
+// DefaultBreakerPolicy opens after 5 consecutive failures and probes
+// after 50 shorted ops — op-count cooldown, so runs are reproducible.
+func DefaultBreakerPolicy() BreakerPolicy {
+	return BreakerPolicy{Threshold: 5, CooldownOps: 50}
+}
+
+// Breaker states.
+const (
+	breakerClosed   = iota // ops pass through
+	breakerOpen            // ops short-circuit until the cooldown lapses
+	breakerHalfOpen        // one probe op in flight; the rest short
+)
+
+// BreakerStore is the circuit breaker of the resilience stack: after
+// Threshold consecutive failures of the wrapped store it opens, and
+// every op short-circuits — Gets read as instant misses, Puts are
+// dropped — for the cooldown, so a dead backend costs one failure
+// ladder instead of a timeout per unit (the classic congestion-
+// control move: back off, probe, restore). After the cooldown one
+// probe op passes through; success closes the breaker, failure
+// reopens it for another cooldown. Opens and shorted ops are tallied
+// in the tier's BreakerOpens/Shorted counters. Stack it outside a
+// RetryStore: a "failure" is then an op whose retries are exhausted.
+type BreakerStore struct {
+	inner  Store
+	innerE Fallible // nil when inner does not surface Get errors
+	policy BreakerPolicy
+	now    func() time.Time // test seam; time.Now in production
+
+	mu       sync.Mutex
+	state    int
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // wall-clock cooldown anchor
+	openOps  int       // ops shorted since opening (op-count cooldown)
+
+	opens   atomic.Int64
+	shorted atomic.Int64
+}
+
+// BreakerStore is itself Fallible so further wrappers could stack on.
+var _ Fallible = (*BreakerStore)(nil)
+
+// NewBreakerStore wraps inner with the given policy.
+func NewBreakerStore(inner Store, policy BreakerPolicy) *BreakerStore {
+	if policy.Threshold < 1 {
+		policy.Threshold = 1
+	}
+	s := &BreakerStore{inner: inner, policy: policy, now: time.Now}
+	s.innerE, _ = inner.(Fallible)
+	return s
+}
+
+// admit decides one op's fate under the lock: pass it to the inner
+// store, or short it. An open breaker whose cooldown has lapsed
+// transitions to half-open and admits the caller as the probe.
+func (s *BreakerStore) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		// A probe is already in flight; short everyone else until its
+		// outcome is known.
+		return false
+	default: // breakerOpen
+		if s.policy.CooldownOps > 0 {
+			if s.openOps < s.policy.CooldownOps {
+				s.openOps++
+				return false
+			}
+		} else if s.now().Sub(s.openedAt) < s.policy.Cooldown {
+			return false
+		}
+		s.state = breakerHalfOpen
+		return true
+	}
+}
+
+// record folds one admitted op's outcome into the breaker state.
+func (s *BreakerStore) record(failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !failed {
+		// Any success heals: a half-open probe closes the breaker, and
+		// a success while closed resets the consecutive-failure count.
+		s.state = breakerClosed
+		s.fails = 0
+		return
+	}
+	if s.state == breakerHalfOpen {
+		// The probe failed (or a straggler admitted before the breaker
+		// opened failed during the probe window — indistinguishable
+		// here, and both mean the backend is still sick): reopen.
+		s.trip()
+		return
+	}
+	s.fails++
+	if s.state == breakerClosed && s.fails >= s.policy.Threshold {
+		s.trip()
+	}
+}
+
+// trip opens the breaker and restarts the cooldown. Caller holds mu.
+func (s *BreakerStore) trip() {
+	s.state = breakerOpen
+	s.openedAt = s.now()
+	s.openOps = 0
+	s.fails = 0
+	s.opens.Add(1)
+}
+
+// GetE runs the Get through the breaker. A shorted Get is an instant
+// plain miss — no error: the short-circuit is the degradation policy
+// working, not a failure of this op.
+func (s *BreakerStore) GetE(hash string) (Metrics, bool, error) {
+	if !s.admit() {
+		s.shorted.Add(1)
+		return nil, false, nil
+	}
+	var m Metrics
+	var ok bool
+	var err error
+	if s.innerE != nil {
+		m, ok, err = s.innerE.GetE(hash)
+	} else {
+		m, ok = s.inner.Get(hash)
+	}
+	s.record(err != nil)
+	return m, ok, err
+}
+
+// Get is GetE degraded to the Store contract.
+func (s *BreakerStore) Get(hash string) (Metrics, bool) {
+	m, ok, _ := s.GetE(hash)
+	return m, ok
+}
+
+// Put runs the write through the breaker. A shorted Put is dropped
+// silently (nil error): the engine treats store writes as best-effort
+// already, and the Shorted counter carries the visibility.
+func (s *BreakerStore) Put(hash string, m Metrics) error {
+	if !s.admit() {
+		s.shorted.Add(1)
+		return nil
+	}
+	err := s.inner.Put(hash, m)
+	s.record(err != nil)
+	return err
+}
+
+// Stats returns the wrapped store's tiers with this breaker's
+// transition and short-circuit counts folded into the first.
+func (s *BreakerStore) Stats() []TierStats {
+	ts := s.inner.Stats()
+	if len(ts) > 0 {
+		ts[0].BreakerOpens += s.opens.Load()
+		ts[0].Shorted += s.shorted.Load()
+	}
+	return ts
+}
+
+// Close closes the wrapped store.
+func (s *BreakerStore) Close() error { return s.inner.Close() }

@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ChaosProfiles maps each built-in fault profile to the store tier it
+// targets ("mem", "disk", "remote"). Callers assembling a tier stack
+// route the wrap accordingly; NewChaosStore builds the wrapper.
+//
+//   - flaky-remote: the remote tier fails ~a quarter of its Gets and
+//     Puts with retryable errors and occasionally stalls — the
+//     network-blip profile a RetryStore must absorb.
+//   - corrupt-mem: the mem tier damages ~a third of its reads —
+//     entries present but undecodable, the torn-write profile. Warm
+//     runs recompute the damaged units; bytes must not move.
+//   - dead-remote: the remote tier is down for its first 25 ops, then
+//     recovers — the outage profile a circuit breaker must convert
+//     from per-op failure ladders into one open + cheap shorts + a
+//     recovering probe.
+var ChaosProfiles = map[string]string{
+	"flaky-remote": "remote",
+	"corrupt-mem":  "mem",
+	"dead-remote":  "remote",
+}
+
+// ChaosProfileNames returns the built-in profile names, sorted, for
+// error messages and usage text.
+func ChaosProfileNames() []string {
+	names := make([]string, 0, len(ChaosProfiles))
+	for name := range ChaosProfiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// deadRemoteOps is how many leading ops the dead-remote profile
+// fails: enough to exhaust a default retry ladder several times over
+// and trip a default breaker, small enough that every quick campaign
+// reaches the recovery phase.
+const deadRemoteOps = 25
+
+// NewChaosStore wraps inner according to the named profile. The
+// caller is responsible for wrapping the tier the profile targets
+// (ChaosProfiles); seed drives the deterministic fault schedule
+// (script-based profiles ignore it).
+func NewChaosStore(profile string, seed int64, inner Store) (*FaultStore, error) {
+	switch profile {
+	case "flaky-remote":
+		return NewFaultStore(inner, seed, FaultProfile{
+			GetErr: 0.25, PutErr: 0.25,
+			Slow: 0.05, Latency: time.Millisecond,
+		}), nil
+	case "corrupt-mem":
+		return NewFaultStore(inner, seed, FaultProfile{Corrupt: 0.3}), nil
+	case "dead-remote":
+		return NewFaultScript(inner, []FaultRule{
+			{From: 0, To: deadRemoteOps, Kind: FaultErr},
+		}), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown chaos profile %q (have %s)",
+		profile, strings.Join(ChaosProfileNames(), ", "))
+}

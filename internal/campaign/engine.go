@@ -19,8 +19,14 @@ type RunStats struct {
 	// Empty for a store-less run. Counters are per-run deltas of the
 	// store's cumulative totals; concurrent runs sharing one store
 	// see a best-effort attribution.
-	Tiers   []TierStats   `json:"tiers,omitempty"`
-	Elapsed time.Duration `json:"elapsed"` // wall clock of the Run call
+	Tiers []TierStats `json:"tiers,omitempty"`
+	// PutFailed counts units whose result-store write failed (every
+	// tier rejected it). The run's results are unaffected — a lost
+	// write only costs a recompute on some future run — but a nonzero
+	// count means the store is degraded, so it is surfaced here and
+	// via the StoreDegraded event rather than dropped silently.
+	PutFailed int           `json:"put_failed,omitempty"`
+	Elapsed   time.Duration `json:"elapsed"` // wall clock of the Run call
 }
 
 // String renders the stats as the stable one-line form the CLI prints
@@ -121,7 +127,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	// finish so a cancelled run still reports what it completed. The
 	// mutex both guards the counters and serialises Progress calls.
 	var mu sync.Mutex
-	done, computed, cached := 0, 0, 0
+	done, computed, cached, putFailed := 0, 0, 0, 0
 	finish := func(u unit, wasCached bool) {
 		if wasCached {
 			cached++
@@ -159,8 +165,18 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 		if e.Store != nil {
 			// A failed store (full disk, dead remote) degrades to
 			// recomputation on the next run; this run's result is
-			// unaffected, so the error is not fatal.
-			_ = e.Store.Put(u.hash, m)
+			// unaffected, so the error is not fatal — but it must not
+			// vanish either: the first failure is announced once via
+			// StoreDegraded (rate-limited by design) and the final
+			// count lands in RunStats.PutFailed.
+			if err := e.Store.Put(u.hash, m); err != nil {
+				mu.Lock()
+				putFailed++
+				if putFailed == 1 && e.Progress != nil {
+					e.Progress(StoreDegraded{Spec: spec.Name, Err: err})
+				}
+				mu.Unlock()
+			}
 		}
 		mu.Lock()
 		finish(u, false)
@@ -170,7 +186,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	if err != nil {
 		mu.Lock()
 		stats := RunStats{Units: len(units), Computed: computed, Cached: cached,
-			Tiers: tiersNow(), Elapsed: time.Since(start)}
+			PutFailed: putFailed, Tiers: tiersNow(), Elapsed: time.Since(start)}
 		mu.Unlock()
 		return nil, stats, err
 	}
@@ -179,7 +195,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	for i := range cells {
 		out[i] = CellResult{Cell: cells[i], Trials: make([]Metrics, 0, spec.Trials)}
 	}
-	stats := RunStats{Units: len(units)}
+	stats := RunStats{Units: len(units), PutFailed: putFailed}
 	for i, r := range results {
 		out[units[i].cell].Trials = append(out[units[i].cell].Trials, r.m)
 		if r.computed {

@@ -39,6 +39,18 @@ type SpecDone struct {
 	Stats RunStats
 }
 
-func (UnitDone) progressEvent() {}
-func (CellDone) progressEvent() {}
-func (SpecDone) progressEvent() {}
+// StoreDegraded reports the run's first failed result-store write:
+// the store is degraded (dead remote, full disk) and units computed
+// from here on may not persist. Emitted at most once per run — the
+// rate limit is by design, a dead backend must not flood the stream —
+// with the final failure count in RunStats.PutFailed and the per-tier
+// split in the tier error counters.
+type StoreDegraded struct {
+	Spec string
+	Err  error
+}
+
+func (UnitDone) progressEvent()      {}
+func (CellDone) progressEvent()      {}
+func (SpecDone) progressEvent()      {}
+func (StoreDegraded) progressEvent() {}

@@ -1,0 +1,240 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silenttracker/internal/rng"
+)
+
+// FaultKind is one injectable failure mode of a FaultStore.
+type FaultKind int
+
+const (
+	// FaultNone injects nothing; the op reaches the wrapped store.
+	FaultNone FaultKind = iota
+	// FaultErr fails the op with a retryable error — the transport
+	// blip / 5xx simulation. A RetryStore above recovers from runs of
+	// these; without one the Get degrades to a miss.
+	FaultErr
+	// FaultCorrupt makes a Get read as a damaged entry: a terminal
+	// error, a corrupt-counter tick, and a miss — the torn-write
+	// simulation. Retrying cannot fix it.
+	FaultCorrupt
+	// FaultDrop acknowledges a Put and silently discards it — the
+	// lost-write simulation. Nothing fails now; the unit recomputes on
+	// some future cold Get.
+	FaultDrop
+	// FaultSlow delays the op by the rule's Delay (script mode) or the
+	// profile's Latency, then lets it proceed.
+	FaultSlow
+)
+
+// FaultProfile drives probabilistic injection: per-op fault
+// probabilities, decided deterministically per (seed, op, hash,
+// attempt). GetErr+Corrupt and PutErr+Drop should each stay ≤ 1 (they
+// are cumulative slices of one uniform draw).
+type FaultProfile struct {
+	GetErr  float64 // P(a Get fails with a retryable error)
+	Corrupt float64 // P(a Get's entry reads as damaged — terminal)
+	PutErr  float64 // P(a Put fails with a retryable error)
+	Drop    float64 // P(a Put is acknowledged but discarded)
+	Slow    float64 // P(an op is delayed by Latency before proceeding)
+	Latency time.Duration
+}
+
+// FaultRule is one entry of an explicit fault script, matched against
+// the store's global op ordinal (Gets and Puts share one counter, in
+// arrival order): "fail Gets 3–7, then recover" is
+// {Op: "get", From: 3, To: 8, Kind: FaultErr}.
+type FaultRule struct {
+	Op       string // "get", "put", or "" for either
+	From, To int    // ordinal half-open range [From, To)
+	Kind     FaultKind
+	Delay    time.Duration // FaultSlow only
+}
+
+// ErrInjected is the root of every fault a FaultStore injects, so
+// tests (and curious callers) can tell injected failures from real
+// ones with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// FaultStore wraps any Store with deterministic fault injection — the
+// chaos harness of the resilience stack. Two modes:
+//
+//   - Profile: every op draws its fate from a stream that is a pure
+//     function of (seed, op kind, unit hash, per-unit attempt number)
+//     via rng.ChildSeed. The same seed therefore injects the same
+//     faults at any worker count — each unit's schedule depends only
+//     on its own hash and its own attempt order, never on how
+//     concurrent ops interleave — so chaos runs are replayable: same
+//     seed, same fault counts, same recovery behaviour.
+//
+//   - Script: an explicit rule list matched against the global op
+//     ordinal ("ops 0–24 fail, then the backend recovers"). The
+//     ordinal is arrival order, so scripts are replayable on serial
+//     runs (one worker) and approximate under concurrency.
+//
+// Injected failures surface through GetE with standard classification
+// (FaultErr retryable, FaultCorrupt terminal) and are tallied into
+// the wrapped tier's Errors/Corrupt counters, so the rest of the
+// stack — retries, breaker, engine, stats line — cannot tell chaos
+// from a genuinely misbehaving backend. That is the point: under any
+// fault schedule rendered output must stay byte-identical, with only
+// the computed/cached split and the counters moving.
+type FaultStore struct {
+	inner   Store
+	innerE  Fallible // nil when inner does not surface Get errors
+	seed    int64
+	profile FaultProfile
+	script  []FaultRule
+	sleep   func(time.Duration) // test seam; time.Sleep in production
+
+	ops atomic.Int64 // global op ordinal (script mode)
+	seq sync.Map     // "op/hash" → *atomic.Int64 attempt counter (profile mode)
+
+	injectedErrs, injectedCorrupt, dropped, delayed atomic.Int64
+}
+
+// FaultStore is Fallible: injected errors must reach the wrappers.
+var _ Fallible = (*FaultStore)(nil)
+
+// NewFaultStore wraps inner with probabilistic injection under the
+// given seed.
+func NewFaultStore(inner Store, seed int64, profile FaultProfile) *FaultStore {
+	s := &FaultStore{inner: inner, seed: seed, profile: profile, sleep: time.Sleep}
+	s.innerE, _ = inner.(Fallible)
+	return s
+}
+
+// NewFaultScript wraps inner with an explicit fault script.
+func NewFaultScript(inner Store, script []FaultRule) *FaultStore {
+	s := &FaultStore{inner: inner, script: script, sleep: time.Sleep}
+	s.innerE, _ = inner.(Fallible)
+	return s
+}
+
+// next decides the fate of one op: the fault to inject (FaultNone to
+// pass through) and any delay to apply first.
+func (s *FaultStore) next(op, hash string) (FaultKind, time.Duration) {
+	if s.script != nil {
+		n := int(s.ops.Add(1) - 1)
+		for _, r := range s.script {
+			if (r.Op == "" || r.Op == op) && n >= r.From && n < r.To {
+				if r.Kind == FaultSlow {
+					return FaultNone, r.Delay
+				}
+				return r.Kind, 0
+			}
+		}
+		return FaultNone, 0
+	}
+
+	// Profile mode: the decision stream is keyed by (op, hash) and the
+	// op's own attempt ordinal, so it is independent of how concurrent
+	// ops interleave.
+	key := op + "/" + hash
+	c, ok := s.seq.Load(key)
+	if !ok {
+		c, _ = s.seq.LoadOrStore(key, new(atomic.Int64))
+	}
+	n := c.(*atomic.Int64).Add(1) - 1
+	r := rng.New(rng.ChildSeed(s.seed, fmt.Sprintf("fault/%s/%s/%d", op, hash, n)))
+	var delay time.Duration
+	if r.Float64() < s.profile.Slow {
+		delay = s.profile.Latency
+	}
+	u := r.Float64()
+	switch op {
+	case "get":
+		if u < s.profile.GetErr {
+			return FaultErr, delay
+		}
+		if u < s.profile.GetErr+s.profile.Corrupt {
+			return FaultCorrupt, delay
+		}
+	case "put":
+		if u < s.profile.PutErr {
+			return FaultErr, delay
+		}
+		if u < s.profile.PutErr+s.profile.Drop {
+			return FaultDrop, delay
+		}
+	}
+	return FaultNone, delay
+}
+
+// GetE applies the op's scheduled fault, then (if it survives)
+// forwards to the wrapped store.
+func (s *FaultStore) GetE(hash string) (Metrics, bool, error) {
+	kind, delay := s.next("get", hash)
+	if delay > 0 {
+		s.delayed.Add(1)
+		s.sleep(delay)
+	}
+	switch kind {
+	case FaultErr:
+		s.injectedErrs.Add(1)
+		return nil, false, fmt.Errorf("campaign: %w: get error", ErrInjected)
+	case FaultCorrupt:
+		s.injectedCorrupt.Add(1)
+		return nil, false, Terminal(fmt.Errorf("campaign: %w: corrupt entry", ErrInjected))
+	}
+	if s.innerE != nil {
+		return s.innerE.GetE(hash)
+	}
+	m, ok := s.inner.Get(hash)
+	return m, ok, nil
+}
+
+// Get is GetE degraded to the Store contract.
+func (s *FaultStore) Get(hash string) (Metrics, bool) {
+	m, ok, _ := s.GetE(hash)
+	return m, ok
+}
+
+// Put applies the op's scheduled fault, then forwards the write.
+func (s *FaultStore) Put(hash string, m Metrics) error {
+	kind, delay := s.next("put", hash)
+	if delay > 0 {
+		s.delayed.Add(1)
+		s.sleep(delay)
+	}
+	switch kind {
+	case FaultErr:
+		s.injectedErrs.Add(1)
+		return fmt.Errorf("campaign: %w: put error", ErrInjected)
+	case FaultDrop:
+		// Acknowledged and discarded: the silent-loss fault. The only
+		// trace is a future cold Get (and the Injected tally).
+		s.dropped.Add(1)
+		return nil
+	}
+	return s.inner.Put(hash, m)
+}
+
+// Injected returns the cumulative injection tallies: failed ops,
+// corrupt reads, dropped writes, and delayed ops.
+func (s *FaultStore) Injected() (errs, corrupt, dropped, delayed int64) {
+	return s.injectedErrs.Load(), s.injectedCorrupt.Load(),
+		s.dropped.Load(), s.delayed.Load()
+}
+
+// Stats returns the wrapped store's tiers with the injected failures
+// folded into the first — chaos is indistinguishable from a genuinely
+// failing backend, counters included. Dropped writes are deliberately
+// absent: silent loss is silent.
+func (s *FaultStore) Stats() []TierStats {
+	ts := s.inner.Stats()
+	if len(ts) > 0 {
+		ts[0].Errors += s.injectedErrs.Load()
+		ts[0].Corrupt += s.injectedCorrupt.Load()
+	}
+	return ts
+}
+
+// Close closes the wrapped store.
+func (s *FaultStore) Close() error { return s.inner.Close() }

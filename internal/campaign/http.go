@@ -32,8 +32,9 @@ type HTTPStore struct {
 	stats  counters
 }
 
-// HTTPStore implements Store.
-var _ Store = (*HTTPStore)(nil)
+// HTTPStore implements Store, and Fallible so the resilience
+// wrappers (RetryStore, BreakerStore) can classify its failures.
+var _ Fallible = (*HTTPStore)(nil)
 
 // NewHTTPStore builds a remote store client for the server at
 // baseURL (e.g. "http://cache.internal:8080"). A nil client gets a
@@ -51,10 +52,20 @@ func (s *HTTPStore) url(hash string) string { return s.base + "/units/" + hash }
 // any transport or server error counts in Errors and reads as a miss
 // so the engine recomputes the unit.
 func (s *HTTPStore) Get(hash string) (Metrics, bool) {
+	m, ok, _ := s.GetE(hash)
+	return m, ok
+}
+
+// GetE is Get with the degrading error surfaced and classified:
+// transport failures, timeouts, truncated bodies, and 5xx replies are
+// retryable; rejected requests (other 4xx/non-OK) and damaged entries
+// (undecodable or oversize bodies) are ErrTerminal. A 404 is a plain
+// miss — (nil, false, nil).
+func (s *HTTPStore) GetE(hash string) (Metrics, bool, error) {
 	resp, err := s.client.Get(s.url(hash))
 	if err != nil {
 		s.stats.errors.Add(1)
-		return nil, false
+		return nil, false, fmt.Errorf("campaign: remote get: %w", err)
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -63,23 +74,33 @@ func (s *HTTPStore) Get(hash string) (Metrics, bool) {
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
 		s.stats.misses.Add(1)
-		return nil, false
+		return nil, false, nil
+	case resp.StatusCode/100 == 5:
+		s.stats.errors.Add(1)
+		return nil, false, fmt.Errorf("campaign: remote get: server returned %s", resp.Status)
 	case resp.StatusCode != http.StatusOK:
 		s.stats.errors.Add(1)
-		return nil, false
+		return nil, false, Terminal(fmt.Errorf("campaign: remote get: server returned %s", resp.Status))
 	}
 	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
 	if err != nil {
 		s.stats.errors.Add(1)
-		return nil, false
+		return nil, false, fmt.Errorf("campaign: remote get: %w", err)
+	}
+	// Length-check before parsing: an oversize body is a misbehaving
+	// server, and feeding it to the decoder first would burn CPU on
+	// (and possibly mis-classify) bytes already known to be invalid.
+	if len(buf) > maxEntryBytes {
+		s.stats.corrupt.Add(1)
+		return nil, false, Terminal(fmt.Errorf("campaign: remote get: entry exceeds %d bytes", maxEntryBytes))
 	}
 	m, ok := decodeEntry(buf)
-	if !ok || len(buf) > maxEntryBytes {
+	if !ok {
 		s.stats.corrupt.Add(1)
-		return nil, false
+		return nil, false, Terminal(fmt.Errorf("campaign: remote get: undecodable entry"))
 	}
 	s.stats.hits.Add(1)
-	return m, true
+	return m, true, nil
 }
 
 // Put uploads the entry. The returned error is informational — the
@@ -89,12 +110,12 @@ func (s *HTTPStore) Put(hash string, m Metrics) error {
 	buf, err := marshalEntry(m)
 	if err != nil {
 		s.stats.errors.Add(1)
-		return err
+		return Terminal(err)
 	}
 	req, err := http.NewRequest(http.MethodPut, s.url(hash), bytes.NewReader(buf))
 	if err != nil {
 		s.stats.errors.Add(1)
-		return fmt.Errorf("campaign: remote put: %w", err)
+		return Terminal(fmt.Errorf("campaign: remote put: %w", err))
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.client.Do(req)
@@ -106,7 +127,13 @@ func (s *HTTPStore) Put(hash string, m Metrics) error {
 	resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		s.stats.errors.Add(1)
-		return fmt.Errorf("campaign: remote put: server returned %s", resp.Status)
+		err := fmt.Errorf("campaign: remote put: server returned %s", resp.Status)
+		if resp.StatusCode/100 == 4 {
+			// The server rejected this request (bad entry, bad hash):
+			// resending the same bytes cannot succeed.
+			return Terminal(err)
+		}
+		return err
 	}
 	return nil
 }

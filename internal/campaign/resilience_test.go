@@ -1,0 +1,694 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedStore is a Fallible test double: GetE/Put consume scripted
+// error queues (a nil queue entry means "this op succeeds"), then fall
+// through to a plain map. It lets the wrapper tests dictate the exact
+// failure sequence a backend produces.
+type scriptedStore struct {
+	mu      sync.Mutex
+	entries map[string]Metrics
+	getErrs []error
+	putErrs []error
+}
+
+func newScriptedStore() *scriptedStore {
+	return &scriptedStore{entries: map[string]Metrics{}}
+}
+
+func (s *scriptedStore) GetE(hash string) (Metrics, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.getErrs) > 0 {
+		err := s.getErrs[0]
+		s.getErrs = s.getErrs[1:]
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	m, ok := s.entries[hash]
+	return m, ok, nil
+}
+
+func (s *scriptedStore) Get(hash string) (Metrics, bool) {
+	m, ok, _ := s.GetE(hash)
+	return m, ok
+}
+
+func (s *scriptedStore) Put(hash string, m Metrics) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.putErrs) > 0 {
+		err := s.putErrs[0]
+		s.putErrs = s.putErrs[1:]
+		if err != nil {
+			return err
+		}
+	}
+	s.entries[hash] = m
+	return nil
+}
+
+func (s *scriptedStore) Stats() []TierStats { return []TierStats{{Tier: "scripted"}} }
+func (s *scriptedStore) Close() error       { return nil }
+
+var errTransient = errors.New("backend hiccup")
+
+func TestErrorClassification(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil is retryable")
+	}
+	if !Retryable(errTransient) {
+		t.Error("plain error is not retryable")
+	}
+	term := Terminal(errTransient)
+	if Retryable(term) {
+		t.Error("Terminal-wrapped error is retryable")
+	}
+	if !errors.Is(term, ErrTerminal) || !errors.Is(term, errTransient) {
+		t.Error("Terminal must wrap both ErrTerminal and the cause")
+	}
+	// fmt-wrapped classification survives: what a caller adding context
+	// to a store error relies on.
+	if Retryable(fmt.Errorf("ctx: %w", term)) {
+		t.Error("wrapped terminal error is retryable")
+	}
+}
+
+func TestRetryStoreRecoversTransient(t *testing.T) {
+	ss := newScriptedStore()
+	hash := testHash(1)
+	ss.entries[hash] = testMetrics(1)
+	ss.getErrs = []error{errTransient, errTransient, nil}
+
+	rs := NewRetryStore(ss, RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, Seed: 1})
+	var slept []time.Duration
+	rs.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	m, ok, err := rs.GetE(hash)
+	if err != nil || !ok || !reflect.DeepEqual(m, testMetrics(1)) {
+		t.Fatalf("GetE = %v, %v, %v; want recovery on third attempt", m, ok, err)
+	}
+	if len(slept) != 2 {
+		t.Errorf("slept %d times, want 2", len(slept))
+	}
+	if ts := rs.Stats()[0]; ts.Retries != 2 {
+		t.Errorf("Stats retries = %d, want 2", ts.Retries)
+	}
+}
+
+func TestRetryStoreTerminalReturnsImmediately(t *testing.T) {
+	ss := newScriptedStore()
+	ss.getErrs = []error{Terminal(errTransient)}
+	rs := NewRetryStore(ss, RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond})
+	rs.sleep = func(time.Duration) { t.Error("slept on a terminal error") }
+
+	_, _, err := rs.GetE(testHash(1))
+	if !errors.Is(err, ErrTerminal) {
+		t.Fatalf("err = %v, want terminal", err)
+	}
+	if ts := rs.Stats()[0]; ts.Retries != 0 {
+		t.Errorf("retries = %d, want 0", ts.Retries)
+	}
+}
+
+func TestRetryStoreExhaustsAttempts(t *testing.T) {
+	ss := newScriptedStore()
+	ss.putErrs = []error{errTransient, errTransient, errTransient}
+	rs := NewRetryStore(ss, RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, Seed: 1})
+	rs.sleep = func(time.Duration) {}
+
+	if err := rs.Put(testHash(1), testMetrics(1)); !errors.Is(err, errTransient) {
+		t.Fatalf("Put = %v, want the final transient error", err)
+	}
+	if ts := rs.Stats()[0]; ts.Retries != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", ts.Retries)
+	}
+	// The store must not have been written behind the error's back.
+	if _, ok := ss.entries[testHash(1)]; ok {
+		t.Error("entry written despite exhausted attempts")
+	}
+}
+
+func TestRetryStoreOpBudget(t *testing.T) {
+	ss := newScriptedStore()
+	ss.getErrs = []error{errTransient, errTransient}
+	// The first backoff (≥ 5ms even at minimum jitter) exceeds the 1ms
+	// budget, so the op gives up after one attempt.
+	rs := NewRetryStore(ss, RetryPolicy{Attempts: 4,
+		BaseDelay: 10 * time.Millisecond, OpBudget: time.Millisecond, Seed: 1})
+	rs.sleep = func(time.Duration) { t.Error("slept past the op budget") }
+
+	if _, _, err := rs.GetE(testHash(1)); !errors.Is(err, errTransient) {
+		t.Fatalf("GetE = %v, want the transient error", err)
+	}
+	if ts := rs.Stats()[0]; ts.Retries != 0 {
+		t.Errorf("retries = %d, want 0", ts.Retries)
+	}
+}
+
+func TestRetryStorePlainStorePassThrough(t *testing.T) {
+	// A non-Fallible inner store surfaces no Get errors; Gets pass
+	// straight through (nothing to classify, nothing to retry).
+	mem := NewMemStore(1 << 20)
+	if err := mem.Put(testHash(1), testMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	rs := NewRetryStore(mem, DefaultRetryPolicy())
+	if m, ok := rs.Get(testHash(1)); !ok || !reflect.DeepEqual(m, testMetrics(1)) {
+		t.Fatalf("Get through wrapper = %v, %v", m, ok)
+	}
+	if ts := rs.Stats()[0]; ts.Tier != "mem" || ts.Hits != 1 || ts.Retries != 0 {
+		t.Errorf("stats = %+v, want inner mem tier with hits=1", ts)
+	}
+}
+
+func TestRetryBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 7}
+	hash := testHash(3)
+	for attempt := 0; attempt < 6; attempt++ {
+		d1 := p.backoff(hash, attempt)
+		d2 := p.backoff(hash, attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: backoff not deterministic (%v vs %v)", attempt, d1, d2)
+		}
+		base := p.BaseDelay << attempt
+		if base > p.MaxDelay {
+			base = p.MaxDelay
+		}
+		if d1 < base/2 || d1 >= base+base/2 {
+			t.Errorf("attempt %d: backoff %v outside jitter window of %v", attempt, d1, base)
+		}
+	}
+	// Different ops are decorrelated: their jitter streams differ.
+	if p.backoff(testHash(1), 0) == p.backoff(testHash(2), 0) &&
+		p.backoff(testHash(1), 1) == p.backoff(testHash(2), 1) {
+		t.Error("distinct hashes drew identical jitter schedules")
+	}
+}
+
+func TestBreakerOpensShortsProbesRecovers(t *testing.T) {
+	ss := newScriptedStore()
+	ss.putErrs = []error{errTransient, errTransient, errTransient}
+	bs := NewBreakerStore(ss, BreakerPolicy{Threshold: 3, CooldownOps: 2})
+	hash := testHash(1)
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if err := bs.Put(hash, testMetrics(1)); err == nil {
+			t.Fatalf("failing Put %d returned nil", i)
+		}
+	}
+	// Open: the next two ops short-circuit — instant miss, dropped
+	// write, no traffic to the inner store.
+	if _, ok, err := bs.GetE(hash); ok || err != nil {
+		t.Fatalf("shorted Get = %v, %v; want instant plain miss", ok, err)
+	}
+	if err := bs.Put(hash, testMetrics(1)); err != nil {
+		t.Fatalf("shorted Put = %v; want silently dropped", err)
+	}
+	if _, ok := ss.entries[hash]; ok {
+		t.Fatal("shorted Put reached the inner store")
+	}
+	// Cooldown lapsed: the next op probes; a success closes the breaker.
+	if _, ok, err := bs.GetE(hash); ok || err != nil {
+		t.Fatalf("probe Get = %v, %v; want clean miss", ok, err)
+	}
+	// Closed again: writes flow.
+	if err := bs.Put(hash, testMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := bs.Get(hash); !ok || !reflect.DeepEqual(m, testMetrics(1)) {
+		t.Fatalf("Get after recovery = %v, %v", m, ok)
+	}
+	ts := bs.Stats()[0]
+	if ts.BreakerOpens != 1 || ts.Shorted != 2 {
+		t.Errorf("stats = %+v, want opens=1 shorted=2", ts)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	ss := newScriptedStore()
+	ss.putErrs = []error{errTransient, errTransient}
+	bs := NewBreakerStore(ss, BreakerPolicy{Threshold: 1, CooldownOps: 1})
+	hash := testHash(1)
+
+	if err := bs.Put(hash, testMetrics(1)); err == nil {
+		t.Fatal("first Put should fail and trip the breaker")
+	}
+	if _, ok := bs.Get(hash); ok {
+		t.Fatal("shorted Get served a hit")
+	}
+	// Probe: the second scripted error fails it, reopening the breaker.
+	if err := bs.Put(hash, testMetrics(1)); err == nil {
+		t.Fatal("failed probe returned nil")
+	}
+	if _, ok := bs.Get(hash); ok {
+		t.Fatal("Get after failed probe should short to a miss")
+	}
+	// Second probe succeeds (script exhausted) and closes the breaker.
+	if _, ok, err := bs.GetE(hash); ok || err != nil {
+		t.Fatalf("recovery probe = %v, %v", ok, err)
+	}
+	ts := bs.Stats()[0]
+	if ts.BreakerOpens != 2 || ts.Shorted != 2 {
+		t.Errorf("stats = %+v, want opens=2 shorted=2", ts)
+	}
+}
+
+func TestBreakerWallClockCooldown(t *testing.T) {
+	ss := newScriptedStore()
+	ss.putErrs = []error{errTransient}
+	bs := NewBreakerStore(ss, BreakerPolicy{Threshold: 1, Cooldown: time.Minute})
+	now := time.Unix(1000, 0)
+	bs.now = func() time.Time { return now }
+
+	if err := bs.Put(testHash(1), testMetrics(1)); err == nil {
+		t.Fatal("Put should fail and trip")
+	}
+	if _, ok := bs.Get(testHash(1)); ok {
+		t.Fatal("Get inside cooldown served a hit")
+	}
+	if got := bs.shorted.Load(); got != 1 {
+		t.Fatalf("shorted = %d, want 1", got)
+	}
+	now = now.Add(2 * time.Minute)
+	// Cooldown over: this Get probes the (now healthy) inner store.
+	if _, ok, err := bs.GetE(testHash(1)); ok || err != nil {
+		t.Fatalf("probe after cooldown = %v, %v", ok, err)
+	}
+	if err := bs.Put(testHash(1), testMetrics(1)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+}
+
+func TestFaultScriptWindow(t *testing.T) {
+	mem := NewMemStore(1 << 20)
+	hash := testHash(1)
+	if err := mem.Put(hash, testMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultScript(mem, []FaultRule{{Op: "get", From: 1, To: 3, Kind: FaultErr}})
+
+	// Ordinals 0..3: the middle two fall in the fault window.
+	for i, wantErr := range []bool{false, true, true, false} {
+		m, ok, err := fs.GetE(hash)
+		if wantErr {
+			if err == nil || !errors.Is(err, ErrInjected) || !Retryable(err) {
+				t.Fatalf("op %d: err = %v, want retryable injected fault", i, err)
+			}
+			continue
+		}
+		if err != nil || !ok || !reflect.DeepEqual(m, testMetrics(1)) {
+			t.Fatalf("op %d: GetE = %v, %v, %v; want clean hit", i, m, ok, err)
+		}
+	}
+	errs, _, _, _ := fs.Injected()
+	if errs != 2 {
+		t.Errorf("injected errors = %d, want 2", errs)
+	}
+	// Injected failures fold into the tier's error counter.
+	if ts := fs.Stats()[0]; ts.Errors != 2 || ts.Hits != 2 {
+		t.Errorf("stats = %+v, want errors=2 hits=2", ts)
+	}
+}
+
+func TestFaultProfileDeterministicAnyOrder(t *testing.T) {
+	profile := FaultProfile{GetErr: 0.4, Corrupt: 0.2}
+	const hashes, attempts = 5, 6
+	classify := func(err error) string {
+		switch {
+		case err == nil:
+			return "ok"
+		case Retryable(err):
+			return "err"
+		default:
+			return "corrupt"
+		}
+	}
+
+	// Instance A: hash-major order.
+	a := NewFaultStore(NewMemStore(1<<20), 42, profile)
+	got := map[string]string{}
+	for h := 0; h < hashes; h++ {
+		for n := 0; n < attempts; n++ {
+			_, _, err := a.GetE(testHash(h))
+			got[fmt.Sprintf("%d/%d", h, n)] = classify(err)
+		}
+	}
+	// Instance B: attempt-major order — a maximally different
+	// interleaving. Every (hash, attempt) op must decide identically:
+	// the schedule is a pure function of (seed, op, hash, ordinal).
+	b := NewFaultStore(NewMemStore(1<<20), 42, profile)
+	for n := 0; n < attempts; n++ {
+		for h := 0; h < hashes; h++ {
+			_, _, err := b.GetE(testHash(h))
+			if want := got[fmt.Sprintf("%d/%d", h, n)]; classify(err) != want {
+				t.Fatalf("op (%d,%d) = %s under reordering, want %s", h, n, classify(err), want)
+			}
+		}
+	}
+	ae, ac, _, _ := a.Injected()
+	be, bc, _, _ := b.Injected()
+	if ae != be || ac != bc {
+		t.Errorf("tallies differ across orderings: (%d,%d) vs (%d,%d)", ae, ac, be, bc)
+	}
+	if ae == 0 || ac == 0 {
+		t.Errorf("profile injected nothing (errs=%d corrupt=%d); seed too tame", ae, ac)
+	}
+
+	// A different seed draws a different schedule.
+	c := NewFaultStore(NewMemStore(1<<20), 43, profile)
+	same := true
+	for h := 0; h < hashes && same; h++ {
+		for n := 0; n < attempts; n++ {
+			_, _, err := c.GetE(testHash(h))
+			if classify(err) != got[fmt.Sprintf("%d/%d", h, n)] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seed 43 reproduced seed 42's entire fault schedule")
+	}
+}
+
+func TestFaultStoreDropAndCorrupt(t *testing.T) {
+	mem := NewMemStore(1 << 20)
+	fs := NewFaultStore(mem, 1, FaultProfile{Drop: 1})
+	hash := testHash(1)
+	if err := fs.Put(hash, testMetrics(1)); err != nil {
+		t.Fatalf("dropped Put = %v; want acknowledged", err)
+	}
+	if _, ok := mem.Get(hash); ok {
+		t.Fatal("dropped write reached the inner store")
+	}
+	if _, _, dropped, _ := fs.Injected(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+
+	cs := NewFaultStore(mem, 1, FaultProfile{Corrupt: 1})
+	_, ok, err := cs.GetE(hash)
+	if ok || err == nil || Retryable(err) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("corrupt Get = %v, %v; want terminal injected error", ok, err)
+	}
+	if ts := cs.Stats()[0]; ts.Corrupt != 1 {
+		t.Errorf("stats = %+v, want corrupt=1", ts)
+	}
+}
+
+func TestFaultStoreSlowDelays(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(1<<20), 1, FaultProfile{Slow: 1, Latency: time.Millisecond})
+	var slept []time.Duration
+	fs.sleep = func(d time.Duration) { slept = append(slept, d) }
+	fs.Get(testHash(1))
+	if len(slept) != 1 || slept[0] != time.Millisecond {
+		t.Fatalf("slept %v, want one 1ms delay", slept)
+	}
+	if _, _, _, delayed := fs.Injected(); delayed != 1 {
+		t.Errorf("delayed = %d, want 1", delayed)
+	}
+}
+
+func TestChaosStoreProfiles(t *testing.T) {
+	for _, name := range ChaosProfileNames() {
+		if _, err := NewChaosStore(name, 1, NewMemStore(1<<20)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if _, ok := ChaosProfiles[name]; !ok {
+			t.Errorf("%s missing from ChaosProfiles", name)
+		}
+	}
+	if _, err := NewChaosStore("nope", 1, NewMemStore(1<<20)); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+
+	// dead-remote: down for its scripted window, then recovered.
+	mem := NewMemStore(1 << 20)
+	dead, err := NewChaosStore("dead-remote", 1, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < deadRemoteOps; i++ {
+		if _, _, err := dead.GetE(testHash(i)); !Retryable(err) {
+			t.Fatalf("op %d during outage: err = %v, want retryable", i, err)
+		}
+	}
+	if err := dead.Put(testHash(1), testMetrics(1)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if m, ok := dead.Get(testHash(1)); !ok || !reflect.DeepEqual(m, testMetrics(1)) {
+		t.Fatalf("Get after recovery = %v, %v", m, ok)
+	}
+}
+
+// TestResilienceStackDeadBackend drives the full wrapper stack —
+// breaker over retry over a scripted outage — and checks the counter
+// identity that makes the tier stats line auditable:
+//
+//	hits + misses + corrupt + errors + shorted − retries == total Gets
+//
+// (each admitted attempt lands in exactly one outcome bucket, each
+// retry adds one attempt, shorted ops never reach the backend).
+func TestResilienceStackDeadBackend(t *testing.T) {
+	mem := NewMemStore(1 << 20)
+	hash := testHash(1)
+	if err := mem.Put(hash, testMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	fault := NewFaultScript(mem, []FaultRule{{From: 0, To: 10, Kind: FaultErr}})
+	retry := NewRetryStore(fault, RetryPolicy{Attempts: 2, BaseDelay: time.Microsecond, Seed: 1})
+	retry.sleep = func(time.Duration) {}
+	stack := NewBreakerStore(retry, BreakerPolicy{Threshold: 2, CooldownOps: 3})
+
+	const gets = 30
+	hits := 0
+	for i := 0; i < gets; i++ {
+		if _, ok := stack.Get(hash); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("backend recovered but no Get ever hit")
+	}
+	ts := stack.Stats()[0]
+	if ts.Retries == 0 || ts.BreakerOpens == 0 || ts.Shorted == 0 {
+		t.Fatalf("outage left no wrapper trace: %+v", ts)
+	}
+	total := ts.Hits + ts.Misses + ts.Corrupt + ts.Errors + ts.Shorted - ts.Retries
+	if total != gets {
+		t.Errorf("counter identity broken: %d ops accounted, %d issued (%+v)", total, gets, ts)
+	}
+	// The same stack driven the same way reproduces the same counters.
+	mem2 := NewMemStore(1 << 20)
+	if err := mem2.Put(hash, testMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	retry2 := NewRetryStore(NewFaultScript(mem2, []FaultRule{{From: 0, To: 10, Kind: FaultErr}}),
+		RetryPolicy{Attempts: 2, BaseDelay: time.Microsecond, Seed: 1})
+	retry2.sleep = func(time.Duration) {}
+	stack2 := NewBreakerStore(retry2, BreakerPolicy{Threshold: 2, CooldownOps: 3})
+	for i := 0; i < gets; i++ {
+		stack2.Get(hash)
+	}
+	if ts2 := stack2.Stats()[0]; ts2 != ts {
+		t.Errorf("replay diverged: %+v vs %+v", ts2, ts)
+	}
+}
+
+// TestTieredFaultInjectedStress is the -race stress test over a tier
+// stack with chaos in it: a thrashing mem tier over a fault-injected
+// disk tier, hammered concurrently. Hits must still decode exactly
+// (no torn reads under injection) and the fault tier's counters must
+// account every descending Get.
+func TestTieredFaultInjectedStress(t *testing.T) {
+	mem := NewMemStore(1) // thrash: every insert evicts
+	disk, err := Open(t.TempDir() + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := NewFaultStore(disk, 99, FaultProfile{GetErr: 0.2, Corrupt: 0.1})
+	tiered := NewTiered(mem, flaky)
+
+	const goroutines = 8
+	const rounds = 30
+	const keys = 10
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % keys
+				m, ok := tiered.Get(testHash(i))
+				if ok {
+					if !reflect.DeepEqual(m, testMetrics(i)) {
+						errc <- fmt.Errorf("torn read under injection: key %d yielded %v", i, m)
+						return
+					}
+					continue
+				}
+				if err := tiered.Put(testHash(i), testMetrics(i)); err != nil {
+					errc <- fmt.Errorf("put %d: %v", i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	ts := tiered.Stats()
+	memTS, faultTS := ts[0], ts[1]
+	// Every mem miss descended to the fault tier, where it landed in
+	// exactly one bucket: hit, miss, injected error, or injected
+	// corruption.
+	descended := faultTS.Hits + faultTS.Misses + faultTS.Errors + faultTS.Corrupt
+	if descended != memTS.Misses {
+		t.Errorf("fault tier accounted %d gets, mem missed %d (%+v)", descended, memTS.Misses, ts)
+	}
+	if faultTS.Errors == 0 {
+		t.Error("20%% GetErr profile injected no errors across the stress run")
+	}
+}
+
+// failPutStore wraps a store with writes that always fail — the
+// full-disk / dead-remote degradation the engine must survive and
+// surface.
+type failPutStore struct{ Store }
+
+func (f failPutStore) Put(string, Metrics) error { return errTransient }
+
+func TestEngineSurfacesFailedWrites(t *testing.T) {
+	s := syntheticSpec(2)
+	degraded := 0
+	e := &Engine{
+		Store:   failPutStore{NewMemStore(1 << 20)},
+		Workers: 4,
+		Progress: func(ev Event) {
+			if _, ok := ev.(StoreDegraded); ok {
+				degraded++
+			}
+		},
+	}
+	broken, bs := render(t, e, s)
+	if bs.PutFailed != s.Units() {
+		t.Errorf("PutFailed = %d, want every unit (%d)", bs.PutFailed, s.Units())
+	}
+	if degraded != 1 {
+		t.Errorf("StoreDegraded emitted %d times, want exactly once", degraded)
+	}
+	// The run itself is unharmed: same bytes as a cacheless run, and
+	// the frozen stats line does not grow a field.
+	plain, ps := render(t, &Engine{Workers: 2}, s)
+	if broken != plain {
+		t.Error("failed store writes changed rendered bytes")
+	}
+	if ps.PutFailed != 0 {
+		t.Errorf("cacheless run PutFailed = %d", ps.PutFailed)
+	}
+	if strings.Contains(bs.String(), "put_failed") || strings.Contains(bs.String(), "put=") {
+		t.Errorf("PutFailed leaked into the frozen stats line: %q", bs.String())
+	}
+}
+
+// TestHTTPStoreClassification pins GetE/Put error classes against a
+// live httptest server: timeouts and truncation retryable, oversize
+// and garbage terminal.
+func TestHTTPStoreClassification(t *testing.T) {
+	hash := testHash(1)
+
+	t.Run("timeout is retryable", func(t *testing.T) {
+		blocked := make(chan struct{})
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-blocked
+		}))
+		defer srv.Close()
+		defer close(blocked)
+		s := NewHTTPStore(srv.URL, &http.Client{Timeout: 50 * time.Millisecond})
+		_, ok, err := s.GetE(hash)
+		if ok || !Retryable(err) {
+			t.Fatalf("timed-out Get = %v, %v; want retryable error", ok, err)
+		}
+		if ts := s.Stats()[0]; ts.Errors != 1 {
+			t.Errorf("stats = %+v, want errors=1", ts)
+		}
+	})
+
+	t.Run("5xx is retryable", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "unavailable", http.StatusServiceUnavailable)
+		}))
+		defer srv.Close()
+		s := NewHTTPStore(srv.URL, nil)
+		if _, _, err := s.GetE(hash); !Retryable(err) {
+			t.Fatalf("503 Get err = %v, want retryable", err)
+		}
+		if err := s.Put(hash, testMetrics(1)); !Retryable(err) {
+			t.Fatalf("503 Put err = %v, want retryable", err)
+		}
+	})
+
+	t.Run("4xx is terminal", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "bad request", http.StatusBadRequest)
+		}))
+		defer srv.Close()
+		s := NewHTTPStore(srv.URL, nil)
+		if _, _, err := s.GetE(hash); err == nil || Retryable(err) {
+			t.Fatalf("400 Get err = %v, want terminal", err)
+		}
+		if err := s.Put(hash, testMetrics(1)); err == nil || Retryable(err) {
+			t.Fatalf("400 Put err = %v, want terminal", err)
+		}
+	})
+
+	t.Run("oversize body is terminal corrupt without decoding", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// One byte past the bound; contents never matter — the
+			// length check must reject before any decode attempt.
+			w.Write(make([]byte, maxEntryBytes+1))
+		}))
+		defer srv.Close()
+		s := NewHTTPStore(srv.URL, nil)
+		_, ok, err := s.GetE(hash)
+		if ok || err == nil || Retryable(err) {
+			t.Fatalf("oversize Get = %v, %v; want terminal error", ok, err)
+		}
+		if ts := s.Stats()[0]; ts.Corrupt != 1 || ts.Errors != 0 {
+			t.Errorf("stats = %+v, want corrupt=1 errors=0", ts)
+		}
+	})
+
+	t.Run("truncated body is retryable", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Length", "1000")
+			w.Write([]byte(`{"v":[1`))
+		}))
+		defer srv.Close()
+		s := NewHTTPStore(srv.URL, nil)
+		_, ok, err := s.GetE(hash)
+		if ok || !Retryable(err) {
+			t.Fatalf("truncated Get = %v, %v; want retryable error", ok, err)
+		}
+		if ts := s.Stats()[0]; ts.Errors != 1 {
+			t.Errorf("stats = %+v, want errors=1", ts)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"silenttracker/internal/rng"
+)
+
+// This file is the first layer of the result-store resilience stack:
+// error classification shared by every wrapper, the Fallible surface
+// fallible backends expose, and RetryStore, the bounded-retry wrapper.
+// The stack composes outside-in as
+//
+//	BreakerStore → RetryStore → FaultStore → HTTPStore
+//
+// (chaos innermost so injected faults exercise the real recovery path,
+// breaker outermost so a dead backend costs one probe, not per-op
+// retry ladders).
+
+// ErrTerminal marks a store failure that retrying cannot fix: a
+// corrupt entry, a rejected request (4xx), a malformed reply. Backends
+// wrap such errors with Terminal; RetryStore gives up on them
+// immediately. Test with errors.Is(err, ErrTerminal) or Retryable.
+var ErrTerminal = errors.New("terminal store error")
+
+// Terminal wraps err as non-retryable.
+func Terminal(err error) error {
+	return fmt.Errorf("%w: %w", ErrTerminal, err)
+}
+
+// Retryable reports whether err is worth another attempt: non-nil and
+// not marked terminal. Transport failures and 5xx replies are
+// retryable; corrupt entries and 4xx rejections are not.
+func Retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrTerminal)
+}
+
+// Fallible is the richer Get the resilience wrappers build on: the
+// same miss-degrading Get the Store contract requires, with the error
+// that caused the degradation surfaced so a wrapper can classify it
+// (Retryable vs ErrTerminal) instead of conflating every failure with
+// a plain miss. ok and err are never both set; a plain miss is
+// (nil, false, nil). HTTPStore, FaultStore, and the resilience
+// wrappers themselves implement it; stores whose Gets cannot fail
+// (mem, disk) do not need to.
+type Fallible interface {
+	Store
+	GetE(hash string) (Metrics, bool, error)
+}
+
+// RetryPolicy bounds RetryStore's recovery effort per op.
+type RetryPolicy struct {
+	// Attempts is the total attempts per op, first try included.
+	// Values < 1 behave as 1 (no retries).
+	Attempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay. A deterministic jitter
+	// factor in [0.5, 1.5) is applied, derived from (Seed, hash,
+	// attempt) — so backoff schedules are reproducible per op yet
+	// decorrelated across ops.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OpBudget caps the total backoff delay one op may accumulate
+	// across its retries (a per-op deadline that stays deterministic:
+	// it is accounted in scheduled delay, not wall clock). 0 = no cap.
+	OpBudget time.Duration
+	// Seed identifies the jitter stream.
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the policy the CLIs enable with
+// -remote-retry: 4 attempts, 25ms base backoff doubling to 1s, at
+// most 5s of backoff per op.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: 25 * time.Millisecond,
+		MaxDelay: time.Second, OpBudget: 5 * time.Second, Seed: 1}
+}
+
+// backoff returns the delay before retry number attempt (0-based) of
+// the given op: exponential with a deterministic jitter factor in
+// [0.5, 1.5) that is a pure function of (Seed, hash, attempt) — no
+// shared generator state, so concurrent ops never perturb each
+// other's schedules.
+func (p RetryPolicy) backoff(hash string, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	u := rng.New(rng.ChildSeed(p.Seed, fmt.Sprintf("retry/%s/%d", hash, attempt))).Float64()
+	return time.Duration(float64(d) * (0.5 + u))
+}
+
+// RetryStore retries failed ops of the wrapped store: bounded
+// attempts, exponential backoff with deterministic jitter, and a
+// per-op delay budget. Only Retryable failures are retried — a
+// terminal error (corrupt entry, 4xx) or a plain miss returns
+// immediately. Extra attempts are tallied in the tier's Retries
+// counter. If the wrapped store does not surface Get errors (it is
+// not Fallible), Gets pass straight through and only Puts retry.
+type RetryStore struct {
+	inner   Store
+	innerE  Fallible // nil when inner does not surface Get errors
+	policy  RetryPolicy
+	sleep   func(time.Duration) // test seam; time.Sleep in production
+	retries atomic.Int64
+}
+
+// RetryStore is itself Fallible, so a BreakerStore can stack on top.
+var _ Fallible = (*RetryStore)(nil)
+
+// NewRetryStore wraps inner with the given policy.
+func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
+	if policy.Attempts < 1 {
+		policy.Attempts = 1
+	}
+	s := &RetryStore{inner: inner, policy: policy, sleep: time.Sleep}
+	s.innerE, _ = inner.(Fallible)
+	return s
+}
+
+// do runs op attempts under the policy: retry while the failure is
+// Retryable, attempts remain, and the next backoff still fits the
+// per-op budget.
+func (s *RetryStore) do(hash string, op func() error) error {
+	var spent time.Duration
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if !Retryable(err) {
+			return err
+		}
+		if attempt+1 >= s.policy.Attempts {
+			return err
+		}
+		d := s.policy.backoff(hash, attempt)
+		if s.policy.OpBudget > 0 && spent+d > s.policy.OpBudget {
+			return err
+		}
+		spent += d
+		s.retries.Add(1)
+		s.sleep(d)
+	}
+}
+
+// GetE attempts the wrapped Get under the retry policy, returning the
+// final attempt's outcome.
+func (s *RetryStore) GetE(hash string) (Metrics, bool, error) {
+	if s.innerE == nil {
+		m, ok := s.inner.Get(hash)
+		return m, ok, nil
+	}
+	var m Metrics
+	var ok bool
+	err := s.do(hash, func() error {
+		var e error
+		m, ok, e = s.innerE.GetE(hash)
+		return e
+	})
+	return m, ok, err
+}
+
+// Get is GetE degraded to the Store contract: an op that still fails
+// after every attempt reads as a miss and the engine recomputes.
+func (s *RetryStore) Get(hash string) (Metrics, bool) {
+	m, ok, _ := s.GetE(hash)
+	return m, ok
+}
+
+// Put attempts the wrapped Put under the retry policy.
+func (s *RetryStore) Put(hash string, m Metrics) error {
+	return s.do(hash, func() error { return s.inner.Put(hash, m) })
+}
+
+// Stats returns the wrapped store's tiers with this wrapper's retry
+// count folded into the first (the tier it guards).
+func (s *RetryStore) Stats() []TierStats {
+	ts := s.inner.Stats()
+	if len(ts) > 0 {
+		ts[0].Retries += s.retries.Load()
+	}
+	return ts
+}
+
+// Close closes the wrapped store.
+func (s *RetryStore) Close() error { return s.inner.Close() }

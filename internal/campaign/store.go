@@ -51,6 +51,15 @@ type TierStats struct {
 	// Errors counts backend failures (network, disk) that degraded to
 	// a miss or a dropped write.
 	Errors int64 `json:"errors,omitempty"`
+	// Retries counts extra attempts a RetryStore spent recovering from
+	// retryable failures (attempts beyond each op's first).
+	Retries int64 `json:"retries,omitempty"`
+	// BreakerOpens counts closed→open (and half-open→open) transitions
+	// of a BreakerStore guarding the tier.
+	BreakerOpens int64 `json:"breaker_opens,omitempty"`
+	// Shorted counts ops an open breaker short-circuited: Gets served
+	// as instant misses and Puts dropped without touching the backend.
+	Shorted int64 `json:"shorted,omitempty"`
 }
 
 // String renders the tier in the compact stderr-stats form, e.g.
@@ -68,6 +77,15 @@ func (t TierStats) String() string {
 	if t.Errors != 0 {
 		fmt.Fprintf(&b, " err=%d", t.Errors)
 	}
+	if t.Retries != 0 {
+		fmt.Fprintf(&b, " retry=%d", t.Retries)
+	}
+	if t.BreakerOpens != 0 {
+		fmt.Fprintf(&b, " open=%d", t.BreakerOpens)
+	}
+	if t.Shorted != 0 {
+		fmt.Fprintf(&b, " short=%d", t.Shorted)
+	}
 	b.WriteByte(']')
 	return b.String()
 }
@@ -75,12 +93,15 @@ func (t TierStats) String() string {
 // sub returns the counter deltas t - o (same tier).
 func (t TierStats) sub(o TierStats) TierStats {
 	return TierStats{
-		Tier:    t.Tier,
-		Hits:    t.Hits - o.Hits,
-		Misses:  t.Misses - o.Misses,
-		Corrupt: t.Corrupt - o.Corrupt,
-		Evicted: t.Evicted - o.Evicted,
-		Errors:  t.Errors - o.Errors,
+		Tier:         t.Tier,
+		Hits:         t.Hits - o.Hits,
+		Misses:       t.Misses - o.Misses,
+		Corrupt:      t.Corrupt - o.Corrupt,
+		Evicted:      t.Evicted - o.Evicted,
+		Errors:       t.Errors - o.Errors,
+		Retries:      t.Retries - o.Retries,
+		BreakerOpens: t.BreakerOpens - o.BreakerOpens,
+		Shorted:      t.Shorted - o.Shorted,
 	}
 }
 

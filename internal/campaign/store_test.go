@@ -417,6 +417,15 @@ func TestTierStatsString(t *testing.T) {
 		{TierStats{Tier: "disk", Hits: 3, Misses: 7}, "disk[hit=3 miss=7]"},
 		{TierStats{Tier: "mem", Hits: 1, Misses: 2, Evicted: 4}, "mem[hit=1 miss=2 evict=4]"},
 		{TierStats{Tier: "remote", Corrupt: 1, Errors: 2}, "remote[hit=0 miss=0 corrupt=1 err=2]"},
+		// Resilience counters render only when nonzero, after err=,
+		// so the frozen prefix of existing stats lines never moves.
+		{TierStats{Tier: "remote", Hits: 2, Errors: 3, Retries: 4},
+			"remote[hit=2 miss=0 err=3 retry=4]"},
+		{TierStats{Tier: "remote", Retries: 1, BreakerOpens: 2, Shorted: 9},
+			"remote[hit=0 miss=0 retry=1 open=2 short=9]"},
+		{TierStats{Tier: "remote", Hits: 1, Misses: 2, Corrupt: 3, Evicted: 4,
+			Errors: 5, Retries: 6, BreakerOpens: 7, Shorted: 8},
+			"remote[hit=1 miss=2 corrupt=3 evict=4 err=5 retry=6 open=7 short=8]"},
 	} {
 		if got := tc.ts.String(); got != tc.want {
 			t.Errorf("String() = %q, want %q", got, tc.want)
@@ -442,6 +451,16 @@ func TestTierDelta(t *testing.T) {
 	want := []TierStats{{Tier: "mem", Hits: 4, Misses: 0, Evicted: 2}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("tierDelta = %+v, want %+v", got, want)
+	}
+	// Every counter subtracts, the resilience trio included — a field
+	// added to TierStats but not to sub() would surface here as a
+	// cumulative value leaking into a per-run delta.
+	before = []TierStats{{Tier: "remote", Hits: 1, Misses: 2, Corrupt: 3, Evicted: 4,
+		Errors: 5, Retries: 6, BreakerOpens: 7, Shorted: 8}}
+	after = []TierStats{{Tier: "remote", Hits: 2, Misses: 4, Corrupt: 6, Evicted: 8,
+		Errors: 10, Retries: 12, BreakerOpens: 14, Shorted: 16}}
+	if got := tierDelta(before, after); !reflect.DeepEqual(got, before) {
+		t.Errorf("full-counter delta = %+v, want %+v", got, before)
 	}
 	// A reshaped tier list falls back to the after snapshot.
 	if got := tierDelta(nil, after); !reflect.DeepEqual(got, after) {

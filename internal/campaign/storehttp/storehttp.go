@@ -7,10 +7,18 @@
 //	GET  /units/<hash>  →  200 + entry JSON, or 404 on a miss
 //	PUT  /units/<hash>  →  204 after a durable store write
 //	GET  /stats         →  200 + the backing store's []TierStats
+//	GET  /healthz       →  200 "ok" while the server is up
 //
 // Unit hashes are the engine's content addresses (64 hex chars) and
 // are validated strictly, so a crafted path can never escape into
 // the backing store's namespace.
+//
+// Server-side fault mode: hand Handler a store wrapped in a
+// campaign.FaultStore and the server becomes a deterministic flaky
+// remote for integration tests — injected retryable failures surface
+// as 503s (which campaign.HTTPStore classifies as retryable),
+// injected corrupt entries as 404 misses, and injected dropped
+// writes as acknowledged 204s that never persist.
 package storehttp
 
 import (
@@ -70,11 +78,40 @@ func Handler(s campaign.Store) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Stats())
 	})
+	// The liveness probe daemons and breaker dashboards poll: cheap,
+	// unauthenticated, and deliberately independent of the backing
+	// store (a degraded store still answers — degradation is visible
+	// in /stats, liveness here).
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
 	return mux
 }
 
 func serveGet(w http.ResponseWriter, s campaign.Store, hash string) {
-	m, ok := s.Get(hash)
+	var m campaign.Metrics
+	var ok bool
+	if f, fallible := s.(campaign.Fallible); fallible {
+		var err error
+		m, ok, err = f.GetE(hash)
+		if campaign.Retryable(err) {
+			// A transient backend failure (or an injected fault in
+			// server-side chaos mode): tell the client to retry rather
+			// than mis-reporting a miss.
+			http.Error(w, "storehttp: store unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		// Terminal failures (corrupt entries) degrade to a miss below:
+		// the client cannot fix them by retrying.
+	} else {
+		m, ok = s.Get(hash)
+	}
 	if !ok {
 		http.Error(w, "storehttp: no such unit", http.StatusNotFound)
 		return

@@ -185,3 +185,87 @@ func TestEngineOverRemoteStore(t *testing.T) {
 		t.Errorf("warm tiers = %+v", ws.Tiers)
 	}
 }
+
+func TestHealthz(t *testing.T) {
+	srv, _ := newServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %s, want 200", resp.Status)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if buf.String() != "ok\n" {
+		t.Errorf("body = %q, want \"ok\\n\"", buf.String())
+	}
+	// Liveness is GET-only.
+	post, err := http.Post(srv.URL+"/healthz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %s, want 405", post.Status)
+	}
+}
+
+// TestServerSideFaultMode wraps the backing store in a FaultStore and
+// checks the protocol mapping: injected retryable failures surface as
+// 503 (which HTTPStore classifies as retryable), injected corruption
+// degrades to a 404 miss, and /healthz answers throughout — liveness
+// is independent of store health.
+func TestServerSideFaultMode(t *testing.T) {
+	backing := campaign.NewMemStore(1 << 20)
+	if err := backing.Put(hash, campaign.Metrics{"v": []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("injected error becomes 503", func(t *testing.T) {
+		flaky := campaign.NewFaultStore(backing, 1, campaign.FaultProfile{GetErr: 1})
+		srv := httptest.NewServer(storehttp.Handler(flaky))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/units/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET during injected outage = %s, want 503", resp.Status)
+		}
+		// The client classifies that 503 as retryable — the end-to-end
+		// contract a client-side RetryStore depends on.
+		client := campaign.NewHTTPStore(srv.URL, nil)
+		if _, _, err := client.GetE(hash); !campaign.Retryable(err) {
+			t.Errorf("client err = %v, want retryable", err)
+		}
+		health, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		health.Body.Close()
+		if health.StatusCode != http.StatusOK {
+			t.Errorf("/healthz during outage = %s, want 200", health.Status)
+		}
+	})
+
+	t.Run("injected corruption becomes 404", func(t *testing.T) {
+		corrupt := campaign.NewFaultStore(backing, 1, campaign.FaultProfile{Corrupt: 1})
+		srv := httptest.NewServer(storehttp.Handler(corrupt))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/units/" + hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET of corrupt entry = %s, want 404 miss", resp.Status)
+		}
+		client := campaign.NewHTTPStore(srv.URL, nil)
+		if _, ok, err := client.GetE(hash); ok || err != nil {
+			t.Errorf("client sees (%v, %v), want plain miss", ok, err)
+		}
+	})
+}

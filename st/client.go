@@ -33,15 +33,18 @@ func (e *CancelledError) Unwrap() error { return e.Err }
 // settings is the resolved option set. Client options set the
 // defaults; Session options override them per run.
 type settings struct {
-	seed      int64
-	trials    int
-	quick     bool
-	workers   int
-	cacheDir  string
-	memBudget int64
-	remoteURL string
-	store     Store
-	progress  func(Event)
+	seed         int64
+	trials       int
+	quick        bool
+	workers      int
+	cacheDir     string
+	memBudget    int64
+	remoteURL    string
+	store        Store
+	retry        RetryPolicy
+	chaosProfile string
+	chaosSeed    int64
+	progress     func(Event)
 }
 
 // storeCfg extracts the store-shaping subset of the settings. Two
@@ -49,7 +52,8 @@ type settings struct {
 // session that changes any of these builds (and owns) its own.
 func (s *settings) storeCfg() storeConfig {
 	return storeConfig{cacheDir: s.cacheDir, memBudget: s.memBudget,
-		remoteURL: s.remoteURL, custom: s.store}
+		remoteURL: s.remoteURL, custom: s.store, retry: s.retry,
+		chaosProfile: s.chaosProfile, chaosSeed: s.chaosSeed}
 }
 
 // Option configures a Client or a Session (functional options).
@@ -96,6 +100,30 @@ func WithMemCache(budget int64) Option { return func(s *settings) { s.memBudget 
 // fails a run. An empty URL disables the tier (the default).
 func WithRemoteCache(baseURL string) Option { return func(s *settings) { s.remoteURL = baseURL } }
 
+// WithRemoteRetry arms the remote tier's resilience stack: bounded
+// retries with exponential backoff and deterministic jitter around
+// every remote op, guarded by a circuit breaker that short-circuits
+// the tier to misses while the remote is down and probes it back to
+// health. Only the remote tier is wrapped — memory and disk tiers
+// fail differently and recover nothing by retrying. The stack never
+// changes rendered output: like every store behaviour, it only moves
+// the computed/cached split. A zero-valued policy disables the stack
+// (the default); start from DefaultRetryPolicy.
+func WithRemoteRetry(p RetryPolicy) Option { return func(s *settings) { s.retry = p } }
+
+// WithChaos wraps one built-in tier in a deterministic fault injector
+// for resilience testing: profile names a campaign-defined fault mix
+// ("flaky-remote", "corrupt-mem", "dead-remote") and seed fixes the
+// injected fault schedule — the same seed reproduces the same faults
+// and the same stats counters. The profile's target tier must be
+// configured, and WithChaos cannot wrap a WithStore backend; both are
+// build-time errors. An empty profile disables injection (the
+// default). Chaos never changes rendered output — injected faults
+// only force recomputation or recovery.
+func WithChaos(seed int64, profile string) Option {
+	return func(s *settings) { s.chaosSeed, s.chaosProfile = seed, profile }
+}
+
 // WithStore plugs in a custom result-store backend, replacing every
 // built-in tier (WithCacheDir / WithMemCache / WithRemoteCache are
 // ignored while a custom store is set). The store must satisfy the
@@ -111,6 +139,7 @@ func WithStore(store Store) Option { return func(s *settings) { s.store = store 
 func WithoutCache() Option {
 	return func(s *settings) {
 		s.cacheDir, s.memBudget, s.remoteURL, s.store = "", 0, "", nil
+		s.retry, s.chaosProfile, s.chaosSeed = RetryPolicy{}, "", 0
 	}
 }
 
@@ -401,6 +430,8 @@ func publicEvent(ev campaign.Event) Event {
 			Index: ev.Index, Cells: ev.Cells}
 	case campaign.SpecDone:
 		return SpecDone{Campaign: ev.Spec, Stats: publicStats(ev.Stats)}
+	case campaign.StoreDegraded:
+		return StoreDegraded{Campaign: ev.Spec, Err: ev.Err}
 	}
 	panic(fmt.Sprintf("st: unknown campaign event %T", ev))
 }

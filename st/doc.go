@@ -49,6 +49,20 @@
 // store mix never changes rendered bytes — eviction, cold tiers, and
 // dead remotes only change how many units recompute.
 //
+// # Resilience
+//
+// WithRemoteRetry arms the remote tier with bounded retries
+// (exponential backoff, deterministic jitter, a per-op time budget)
+// and a circuit breaker that short-circuits Gets to misses and Puts
+// to drops after consecutive failures, probing half-open after a
+// cooldown. WithChaos wraps one tier in deterministic fault
+// injection — a named profile (see ChaosProfiles) whose schedule is
+// a pure function of the seed — for resilience testing; the same
+// seed replays the same faults. Retry, breaker, and injected-fault
+// activity surfaces as extra per-tier counters in Stats.Store, a
+// failed store write as Stats.PutFailed plus one StoreDegraded
+// progress event per run. None of it ever changes rendered bytes.
+//
 // # Determinism and rendering
 //
 // Results are deterministic: the same experiment, seed, and trial

@@ -38,6 +38,18 @@ type SpecDone struct {
 	Stats    Stats
 }
 
-func (UnitDone) progressEvent() {}
-func (CellDone) progressEvent() {}
-func (SpecDone) progressEvent() {}
+// StoreDegraded reports the run's first failed result-store write: the
+// store is degraded (dead remote, full disk) and results computed from
+// here on may not persist. The run itself is unaffected — a lost write
+// only costs a recompute later. Emitted at most once per run by
+// design, so a dead backend cannot flood the stream; the final failure
+// count arrives in Stats.PutFailed.
+type StoreDegraded struct {
+	Campaign string
+	Err      error
+}
+
+func (UnitDone) progressEvent()      {}
+func (CellDone) progressEvent()      {}
+func (SpecDone) progressEvent()      {}
+func (StoreDegraded) progressEvent() {}

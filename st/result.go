@@ -89,10 +89,16 @@ type Stats struct {
 	Computed int `json:"computed"` // units actually executed
 	Cached   int `json:"cached"`   // units served from the result store
 	// Store carries the run's per-tier store counters (hit / miss /
-	// corrupt / evict / error), one entry per tier in tier order; nil
-	// for a store-less run. Counters are per-run deltas.
-	Store   []TierStats   `json:"store,omitempty"`
-	Elapsed time.Duration `json:"elapsed"` // wall clock of the run
+	// corrupt / evict / error, plus the resilience counters retry /
+	// open / short), one entry per tier in tier order; nil for a
+	// store-less run. Counters are per-run deltas.
+	Store []TierStats `json:"store,omitempty"`
+	// PutFailed counts units whose store write failed in every tier.
+	// Results are unaffected; a nonzero count means the store is
+	// degraded (see the StoreDegraded event). Excluded from String()
+	// so the frozen stats line never changes shape.
+	PutFailed int           `json:"put_failed,omitempty"`
+	Elapsed   time.Duration `json:"elapsed"` // wall clock of the run
 }
 
 // String renders the stats in the stable one-line form the stcampaign
@@ -194,5 +200,5 @@ func publicTable(t experiments.Table) Table {
 
 func publicStats(rs campaign.RunStats) Stats {
 	return Stats{Units: rs.Units, Computed: rs.Computed, Cached: rs.Cached,
-		Store: publicTiers(rs.Tiers), Elapsed: rs.Elapsed}
+		Store: publicTiers(rs.Tiers), PutFailed: rs.PutFailed, Elapsed: rs.Elapsed}
 }

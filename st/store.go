@@ -1,22 +1,32 @@
 package st
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
 	"silenttracker/internal/campaign"
 )
 
 // TierStats is one result-store tier's counters for a run: how the
 // tier served the sweep (hits vs misses), what it dropped to stay in
-// budget (evicted), what it found damaged (corrupt), and how often
-// the backend itself failed (errors). Result.Stats.Store carries one
-// entry per tier in tier order; the whole struct round-trips through
-// JSON without loss.
+// budget (evicted), what it found damaged (corrupt), how often the
+// backend itself failed (errors), and what the resilience wrappers
+// did about it — extra attempts spent recovering (retries), circuit-
+// breaker transitions (breaker_opens), and ops an open breaker
+// short-circuited (shorted). Result.Stats.Store carries one entry
+// per tier in tier order; the whole struct round-trips through JSON
+// without loss.
 type TierStats struct {
-	Tier    string `json:"tier"`
-	Hits    int64  `json:"hits"`
-	Misses  int64  `json:"misses"`
-	Corrupt int64  `json:"corrupt,omitempty"`
-	Evicted int64  `json:"evicted,omitempty"`
-	Errors  int64  `json:"errors,omitempty"`
+	Tier         string `json:"tier"`
+	Hits         int64  `json:"hits"`
+	Misses       int64  `json:"misses"`
+	Corrupt      int64  `json:"corrupt,omitempty"`
+	Evicted      int64  `json:"evicted,omitempty"`
+	Errors       int64  `json:"errors,omitempty"`
+	Retries      int64  `json:"retries,omitempty"`
+	BreakerOpens int64  `json:"breaker_opens,omitempty"`
+	Shorted      int64  `json:"shorted,omitempty"`
 }
 
 // String renders the tier in the compact stderr-stats form, e.g.
@@ -69,12 +79,14 @@ func (a storeAdapter) Close() error { return a.s.Close() }
 
 func campaignTier(t TierStats) campaign.TierStats {
 	return campaign.TierStats{Tier: t.Tier, Hits: t.Hits, Misses: t.Misses,
-		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors}
+		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors,
+		Retries: t.Retries, BreakerOpens: t.BreakerOpens, Shorted: t.Shorted}
 }
 
 func publicTier(t campaign.TierStats) TierStats {
 	return TierStats{Tier: t.Tier, Hits: t.Hits, Misses: t.Misses,
-		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors}
+		Corrupt: t.Corrupt, Evicted: t.Evicted, Errors: t.Errors,
+		Retries: t.Retries, BreakerOpens: t.BreakerOpens, Shorted: t.Shorted}
 }
 
 func publicTiers(ts []campaign.TierStats) []TierStats {
@@ -88,37 +100,142 @@ func publicTiers(ts []campaign.TierStats) []TierStats {
 	return out
 }
 
+// ChaosProfiles lists the fault-injection profile names WithChaos
+// accepts, sorted. Each profile targets one built-in tier with a
+// fixed fault mix; the CLIs use this list for their -chaos help text.
+func ChaosProfiles() []string { return campaign.ChaosProfileNames() }
+
+// RetryPolicy configures the remote tier's resilience stack, enabled
+// with WithRemoteRetry: bounded retries with exponential backoff and
+// deterministic jitter around the remote store, guarded by a circuit
+// breaker so a dead remote costs one probe per cooldown instead of a
+// retry ladder per unit. The zero value disables the stack; start
+// from DefaultRetryPolicy and override fields as needed.
+type RetryPolicy struct {
+	// Attempts is the total attempts per remote op, first try
+	// included (≤ 1 means no retries).
+	Attempts int
+	// BaseDelay is the backoff before the first retry, doubling per
+	// further retry up to MaxDelay, with deterministic jitter in
+	// [0.5, 1.5) applied per op.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// OpBudget caps the total backoff one op may accumulate (0 = no
+	// cap).
+	OpBudget time.Duration
+	// BreakerThreshold is the number of consecutive failed ops
+	// (retries exhausted) that opens the circuit breaker; 0 disables
+	// the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker short-circuits
+	// remote ops before probing again (used when BreakerCooldownOps
+	// is 0); BreakerCooldownOps > 0 selects deterministic op-count
+	// cooldown instead: short exactly that many ops, then probe.
+	BreakerCooldown    time.Duration
+	BreakerCooldownOps int
+}
+
+// DefaultRetryPolicy is the stack the CLIs enable with -remote-retry:
+// 4 attempts with 25ms→1s backoff and at most 5s of backoff per op,
+// breaker opening after 5 consecutive failures and probing after 50
+// shorted ops (op-count cooldown, so runs are reproducible).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: 25 * time.Millisecond,
+		MaxDelay: time.Second, OpBudget: 5 * time.Second,
+		BreakerThreshold: 5, BreakerCooldownOps: 50}
+}
+
 // storeConfig is the comparable tuple of store-shaping settings; two
 // equal configs share one store, a differing session config builds
 // its own.
 type storeConfig struct {
-	cacheDir  string
-	memBudget int64
-	remoteURL string
-	custom    Store
+	cacheDir     string
+	memBudget    int64
+	remoteURL    string
+	custom       Store
+	retry        RetryPolicy
+	chaosProfile string
+	chaosSeed    int64
 }
 
 // buildStore assembles the resolved settings' store: the custom one
 // verbatim if WithStore was given, otherwise the mem → disk → remote
 // tiers that are enabled, composed read-through/write-through when
-// there is more than one. Returns nil for a cacheless config.
+// there is more than one. The remote tier is wrapped breaker →
+// retry → chaos → HTTP (chaos innermost so injected faults exercise
+// the real recovery path); WithChaos wraps whichever tier its
+// profile targets. Returns nil for a cacheless config.
 func buildStore(cfg storeConfig) (campaign.Store, error) {
 	if cfg.custom != nil {
+		if cfg.chaosProfile != "" {
+			return nil, fmt.Errorf("st: WithChaos targets the built-in tiers and cannot wrap a WithStore backend")
+		}
 		return storeAdapter{cfg.custom}, nil
 	}
+
+	// Resolve the chaos profile up front so a typo or a profile whose
+	// target tier is not configured fails at client build time, not
+	// silently mid-run.
+	chaosTier := ""
+	if cfg.chaosProfile != "" {
+		tier, ok := campaign.ChaosProfiles[cfg.chaosProfile]
+		if !ok {
+			return nil, fmt.Errorf("st: unknown chaos profile %q (have %s)",
+				cfg.chaosProfile, strings.Join(campaign.ChaosProfileNames(), ", "))
+		}
+		enabled := map[string]bool{
+			"mem":    cfg.memBudget > 0,
+			"disk":   cfg.cacheDir != "",
+			"remote": cfg.remoteURL != "",
+		}
+		if !enabled[tier] {
+			return nil, fmt.Errorf("st: chaos profile %q targets the %s tier, which is not configured",
+				cfg.chaosProfile, tier)
+		}
+		chaosTier = tier
+	}
+	chaos := func(tier string, s campaign.Store) (campaign.Store, error) {
+		if tier != chaosTier {
+			return s, nil
+		}
+		return campaign.NewChaosStore(cfg.chaosProfile, cfg.chaosSeed, s)
+	}
+
 	var tiers []campaign.Store
 	if cfg.memBudget > 0 {
-		tiers = append(tiers, campaign.NewMemStore(cfg.memBudget))
+		mem, err := chaos("mem", campaign.NewMemStore(cfg.memBudget))
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, mem)
 	}
 	if cfg.cacheDir != "" {
 		disk, err := campaign.Open(cfg.cacheDir)
 		if err != nil {
 			return nil, err // already package-prefixed and self-describing
 		}
-		tiers = append(tiers, disk)
+		wrapped, err := chaos("disk", disk)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, wrapped)
 	}
 	if cfg.remoteURL != "" {
-		tiers = append(tiers, campaign.NewHTTPStore(cfg.remoteURL, nil))
+		remote, err := chaos("remote", campaign.NewHTTPStore(cfg.remoteURL, nil))
+		if err != nil {
+			return nil, err
+		}
+		if p := cfg.retry; p.Attempts > 1 {
+			remote = campaign.NewRetryStore(remote, campaign.RetryPolicy{
+				Attempts: p.Attempts, BaseDelay: p.BaseDelay,
+				MaxDelay: p.MaxDelay, OpBudget: p.OpBudget, Seed: cfg.chaosSeed + 1})
+		}
+		if p := cfg.retry; p.BreakerThreshold > 0 {
+			remote = campaign.NewBreakerStore(remote, campaign.BreakerPolicy{
+				Threshold: p.BreakerThreshold, Cooldown: p.BreakerCooldown,
+				CooldownOps: p.BreakerCooldownOps})
+		}
+		tiers = append(tiers, remote)
 	}
 	switch len(tiers) {
 	case 0:

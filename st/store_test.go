@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"silenttracker/internal/campaign"
 	"silenttracker/internal/campaign/storehttp"
@@ -275,5 +276,145 @@ func TestWithStoreCustomBackend(t *testing.T) {
 	}
 	if !store.closed {
 		t.Error("client Close did not forward to the custom store")
+	}
+}
+
+// TestWithChaosValidation pins the build-time failure modes: a typo'd
+// profile, a profile whose target tier is not configured, and a chaos
+// wrap over a custom backend must all fail at NewClient, not mid-run.
+func TestWithChaosValidation(t *testing.T) {
+	if _, err := st.NewClient(st.WithMemCache(1<<20), st.WithChaos(1, "no-such-profile")); err == nil {
+		t.Error("unknown chaos profile accepted")
+	}
+	if _, err := st.NewClient(st.WithCacheDir(t.TempDir()), st.WithChaos(1, "corrupt-mem")); err == nil {
+		t.Error("corrupt-mem accepted without a mem tier")
+	}
+	if _, err := st.NewClient(st.WithMemCache(1<<20), st.WithChaos(1, "flaky-remote")); err == nil {
+		t.Error("flaky-remote accepted without a remote tier")
+	}
+	custom := &mapStore{m: map[string]st.Metrics{}}
+	if _, err := st.NewClient(st.WithStore(custom), st.WithChaos(1, "corrupt-mem")); err == nil {
+		t.Error("chaos wrap over a custom store accepted")
+	}
+	if len(st.ChaosProfiles()) == 0 {
+		t.Error("ChaosProfiles is empty")
+	}
+}
+
+// TestChaosCorruptMemByteIdentity runs a sweep through a mem tier
+// that damages ~a third of its reads: the corrupted entries must
+// silently recompute — corrupt counter up, computed units up, rendered
+// bytes unmoved.
+func TestChaosCorruptMemByteIdentity(t *testing.T) {
+	plain, err := st.NewClient(st.WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := plain.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := st.NewClient(st.WithQuick(),
+		st.WithMemCache(16<<20), st.WithChaos(7, "corrupt-mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cold, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, res := range map[string]*st.Result{"cold": cold, "warm": warm} {
+		var got, want bytes.Buffer
+		if err := st.RenderText(&got, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.RenderText(&want, baseline); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s run under corrupt-mem chaos changed rendered bytes", name)
+		}
+	}
+	ts := warm.Stats.Store[0]
+	if ts.Corrupt == 0 {
+		t.Errorf("warm run saw no injected corruption: %+v", ts)
+	}
+	if warm.Stats.Computed == 0 {
+		t.Error("warm run recomputed nothing despite corruption")
+	}
+	if warm.Stats.Computed+warm.Stats.Cached != warm.Stats.Units {
+		t.Errorf("computed+cached != units: %+v", warm.Stats)
+	}
+}
+
+// TestWithRemoteRetryFlakyRemote runs a sweep against a healthy
+// storehttp server through client-side flaky-remote chaos with the
+// retry stack armed: the run must succeed with identical bytes, the
+// retry counter must show recovery work, and the same chaos seed must
+// reproduce the same counters on a fresh server at -j 1.
+func TestWithRemoteRetryFlakyRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a sweep three times against live servers")
+	}
+	plain, err := st.NewClient(st.WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := plain.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policy := st.DefaultRetryPolicy()
+	policy.BaseDelay, policy.MaxDelay = time.Millisecond, 2*time.Millisecond
+	runOnce := func() *st.Result {
+		t.Helper()
+		srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(16 << 20)))
+		defer srv.Close()
+		client, err := st.NewClient(st.WithQuick(), st.WithWorkers(1),
+			st.WithRemoteCache(srv.URL), st.WithRemoteRetry(policy),
+			st.WithChaos(11, "flaky-remote"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		res, err := client.Run(context.Background(), "fig2a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := runOnce()
+	var got, want bytes.Buffer
+	if err := st.RenderText(&got, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderText(&want, baseline); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("flaky-remote run changed rendered bytes")
+	}
+	ts := first.Stats.Store[0]
+	if ts.Retries == 0 {
+		t.Errorf("retry stack recorded no retries against a 25%%-flaky remote: %+v", ts)
+	}
+	if ts.Errors == 0 {
+		t.Errorf("no injected errors surfaced in the tier stats: %+v", ts)
+	}
+
+	// Same seed, fresh server, serial engine: the whole counter row
+	// must replay exactly.
+	second := runOnce()
+	if second.Stats.Store[0] != ts {
+		t.Errorf("chaos counters did not replay:\nfirst  %+v\nsecond %+v", ts, second.Stats.Store[0])
 	}
 }
