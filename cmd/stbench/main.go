@@ -21,6 +21,13 @@
 // the same bytes are rendered with caching on, off, thrashing, or
 // under injected faults.
 //
+// Observability: -metrics-addr ADDR serves the run's cumulative
+// metrics as Prometheus text on http://ADDR/metrics for the duration
+// of the process; -report FILE writes a JSON array of per-run
+// telemetry reports (phase spans, unit and store-tier latency
+// histograms, worker utilization) on exit. Either flag enables
+// telemetry; neither changes a byte of stdout.
+//
 // stbench is a thin shell over the public silenttracker/st package —
 // flag parsing and renderer selection only. For cached sweeps (warm
 // re-runs that skip already-computed trials), use cmd/stcampaign,
@@ -30,9 +37,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"regexp"
 	"runtime"
@@ -57,9 +67,14 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the -chaos fault schedule (same seed = same faults)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (\"\" = disabled)")
+	reportFile := flag.String("report", "", "write per-run telemetry reports to this file as JSON (\"\" = disabled)")
 	flag.Parse()
 
 	opts := []st.Option{st.WithWorkers(*jobs)}
+	if *metricsAddr != "" || *reportFile != "" {
+		opts = append(opts, st.WithMetrics())
+	}
 	if *memCache > 0 {
 		opts = append(opts, st.WithMemCache(*memCache))
 	}
@@ -91,6 +106,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		// Bind synchronously so a bad address fails loudly before any
+		// experiment runs; serve in the background for the process
+		// lifetime.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", client.MetricsHandler())
+		go http.Serve(ln, mux)
+		fmt.Fprintf(os.Stderr, "stbench: serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 	infos := client.Experiments()
 
@@ -151,6 +181,7 @@ func main() {
 	}
 
 	ran := 0
+	var reports []*st.Report
 	for _, in := range infos {
 		if !selected(in.BenchName()) {
 			continue
@@ -164,6 +195,9 @@ func main() {
 		if n := res.Stats.PutFailed; n > 0 {
 			fmt.Fprintf(os.Stderr, "stbench: warning: %s: %d result-store write(s) failed\n", in.BenchName(), n)
 		}
+		if res.Report != nil {
+			reports = append(reports, res.Report)
+		}
 		if err := render(os.Stdout, res, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: %s: %v\n", in.BenchName(), err)
 			os.Exit(1)
@@ -172,6 +206,17 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -run %q (see -list)\n", *runPat)
 		os.Exit(2)
+	}
+	if *reportFile != "" {
+		buf, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*reportFile, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: -report: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

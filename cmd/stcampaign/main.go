@@ -32,6 +32,15 @@
 // warns once on stderr and reports the failure count; it never fails
 // the run.
 //
+// Observability flags: -metrics-addr HOST:PORT serves the run's
+// cumulative metrics as Prometheus text on GET /metrics while the
+// process runs; -report FILE writes a JSON array of per-run telemetry
+// reports (phase spans, latency histograms, store-tier counters) when
+// all runs finish; -progress renders a throttled progress line
+// (done/units, computed/cached split, ETA) on stderr. All three leave
+// stdout byte-identical to a run without them — telemetry is
+// measurement, never results.
+//
 // The first ^C cancels gracefully: no further trial unit is
 // dispatched, in-flight units finish and persist to the cache (a
 // rerun computes only the remainder), and the process exits 130
@@ -43,13 +52,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"regexp"
 	"strings"
+	"time"
 
 	"silenttracker/st"
 )
@@ -88,7 +101,8 @@ func usage() {
                           (default: all); flags: -j, -cache-dir,
                           -no-cache, -mem-cache, -remote-cache,
                           -remote-retry, -chaos, -chaos-seed,
-                          -quick, -seed, -trials, -json
+                          -quick, -seed, -trials, -json,
+                          -metrics-addr, -report, -progress
   clean [-cache-dir D]    remove the result cache
 `)
 }
@@ -154,6 +168,9 @@ func cmdRun(args []string) int {
 	seed := fs.Int64("seed", 0, "override base seed (0 = per-experiment default)")
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
 	asJSON := fs.Bool("json", false, "emit folded cell results as JSON instead of text tables")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (\"\" = disabled)")
+	reportFile := fs.String("report", "", "write per-run telemetry reports (JSON array) to this file (\"\" = disabled)")
+	progress := fs.Bool("progress", false, "render a throttled progress line on stderr")
 	fs.Parse(args)
 
 	pattern := "^.*$"
@@ -190,13 +207,21 @@ func cmdRun(args []string) int {
 	}
 	// The engine announces the first failed store write once per run;
 	// relay it so a degraded store is visible the moment it degrades,
-	// not just in the final count. Warnings go to stderr — stdout stays
-	// byte-comparable across store mixes.
+	// not just in the final count. The optional -progress line rides
+	// the same event stream. Both go to stderr — stdout stays
+	// byte-comparable across store mixes and telemetry settings.
+	prog := progressLine{enabled: *progress}
 	opts = append(opts, st.WithProgress(func(ev st.Event) {
-		if d, ok := ev.(st.StoreDegraded); ok {
-			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: result store degraded: %v\n", d.Campaign, d.Err)
+		switch ev := ev.(type) {
+		case st.StoreDegraded:
+			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: result store degraded: %v\n", ev.Campaign, ev.Err)
+		case st.UnitDone:
+			prog.update(ev)
 		}
 	}))
+	if *metricsAddr != "" || *reportFile != "" {
+		opts = append(opts, st.WithMetrics())
+	}
 	if *quick {
 		opts = append(opts, st.WithQuick())
 	}
@@ -212,6 +237,22 @@ func cmdRun(args []string) int {
 		return 1
 	}
 	defer client.Close()
+
+	// Bind the metrics listener synchronously so a bad address fails
+	// the run up front, then serve in the background for the process's
+	// lifetime — scrapes observe the registry's cumulative totals.
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: -metrics-addr: %v\n", err)
+			return 1
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", client.MetricsHandler())
+		go http.Serve(ln, mux)
+		fmt.Fprintf(os.Stderr, "stcampaign: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	// First ^C: cancel the context — the engine stops dispatching,
 	// finishes in-flight units (persisting each to the cache), and Run
@@ -230,6 +271,7 @@ func cmdRun(args []string) int {
 	}()
 
 	var results []*st.Result
+	var reports []*st.Report
 	matched := 0
 	for _, in := range client.Experiments() {
 		if !re.MatchString(in.Name) {
@@ -250,6 +292,9 @@ func cmdRun(args []string) int {
 			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: %d result-store write(s) failed; those units recompute next run\n", res.Campaign, n)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %s (%.1fs)\n", res.Campaign, res.Stats, res.Stats.Elapsed.Seconds())
+		if res.Report != nil {
+			reports = append(reports, res.Report)
+		}
 		if *asJSON {
 			results = append(results, res)
 			continue
@@ -269,7 +314,61 @@ func cmdRun(args []string) int {
 			return 1
 		}
 	}
+	if *reportFile != "" {
+		buf, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: -report: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*reportFile, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "stcampaign: -report: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// progressLine renders the -progress stderr line: overwritten in
+// place (carriage return, no newline) at most every 100ms, finalised
+// with a newline when the campaign's last unit lands. The event
+// stream is serialised by the client, so no locking is needed.
+type progressLine struct {
+	enabled          bool
+	campaign         string
+	start, last      time.Time
+	computed, cached int
+}
+
+func (p *progressLine) update(ev st.UnitDone) {
+	if !p.enabled {
+		return
+	}
+	now := time.Now()
+	if ev.Campaign != p.campaign || ev.Done == 1 {
+		p.campaign, p.start = ev.Campaign, now
+		p.computed, p.cached = 0, 0
+		p.last = time.Time{}
+	}
+	if ev.Cached {
+		p.cached++
+	} else {
+		p.computed++
+	}
+	final := ev.Done == ev.Units
+	if !final && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	eta := "--"
+	if elapsed := now.Sub(p.start); ev.Done > 0 && elapsed > 0 {
+		remain := time.Duration(float64(elapsed) / float64(ev.Done) * float64(ev.Units-ev.Done))
+		eta = remain.Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(os.Stderr, "\r%s: %d/%d units (computed %d, cached %d) eta %s",
+		ev.Campaign, ev.Done, ev.Units, p.computed, p.cached, eta)
+	if final {
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 func cmdClean(args []string) int {

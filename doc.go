@@ -29,7 +29,10 @@
 //   - internal/campaign    — declarative sweeps + pluggable content-addressed
 //     result stores (mem LRU / disk / remote HTTP, composed into tiers)
 //   - internal/campaign/storehttp — serves any campaign.Store over HTTP
-//     (the server half of the remote tier)
+//     (the server half of the remote tier), with /healthz and /metrics
+//   - internal/obs — dependency-free metrics registry (lock-free
+//     counters/gauges/histograms), run-scoped spans, Prometheus text
+//     exposition; a nil registry costs nothing
 //   - internal/scenario    — declarative multi-cell, multi-UE world generator
 //   - cmd/{stbench, stcampaign, stsim, stmachine} — executables; stbench
 //     and stcampaign are thin shells over st (flags + renderer choice)

@@ -175,6 +175,16 @@ func (s *BreakerStore) Put(hash string, m Metrics) error {
 	return err
 }
 
+// Degraded reports whether the breaker is anywhere but fully closed:
+// open and half-open both mean the backend recently failed and ops
+// are (mostly) short-circuiting, which is exactly the "serving but
+// limping" state health endpoints need to distinguish.
+func (s *BreakerStore) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state != breakerClosed || StoreDegradedState(s.inner)
+}
+
 // Stats returns the wrapped store's tiers with this breaker's
 // transition and short-circuit counts folded into the first.
 func (s *BreakerStore) Stats() []TierStats {

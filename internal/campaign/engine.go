@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"silenttracker/internal/obs"
 	"silenttracker/internal/runner"
 )
 
@@ -27,6 +28,11 @@ type RunStats struct {
 	// via the StoreDegraded event rather than dropped silently.
 	PutFailed int           `json:"put_failed,omitempty"`
 	Elapsed   time.Duration `json:"elapsed"` // wall clock of the Run call
+	// Span is the run's timing tree — root named after the spec, one
+	// child per engine phase (expand, execute, fold). Present only when
+	// the engine carries a metrics registry; like Elapsed it is
+	// measurement, not results, and is excluded from String().
+	Span *obs.SpanValue `json:"span,omitempty"`
 }
 
 // String renders the stats as the stable one-line form the CLI prints
@@ -54,6 +60,13 @@ type Engine struct {
 	Store    Store
 	Workers  int
 	Progress func(Event)
+	// Obs, when non-nil, receives the run's telemetry: phase latency
+	// histograms, per-unit compute/cache latency, worker-pool
+	// utilization, and run counters (observe.go names them all). A nil
+	// registry costs nothing on the unit hot path — no clock reads, no
+	// atomics. Telemetry never influences results: metrics on or off,
+	// the folded cells are byte-identical.
+	Obs *obs.Registry
 }
 
 // emit delivers one progress event under the engine's lock.
@@ -94,6 +107,38 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	start := time.Now()
 	cells := spec.Cells()
 
+	// Telemetry setup. ins is nil without a registry — every record
+	// helper no-ops and, crucially, the unit hot path reads no clocks.
+	// The span tree is built whenever anyone consumes phase timing:
+	// the registry (histograms + stats.Span) or a Progress consumer
+	// (PhaseDone events).
+	ins := newEngineObs(e.Obs)
+	traced := ins != nil || e.Progress != nil
+	var root *obs.Span
+	if traced {
+		root = obs.StartSpan(spec.Name)
+	}
+	ins.runStart()
+	completed := false
+	defer func() { ins.runEnd(completed) }()
+
+	// Progress bookkeeping: done/computed/cached advance as units
+	// finish so a cancelled run still reports what it completed. The
+	// mutex both guards the counters and serialises Progress calls.
+	var mu sync.Mutex
+
+	// endPhase closes one phase span, feeds its duration to the phase
+	// histogram, and announces it on the event stream. Phase events are
+	// ordered by construction: expand before any UnitDone, execute
+	// after all of them, fold before SpecDone.
+	endPhase := func(span *obs.Span, phase string) {
+		d := span.End()
+		ins.observePhase(phase, d)
+		if e.Progress != nil {
+			e.emit(&mu, PhaseDone{Spec: spec.Name, Phase: phase, Duration: d})
+		}
+	}
+
 	// Snapshot the store's cumulative tier counters so the returned
 	// stats carry this run's deltas.
 	var tiersBefore []TierStats
@@ -107,6 +152,8 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 		return tierDelta(tiersBefore, e.Store.Stats())
 	}
 
+	// Expand: enumerate and content-address the trial units.
+	expandSpan := root.Child("expand")
 	type unit struct {
 		cell  int
 		trial int
@@ -122,11 +169,8 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 			units = append(units, u)
 		}
 	}
+	endPhase(expandSpan, "expand")
 
-	// Progress bookkeeping: done/computed/cached advance as units
-	// finish so a cancelled run still reports what it completed. The
-	// mutex both guards the counters and serialises Progress calls.
-	var mu sync.Mutex
 	done, computed, cached, putFailed := 0, 0, 0, 0
 	finish := func(u unit, wasCached bool) {
 		if wasCached {
@@ -147,14 +191,25 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 		}
 	}
 
+	// Execute: every unit, cache-first, across the worker pool. The
+	// pool observer is passed via ins.pool() so a nil *engineObs
+	// becomes a true nil interface and the runner skips its clocks.
+	execSpan := root.Child("execute")
 	type outcome struct {
 		m        Metrics
 		computed bool
 	}
-	results, err := runner.MapCtx(ctx, len(units), e.Workers, func(i int) outcome {
+	results, err := runner.MapCtxObserved(ctx, len(units), e.Workers, func(i int) outcome {
 		u := units[i]
+		var t0 time.Time
+		if ins != nil {
+			t0 = time.Now()
+		}
 		if e.Store != nil {
 			if m, ok := e.Store.Get(u.hash); ok {
+				if ins != nil {
+					ins.observeUnit(true, time.Since(t0))
+				}
 				mu.Lock()
 				finish(u, true)
 				mu.Unlock()
@@ -178,19 +233,29 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 				mu.Unlock()
 			}
 		}
+		if ins != nil {
+			ins.observeUnit(false, time.Since(t0))
+		}
 		mu.Lock()
 		finish(u, false)
 		mu.Unlock()
 		return outcome{m: m, computed: true}
-	})
+	}, ins.pool())
 	if err != nil {
+		// Cancelled: the span tree and phase events stop here — a
+		// partial phase duration would be worker-timing noise, and the
+		// event contract promises no phase events after cancellation.
+		root.End()
 		mu.Lock()
 		stats := RunStats{Units: len(units), Computed: computed, Cached: cached,
 			PutFailed: putFailed, Tiers: tiersNow(), Elapsed: time.Since(start)}
 		mu.Unlock()
 		return nil, stats, err
 	}
+	endPhase(execSpan, "execute")
 
+	// Fold: results into cell order, then per-cell completion events.
+	foldSpan := root.Child("fold")
 	out := make([]CellResult, len(cells))
 	for i := range cells {
 		out[i] = CellResult{Cell: cells[i], Trials: make([]Metrics, 0, spec.Trials)}
@@ -210,6 +275,13 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 				Index: i, Cells: len(out)})
 		}
 	}
+	endPhase(foldSpan, "fold")
+	root.End()
+	if e.Obs != nil {
+		v := root.Value()
+		stats.Span = &v
+	}
+	completed = true
 	stats.Tiers = tiersNow()
 	stats.Elapsed = time.Since(start)
 	e.emit(&mu, SpecDone{Spec: spec.Name, Stats: stats})

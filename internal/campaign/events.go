@@ -1,5 +1,7 @@
 package campaign
 
+import "time"
+
 // Event is one item of the engine's typed progress stream — the
 // replacement for ad-hoc stderr prints in the execution path. Events
 // are delivered to Engine.Progress serially (the engine holds a lock
@@ -20,6 +22,19 @@ type UnitDone struct {
 	Cached bool // served from the cache; false = computed
 	Done   int  // units finished so far, including this one
 	Units  int  // total units of the running spec
+}
+
+// PhaseDone reports that one engine phase finished: "expand" (units
+// enumerated and content-addressed), "execute" (all units computed or
+// served from the store), or "fold" (results folded into cell order).
+// Phases are sequential, so PhaseDone("expand") precedes every
+// UnitDone and PhaseDone("fold") precedes SpecDone. A cancelled run
+// emits no further phase events. Durations are measurement, not
+// results — they vary run to run while the folded cells do not.
+type PhaseDone struct {
+	Spec     string
+	Phase    string // "expand", "execute", "fold"
+	Duration time.Duration
 }
 
 // CellDone reports that every trial of one cell has been folded.
@@ -51,6 +66,7 @@ type StoreDegraded struct {
 }
 
 func (UnitDone) progressEvent()      {}
+func (PhaseDone) progressEvent()     {}
 func (CellDone) progressEvent()      {}
 func (SpecDone) progressEvent()      {}
 func (StoreDegraded) progressEvent() {}

@@ -238,3 +238,7 @@ func (s *FaultStore) Stats() []TierStats {
 
 // Close closes the wrapped store.
 func (s *FaultStore) Close() error { return s.inner.Close() }
+
+// Degraded forwards the wrapped store's degraded state: injected
+// faults are scripted chaos, not a health signal.
+func (s *FaultStore) Degraded() bool { return StoreDegradedState(s.inner) }

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"time"
+
+	"silenttracker/internal/obs"
+	"silenttracker/internal/runner"
+)
+
+// Metric names the campaign layer records. They are part of the
+// /metrics surface the serving daemon and its dashboards scrape, so
+// they are named here once and golden-tested.
+const (
+	metricRunsTotal      = "st_campaign_runs_total"
+	metricRunsInflight   = "st_campaign_runs_inflight"
+	metricUnitsTotal     = "st_campaign_units_total"
+	metricPhaseSeconds   = "st_phase_seconds"
+	metricComputeSeconds = "st_unit_compute_seconds"
+	metricCacheSeconds   = "st_unit_cache_seconds"
+	metricWorkerBusy     = "st_worker_busy_seconds_total"
+	metricWorkerIdle     = "st_worker_idle_seconds_total"
+	metricWorkerTrials   = "st_worker_trials_total"
+	metricDispatchWait   = "st_worker_dispatch_wait_seconds"
+	metricStoreGet       = "st_store_get_seconds"
+	metricStorePut       = "st_store_put_seconds"
+)
+
+// engineObs is the engine's pre-registered instrument block: resolved
+// once per run so the per-unit hot path touches only atomics. A nil
+// *engineObs disables every record method (nil instruments no-op),
+// which is the metrics-off fast path.
+type engineObs struct {
+	runs         *obs.Counter
+	inflight     *obs.Gauge
+	computed     *obs.Counter
+	cached       *obs.Counter
+	phaseExpand  *obs.Histogram
+	phaseExecute *obs.Histogram
+	phaseFold    *obs.Histogram
+	compute      *obs.Histogram
+	cache        *obs.Histogram
+	workerBusy   *obs.DurationCounter
+	workerIdle   *obs.DurationCounter
+	workerTrials *obs.Counter
+	dispatchWait *obs.Histogram
+}
+
+func newEngineObs(r *obs.Registry) *engineObs {
+	if r == nil {
+		return nil
+	}
+	phase := func(name string) *obs.Histogram {
+		return r.Histogram(metricPhaseSeconds,
+			"Engine phase wall time per run (expand, execute, fold).",
+			obs.LatencyBuckets, obs.L("phase", name))
+	}
+	return &engineObs{
+		runs:     r.Counter(metricRunsTotal, "Completed engine runs."),
+		inflight: r.Gauge(metricRunsInflight, "Engine runs currently executing."),
+		computed: r.Counter(metricUnitsTotal, "Trial units finished, by outcome.",
+			obs.L("outcome", "computed")),
+		cached: r.Counter(metricUnitsTotal, "Trial units finished, by outcome.",
+			obs.L("outcome", "cached")),
+		phaseExpand:  phase("expand"),
+		phaseExecute: phase("execute"),
+		phaseFold:    phase("fold"),
+		compute: r.Histogram(metricComputeSeconds,
+			"Latency of computed trial units.", obs.LatencyBuckets),
+		cache: r.Histogram(metricCacheSeconds,
+			"Latency of store-served (cache hit) trial units.", obs.LatencyBuckets),
+		workerBusy: r.DurationCounter(metricWorkerBusy,
+			"Worker time spent inside trial bodies."),
+		workerIdle: r.DurationCounter(metricWorkerIdle,
+			"Worker lifetime outside trial bodies (dispatch, draining)."),
+		workerTrials: r.Counter(metricWorkerTrials,
+			"Trial bodies executed by the worker pool."),
+		dispatchWait: r.Histogram(metricDispatchWait,
+			"Pool start to a worker's first trial dispatch.", obs.LatencyBuckets),
+	}
+}
+
+// The record helpers below are nil-safe on the *engineObs receiver so
+// the engine can call them unconditionally on the metrics-off path.
+
+// runStart / runDone bracket one engine run.
+func (o *engineObs) runStart() {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(1)
+}
+
+func (o *engineObs) runEnd(completed bool) {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(-1)
+	if completed {
+		o.runs.Inc()
+	}
+}
+
+// observePhase records one phase's wall time.
+func (o *engineObs) observePhase(phase string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	switch phase {
+	case "expand":
+		o.phaseExpand.Observe(d.Seconds())
+	case "execute":
+		o.phaseExecute.Observe(d.Seconds())
+	case "fold":
+		o.phaseFold.Observe(d.Seconds())
+	}
+}
+
+// observeUnit records one finished unit: its outcome counter and the
+// matching latency histogram (cache-hit service time or compute time).
+func (o *engineObs) observeUnit(cached bool, d time.Duration) {
+	if o == nil {
+		return
+	}
+	if cached {
+		o.cached.Inc()
+		o.cache.Observe(d.Seconds())
+	} else {
+		o.computed.Inc()
+		o.compute.Observe(d.Seconds())
+	}
+}
+
+// ObserveWorker implements runner.PoolObserver; called once per
+// worker goroutine, possibly concurrently.
+func (o *engineObs) ObserveWorker(trials int, busy, idle, wait time.Duration) {
+	o.workerTrials.Add(int64(trials))
+	o.workerBusy.Add(busy)
+	o.workerIdle.Add(idle)
+	o.dispatchWait.Observe(wait.Seconds())
+}
+
+// pool returns o as a runner.PoolObserver, or a true nil interface
+// when o is nil — a typed-nil interface would defeat the runner's
+// po == nil fast path.
+func (o *engineObs) pool() runner.PoolObserver {
+	if o == nil {
+		return nil
+	}
+	return o
+}
+
+// observedStore wraps a Store with per-op latency histograms labelled
+// by tier. It is transparent to everything else: stats, close,
+// fallible errors, and degraded state pass straight through, so the
+// wrapper may sit outermost on a tier's resilience stack — where its
+// clock sees retries, backoff, and breaker short-circuits too.
+type observedStore struct {
+	inner Store
+	get   *obs.Histogram
+	put   *obs.Histogram
+}
+
+// ObserveStore wraps inner with Get/Put latency histograms for the
+// named tier, recorded into r. A nil registry returns inner unchanged
+// — the disabled path has zero wrapping cost.
+func ObserveStore(inner Store, tier string, r *obs.Registry) Store {
+	if r == nil {
+		return inner
+	}
+	return &observedStore{
+		inner: inner,
+		get: r.Histogram(metricStoreGet, "Store Get latency by tier.",
+			obs.LatencyBuckets, obs.L("tier", tier)),
+		put: r.Histogram(metricStorePut, "Store Put latency by tier.",
+			obs.LatencyBuckets, obs.L("tier", tier)),
+	}
+}
+
+var (
+	_ Store    = (*observedStore)(nil)
+	_ Fallible = (*observedStore)(nil)
+)
+
+func (o *observedStore) Get(hash string) (Metrics, bool) {
+	t0 := time.Now()
+	m, ok := o.inner.Get(hash)
+	o.get.ObserveSince(t0)
+	return m, ok
+}
+
+// GetE preserves the Fallible contract through the wrapper: an inner
+// Fallible's error classification passes through; a plain inner store
+// degrades failures to misses itself, so the error is always nil.
+func (o *observedStore) GetE(hash string) (Metrics, bool, error) {
+	t0 := time.Now()
+	if f, ok := o.inner.(Fallible); ok {
+		m, hit, err := f.GetE(hash)
+		o.get.ObserveSince(t0)
+		return m, hit, err
+	}
+	m, hit := o.inner.Get(hash)
+	o.get.ObserveSince(t0)
+	return m, hit, nil
+}
+
+func (o *observedStore) Put(hash string, m Metrics) error {
+	t0 := time.Now()
+	err := o.inner.Put(hash, m)
+	o.put.ObserveSince(t0)
+	return err
+}
+
+func (o *observedStore) Stats() []TierStats { return o.inner.Stats() }
+func (o *observedStore) Close() error       { return o.inner.Close() }
+
+// Degraded forwards the inner store's degraded state (false if the
+// inner store does not report one).
+func (o *observedStore) Degraded() bool { return StoreDegradedState(o.inner) }

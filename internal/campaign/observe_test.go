@@ -1,0 +1,309 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"silenttracker/internal/obs"
+)
+
+// snapCounter returns the named counter's value from a snapshot,
+// matching every given label; 0 if absent.
+func snapCounter(s obs.Snapshot, name string, labels map[string]string) float64 {
+	for _, c := range s.Counters {
+		if c.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if c.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// snapHistCount returns the named histogram's observation count,
+// matching every given label; -1 if absent.
+func snapHistCount(s obs.Snapshot, name string, labels map[string]string) int64 {
+	for _, h := range s.Histograms {
+		if h.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if h.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return h.Count
+		}
+	}
+	return -1
+}
+
+func TestEngineObsInstruments(t *testing.T) {
+	cache, err := Open(t.TempDir() + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := syntheticSpec(4) // 6 cells × 4 = 24 units
+	e := &Engine{Store: ObserveStore(cache, "disk", reg), Workers: 4, Obs: reg}
+
+	cold, cs := render(t, e, s)
+	warm, ws := render(t, e, s)
+	if cs.Computed != 24 || ws.Cached != 24 {
+		t.Fatalf("cold %v / warm %v", cs, ws)
+	}
+	if cold != warm {
+		t.Fatal("cold and warm output differ under metrics")
+	}
+
+	// The instrumented engine folds the same bytes as a bare one.
+	bare, _ := render(t, &Engine{Workers: 4}, s)
+	if bare != cold {
+		t.Error("metrics changed rendered output")
+	}
+
+	snap := reg.Snapshot()
+	if got := snapCounter(snap, "st_campaign_runs_total", nil); got != 2 {
+		t.Errorf("runs_total = %v, want 2", got)
+	}
+	if got := snapCounter(snap, "st_campaign_units_total", map[string]string{"outcome": "computed"}); got != 24 {
+		t.Errorf("units computed = %v, want 24", got)
+	}
+	if got := snapCounter(snap, "st_campaign_units_total", map[string]string{"outcome": "cached"}); got != 24 {
+		t.Errorf("units cached = %v, want 24", got)
+	}
+	for _, phase := range []string{"expand", "execute", "fold"} {
+		if got := snapHistCount(snap, "st_phase_seconds", map[string]string{"phase": phase}); got != 2 {
+			t.Errorf("phase %q observations = %d, want 2 (one per run)", phase, got)
+		}
+	}
+	if got := snapHistCount(snap, "st_unit_compute_seconds", nil); got != 24 {
+		t.Errorf("compute latency observations = %d, want 24", got)
+	}
+	if got := snapHistCount(snap, "st_unit_cache_seconds", nil); got != 24 {
+		t.Errorf("cache latency observations = %d, want 24", got)
+	}
+	// Store tier latency flows through the ObserveStore wrapper: the
+	// cold run Gets (miss) + Puts every unit, the warm run Gets every
+	// unit, so both histograms carry observations for tier=disk.
+	if got := snapHistCount(snap, "st_store_get_seconds", map[string]string{"tier": "disk"}); got != 48 {
+		t.Errorf("store get observations = %d, want 48", got)
+	}
+	if got := snapHistCount(snap, "st_store_put_seconds", map[string]string{"tier": "disk"}); got != 24 {
+		t.Errorf("store put observations = %d, want 24", got)
+	}
+	// Worker telemetry: one ObserveWorker call per worker per run.
+	if got := snapCounter(snap, "st_worker_trials_total", nil); got != 48 {
+		t.Errorf("worker trials = %v, want 48", got)
+	}
+	if got := snapCounter(snap, "st_worker_busy_seconds_total", nil); got <= 0 {
+		t.Errorf("worker busy seconds = %v, want > 0", got)
+	}
+	if got := snapHistCount(snap, "st_worker_dispatch_wait_seconds", nil); got != 8 {
+		t.Errorf("dispatch wait observations = %d, want 8 (4 workers × 2 observed runs)", got)
+	}
+
+	// The run stats carry the span tree: root named after the spec,
+	// one child per phase, in phase order, all with recorded time.
+	if cs.Span == nil {
+		t.Fatal("stats.Span nil with a registry")
+	}
+	if cs.Span.Name != "synthetic" || len(cs.Span.Children) != 3 {
+		t.Fatalf("span root %q with %d children", cs.Span.Name, len(cs.Span.Children))
+	}
+	for i, want := range []string{"expand", "execute", "fold"} {
+		c := cs.Span.Children[i]
+		if c.Name != want {
+			t.Errorf("span child %d = %q, want %q", i, c.Name, want)
+		}
+		if c.Duration <= 0 {
+			t.Errorf("span %q duration = %v, want > 0", c.Name, c.Duration)
+		}
+	}
+	if cs.Span.Duration < cs.Span.Children[0].Duration {
+		t.Error("root span shorter than its first child")
+	}
+
+	// Without a registry the span is withheld even when Progress runs.
+	bareEng := &Engine{Workers: 2, Progress: func(Event) {}}
+	if _, st := bareEng.Run(s); st.Span != nil {
+		t.Error("stats.Span set without a registry")
+	}
+}
+
+func TestRunCtxPhaseEventOrdering(t *testing.T) {
+	s := syntheticSpec(3)
+	var events []Event
+	e := &Engine{Workers: 4, Progress: func(ev Event) { events = append(events, ev) }}
+	if _, _, err := e.RunCtx(context.Background(), s); err != nil {
+		t.Fatal(err)
+	}
+
+	var phases []string
+	firstUnit, lastUnit, firstCell, specDone := -1, -1, -1, -1
+	phaseIdx := map[string]int{}
+	for i, ev := range events {
+		switch ev := ev.(type) {
+		case PhaseDone:
+			if ev.Spec != "synthetic" {
+				t.Fatalf("PhaseDone %+v", ev)
+			}
+			if ev.Duration <= 0 {
+				t.Errorf("phase %q duration %v, want > 0", ev.Phase, ev.Duration)
+			}
+			phases = append(phases, ev.Phase)
+			phaseIdx[ev.Phase] = i
+		case UnitDone:
+			if firstUnit < 0 {
+				firstUnit = i
+			}
+			lastUnit = i
+		case CellDone:
+			if firstCell < 0 {
+				firstCell = i
+			}
+		case SpecDone:
+			specDone = i
+		}
+	}
+	if len(phases) != 3 || phases[0] != "expand" || phases[1] != "execute" || phases[2] != "fold" {
+		t.Fatalf("phase sequence %v, want [expand execute fold]", phases)
+	}
+	if phaseIdx["expand"] > firstUnit {
+		t.Error("expand PhaseDone after first UnitDone")
+	}
+	if phaseIdx["execute"] < lastUnit {
+		t.Error("execute PhaseDone before last UnitDone")
+	}
+	if phaseIdx["execute"] > firstCell {
+		t.Error("execute PhaseDone after first CellDone")
+	}
+	if phaseIdx["fold"] > specDone {
+		t.Error("fold PhaseDone after SpecDone")
+	}
+	if specDone != len(events)-1 {
+		t.Error("SpecDone is not the final event")
+	}
+
+	// A pre-cancelled run stops the phase stream at expand: no
+	// execute or fold event may follow cancellation.
+	events = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.RunCtx(ctx, s); err == nil {
+		t.Fatal("pre-cancelled RunCtx succeeded")
+	}
+	for _, ev := range events {
+		if pd, ok := ev.(PhaseDone); ok && pd.Phase != "expand" {
+			t.Fatalf("cancelled run emitted PhaseDone(%q)", pd.Phase)
+		}
+	}
+}
+
+func TestObserveStoreTransparent(t *testing.T) {
+	reg := obs.NewRegistry()
+	mem := NewMemStore(0)
+	wrapped := ObserveStore(mem, "mem", reg)
+
+	m := NewMetrics()
+	m.Add("v", 1)
+	if err := wrapped.Put("h", m); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := wrapped.Get("h"); !ok || got == nil {
+		t.Fatal("observed store lost the entry")
+	}
+	if _, ok := wrapped.Get("absent"); ok {
+		t.Fatal("phantom hit")
+	}
+	// Stats pass straight through to the inner tier.
+	st := wrapped.Stats()
+	if len(st) != 1 || st[0].Tier != "mem" || st[0].Hits != 1 || st[0].Misses != 1 {
+		t.Fatalf("stats through wrapper: %+v", st)
+	}
+	// GetE synthesises the Fallible shape over a plain inner store.
+	f, ok := wrapped.(Fallible)
+	if !ok {
+		t.Fatal("observed store is not Fallible")
+	}
+	if _, hit, err := f.GetE("h"); !hit || err != nil {
+		t.Fatalf("GetE hit=%v err=%v", hit, err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snapHistCount(snap, "st_store_get_seconds", map[string]string{"tier": "mem"}); got != 3 {
+		t.Errorf("get observations = %d, want 3", got)
+	}
+	if got := snapHistCount(snap, "st_store_put_seconds", map[string]string{"tier": "mem"}); got != 1 {
+		t.Errorf("put observations = %d, want 1", got)
+	}
+
+	// A nil registry wraps nothing at all.
+	if plain := ObserveStore(mem, "mem", nil); plain != Store(mem) {
+		t.Error("nil registry did not return the inner store unchanged")
+	}
+}
+
+func TestDegradedPropagation(t *testing.T) {
+	mem := NewMemStore(0)
+	if StoreDegradedState(mem) {
+		t.Fatal("plain mem store reports degraded")
+	}
+
+	// Trip a breaker over an always-failing fault store; the degraded
+	// state must surface through retry, observe, and tier wrappers.
+	faulty := NewFaultStore(NewMemStore(0), 1, FaultProfile{GetErr: 1, PutErr: 1})
+	br := NewBreakerStore(faulty, BreakerPolicy{Threshold: 2, CooldownOps: 100})
+	if br.Degraded() {
+		t.Fatal("fresh breaker reports degraded")
+	}
+	br.Get("a")
+	br.Get("b")
+	if !br.Degraded() {
+		t.Fatal("tripped breaker does not report degraded")
+	}
+	reg := obs.NewRegistry()
+	stack := ObserveStore(NewRetryStore(br, RetryPolicy{Attempts: 1}), "remote", reg)
+	if !StoreDegradedState(stack) {
+		t.Error("degraded state lost through retry+observe wrappers")
+	}
+	tiered := NewTiered(NewMemStore(0), stack)
+	if !tiered.Degraded() {
+		t.Error("tiered store with a degraded member reports healthy")
+	}
+	if NewTiered(NewMemStore(0)).Degraded() {
+		t.Error("healthy tiered store reports degraded")
+	}
+}
+
+func TestRunStatsSpanJSON(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := &Engine{Workers: 1, Obs: reg}
+	_, st := e.Run(syntheticSpec(1))
+	buf, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf, []byte(`"span"`)) || !bytes.Contains(buf, []byte(`"execute"`)) {
+		t.Fatalf("span missing from stats JSON: %s", buf)
+	}
+	// And without a registry the key is omitted entirely.
+	_, st = (&Engine{Workers: 1}).Run(syntheticSpec(1))
+	buf, _ = json.Marshal(st)
+	if bytes.Contains(buf, []byte(`"span"`)) {
+		t.Fatalf("span key present without a registry: %s", buf)
+	}
+}

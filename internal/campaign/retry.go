@@ -177,6 +177,10 @@ func (s *RetryStore) Put(hash string, m Metrics) error {
 	return s.do(hash, func() error { return s.inner.Put(hash, m) })
 }
 
+// Degraded forwards the wrapped store's degraded state — the retry
+// wrapper has no health of its own.
+func (s *RetryStore) Degraded() bool { return StoreDegradedState(s.inner) }
+
 // Stats returns the wrapped store's tiers with this wrapper's retry
 // count folded into the first (the tier it guards).
 func (s *RetryStore) Stats() []TierStats {

@@ -33,6 +33,26 @@ type Store interface {
 	Close() error
 }
 
+// Degradable is an optional Store refinement for backends that can
+// tell "working" from "limping": an open or half-open breaker, a tier
+// whose member is down. Health endpoints use it to report degraded
+// while the store still serves (degraded ≠ dead — Gets keep working,
+// they just miss more).
+type Degradable interface {
+	Degraded() bool
+}
+
+// StoreDegradedState reports whether s is currently degraded: false
+// for stores that don't implement Degradable (a store that cannot
+// tell is presumed healthy, matching the engine's degrade-to-miss
+// stance).
+func StoreDegradedState(s Store) bool {
+	if d, ok := s.(Degradable); ok {
+		return d.Degraded()
+	}
+	return false
+}
+
 // TierStats is one store tier's cumulative counters.
 type TierStats struct {
 	// Tier names the backend: "mem", "disk", "remote", or whatever a
@@ -214,6 +234,18 @@ func (t *Tiered) Stats() []TierStats {
 		out = append(out, s.Stats()...)
 	}
 	return out
+}
+
+// Degraded reports whether any member tier is degraded: a hierarchy
+// limps as soon as one backend does, even though the healthy tiers
+// keep it serving.
+func (t *Tiered) Degraded() bool {
+	for _, s := range t.tiers {
+		if StoreDegradedState(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // Close closes every tier, joining their errors.

@@ -7,7 +7,10 @@
 //	GET  /units/<hash>  →  200 + entry JSON, or 404 on a miss
 //	PUT  /units/<hash>  →  204 after a durable store write
 //	GET  /stats         →  200 + the backing store's []TierStats
-//	GET  /healthz       →  200 "ok" while the server is up
+//	GET  /healthz       →  health JSON: 200 while healthy, 503 while
+//	                       the backing store reports degraded
+//	GET  /metrics       →  Prometheus text exposition (only with
+//	                       WithRegistry)
 //
 // Unit hashes are the engine's content addresses (64 hex chars) and
 // are validated strictly, so a crafted path can never escape into
@@ -26,8 +29,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"silenttracker/internal/campaign"
+	"silenttracker/internal/obs"
 )
 
 // maxEntryBytes bounds an uploaded entry. Mirrors the client-side
@@ -49,11 +54,60 @@ func validHash(s string) bool {
 	return true
 }
 
+// Option configures Handler beyond its store.
+type Option func(*config)
+
+type config struct {
+	reg *obs.Registry
+}
+
+// WithRegistry attaches a metrics registry: the handler counts and
+// times requests per route (st_http_requests_total,
+// st_http_request_seconds) and serves the whole registry — including
+// whatever else the process records into it — as Prometheus text on
+// GET /metrics.
+func WithRegistry(r *obs.Registry) Option {
+	return func(c *config) { c.reg = r }
+}
+
+// Health is the /healthz response body. Status is "ok" or "degraded";
+// degraded means the backing store is limping (an open breaker, a
+// down tier) but still serving — load balancers get the distinction
+// from the 200/503 split, humans from Tiers.
+type Health struct {
+	Status string               `json:"status"`
+	Tiers  []campaign.TierStats `json:"tiers,omitempty"`
+}
+
 // Handler serves the given store. The store must be safe for
 // concurrent use (every campaign.Store is).
-func Handler(s campaign.Store) http.Handler {
+func Handler(s campaign.Store, opts ...Option) http.Handler {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// route wraps a handler with per-route request count and latency.
+	// Without a registry the handler passes through untouched — no
+	// clock reads, no wrapper frame.
+	route := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		if cfg.reg == nil {
+			return h
+		}
+		ctr := cfg.reg.Counter("st_http_requests_total",
+			"Store server requests by route.", obs.L("route", name))
+		hist := cfg.reg.Histogram("st_http_request_seconds",
+			"Store server request latency by route.",
+			obs.LatencyBuckets, obs.L("route", name))
+		return func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			ctr.Inc()
+			hist.ObserveSince(t0)
+		}
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/units/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/units/", route("units", func(w http.ResponseWriter, r *http.Request) {
 		hash := strings.TrimPrefix(r.URL.Path, "/units/")
 		if !validHash(hash) {
 			http.Error(w, "storehttp: malformed unit hash", http.StatusBadRequest)
@@ -68,8 +122,8 @@ func Handler(s campaign.Store) http.Handler {
 			w.Header().Set("Allow", "GET, PUT")
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
 		}
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/stats", route("stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", "GET")
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
@@ -77,20 +131,31 @@ func Handler(s campaign.Store) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Stats())
-	})
-	// The liveness probe daemons and breaker dashboards poll: cheap,
-	// unauthenticated, and deliberately independent of the backing
-	// store (a degraded store still answers — degradation is visible
-	// in /stats, liveness here).
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	// The health probe daemons and load balancers poll. It answers
+	// even while the store limps — that is the point: 200 "ok" means
+	// healthy, 503 "degraded" (open breaker, downed tier) means route
+	// traffic elsewhere but the process is alive. The body carries the
+	// per-tier counters so a human reading the probe sees why.
+	mux.HandleFunc("/healthz", route("healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", "GET")
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
-	})
+		h := Health{Status: "ok", Tiers: s.Stats()}
+		code := http.StatusOK
+		if campaign.StoreDegradedState(s) {
+			h.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(h)
+	}))
+	if cfg.reg != nil {
+		mux.Handle("/metrics", route("metrics", cfg.reg.Handler().ServeHTTP))
+	}
 	return mux
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"silenttracker/internal/campaign"
 	"silenttracker/internal/campaign/storehttp"
+	"silenttracker/internal/obs"
 )
 
 const hash = "00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef00deadbeef0000"
@@ -196,10 +197,15 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /healthz = %s, want 200", resp.Status)
 	}
-	var buf bytes.Buffer
-	buf.ReadFrom(resp.Body)
-	if buf.String() != "ok\n" {
-		t.Errorf("body = %q, want \"ok\\n\"", buf.String())
+	var h storehttp.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want \"ok\"", h.Status)
+	}
+	if len(h.Tiers) != 1 || h.Tiers[0].Tier != "mem" {
+		t.Errorf("health tiers = %+v, want the backing mem tier", h.Tiers)
 	}
 	// Liveness is GET-only.
 	post, err := http.Post(srv.URL+"/healthz", "text/plain", nil)
@@ -209,6 +215,104 @@ func TestHealthz(t *testing.T) {
 	post.Body.Close()
 	if post.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /healthz = %s, want 405", post.Status)
+	}
+}
+
+// TestHealthzDegraded: a backing store whose breaker has tripped
+// answers 503 "degraded" with the tier counters in the body, and
+// recovers to 200 when the breaker closes — how a load balancer tells
+// "route elsewhere" from "dead".
+func TestHealthzDegraded(t *testing.T) {
+	flaky := campaign.NewFaultStore(campaign.NewMemStore(1<<20), 1,
+		campaign.FaultProfile{GetErr: 1})
+	br := campaign.NewBreakerStore(flaky, campaign.BreakerPolicy{Threshold: 2, CooldownOps: 2})
+	srv := httptest.NewServer(storehttp.Handler(br))
+	defer srv.Close()
+
+	get := func() (int, storehttp.Health) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h storehttp.Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get(); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("fresh server: %d %q, want 200 ok", code, h.Status)
+	}
+	// Trip the breaker through the store surface.
+	br.Get(hash)
+	br.Get(hash)
+	code, h := get()
+	if code != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("tripped server: %d %q, want 503 degraded", code, h.Status)
+	}
+	if len(h.Tiers) == 0 || h.Tiers[0].Errors == 0 {
+		t.Errorf("degraded body carries no tier error counters: %+v", h.Tiers)
+	}
+}
+
+// TestMetricsEndpoint: with a registry the handler serves Prometheus
+// text on /metrics and tallies its own per-route request metrics.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(1<<20), storehttp.WithRegistry(reg)))
+	defer srv.Close()
+
+	// Drive one units miss and one stats hit so the route counters move.
+	if r, err := http.Get(srv.URL + "/units/" + hash); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+	}
+	if r, err := http.Get(srv.URL + "/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s, want 200", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE st_http_requests_total counter",
+		`st_http_requests_total{route="units"} 1`,
+		`st_http_requests_total{route="stats"} 1`,
+		"# TYPE st_http_request_seconds histogram",
+		`st_http_request_seconds_bucket{route="units",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Without a registry the route does not exist.
+	bare := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(1 << 20)))
+	defer bare.Close()
+	r404, err := http.Get(bare.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("bare /metrics = %s, want 404", r404.Status)
 	}
 }
 

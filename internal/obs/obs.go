@@ -1,0 +1,412 @@
+// Package obs is the telemetry substrate of the execution path: a
+// dependency-free metrics registry (counters, gauges, duration
+// counters, fixed-bucket histograms) plus run-scoped spans. It is what
+// the campaign engine, the runner worker pool, the store tiers, and
+// the storehttp server record into, and what the /metrics endpoint and
+// the JSON run report are rendered from.
+//
+// Two properties shape the design:
+//
+//   - The hot path is lock-free: every increment is a single atomic
+//     add (histograms: one bucket add, one count add, one CAS-looped
+//     sum add), so workers never serialise on telemetry.
+//   - The disabled path costs ~0: every instrument method is safe on
+//     a nil receiver and returns immediately, and a nil *Registry
+//     hands out nil instruments — so code instruments unconditionally
+//     ("r.Counter(...).Add(1)" styles) and a metrics-off run performs
+//     no allocation and no atomic on the per-unit hot path. This is
+//     pinned by AllocsPerRun tests and before/after benchmarks.
+//
+// Registration is idempotent: asking for an existing (name, labels)
+// series returns the same instrument, so call sites need no shared
+// setup. Re-registering a name with a different kind, help string, or
+// bucket layout panics — that is a programming error, not runtime
+// input.
+//
+// Export paths: WriteProm renders the Prometheus text exposition
+// (served by Handler on GET /metrics); Snapshot returns plain-data
+// values that marshal to JSON, and Snapshot.Sub yields per-run deltas
+// of a cumulative registry (the campaign run report).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension of a metric series (e.g. tier or
+// phase). Series are identified by name plus the full label set.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the instrument types a family may hold.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindDuration
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindDuration:
+		return "duration counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// promType is the TYPE line the kind exports as. Duration counters
+// are counters whose value happens to be float seconds.
+func (k kind) promType() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// Registry holds metric families and hands out instruments. All
+// methods are safe for concurrent use, and all are safe on a nil
+// receiver: a nil registry hands out nil instruments, whose methods
+// are no-ops — the disabled-telemetry fast path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is every series registered under one metric name.
+type family struct {
+	name   string
+	help   string
+	k      kind
+	bounds []float64 // histogram bucket upper bounds (nil otherwise)
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (name, labels) instrument.
+type series struct {
+	labels []Label // sorted by key
+	key    string  // canonical rendering of labels
+	inst   any     // *Counter / *Gauge / *DurationCounter / *Histogram
+}
+
+// labelKey canonicalises a label set: sorted by key, rendered in the
+// exposition form. Also the exposition's label block (minus braces).
+func labelKey(labels []Label) (sorted []Label, key string) {
+	sorted = append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	if len(sorted) == 0 {
+		return sorted, ""
+	}
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return sorted, b.String()
+}
+
+// family returns (creating if needed) the named family, enforcing
+// that every registration agrees on kind, help, and bucket layout.
+func (r *Registry) family(name, help string, k kind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, k: k,
+			bounds: append([]float64(nil), bounds...),
+			series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.k != k {
+		panic(fmt.Sprintf("obs: %s registered as %s, re-registered as %s", name, f.k, k))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: %s registered with help %q, re-registered with %q", name, f.help, help))
+	}
+	if k == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: %s re-registered with different buckets", name))
+	}
+	return f
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// instrument returns (creating if needed) the family's series for the
+// label set.
+func (f *family) instrument(labels []Label, mk func(ls []Label) any) any {
+	sorted, key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sorted, key: key, inst: mk(sorted)}
+		f.series[key] = s
+	}
+	return s.inst
+}
+
+// Counter returns the counter series (name, labels), registering it
+// on first use. Nil registry → nil counter (whose Add is a no-op).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindCounter, nil)
+	return f.instrument(labels, func([]Label) any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series (name, labels), registering it on
+// first use. Nil registry → nil gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindGauge, nil)
+	return f.instrument(labels, func([]Label) any { return &Gauge{} }).(*Gauge)
+}
+
+// DurationCounter returns the duration-counter series (name, labels):
+// a monotonically accumulating time total, exported as float seconds
+// under TYPE counter. Nil registry → nil.
+func (r *Registry) DurationCounter(name, help string, labels ...Label) *DurationCounter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindDuration, nil)
+	return f.instrument(labels, func([]Label) any { return &DurationCounter{} }).(*DurationCounter)
+}
+
+// Histogram returns the histogram series (name, labels) with the
+// given bucket upper bounds (ascending; an implicit +Inf bucket is
+// always appended). Nil registry → nil histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: %s buckets not strictly ascending", name))
+		}
+	}
+	f := r.family(name, help, kindHistogram, bounds)
+	return f.instrument(labels, func([]Label) any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing integer. The zero value is
+// ready; a nil *Counter is a no-op.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by n (lock-free).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a float64 that can go up and down. The zero value is
+// ready; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DurationCounter accumulates elapsed time, exported as float
+// seconds. The zero value is ready; a nil *DurationCounter no-ops.
+type DurationCounter struct {
+	ns atomic.Int64
+}
+
+// Add accumulates d.
+func (d *DurationCounter) Add(dur time.Duration) {
+	if d == nil {
+		return
+	}
+	d.ns.Add(int64(dur))
+}
+
+// Seconds returns the accumulated total in seconds (0 on nil).
+func (d *DurationCounter) Seconds() float64 {
+	if d == nil {
+		return 0
+	}
+	return time.Duration(d.ns.Load()).Seconds()
+}
+
+// Histogram counts observations into fixed buckets. Hot-path
+// Observe is lock-free: one atomic bucket add, one atomic count add,
+// and a CAS-looped sum add. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; observations ≤ bound land in the bucket
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
+		return // a NaN belongs to no bucket and would poison the sum
+	}
+	// First i with bounds[i] >= v is v's bucket (le is inclusive);
+	// i == len(bounds) is the +Inf overflow bucket.
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the latency
+// idiom: t0 := time.Now(); ...; h.ObserveSince(t0).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LatencyBuckets is the default bucket layout for operation latency
+// histograms: 10µs to 10s, roughly logarithmic. Units are seconds.
+var LatencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// sortedFamilies returns the registry's families sorted by name, and
+// each family's series sorted by label key — the stable export order
+// shared by WriteProm and Snapshot.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns the family's series sorted by label key.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPromGolden pins the text exposition byte for byte: HELP/TYPE
+// lines, family and series ordering (sorted), label rendering,
+// cumulative histogram buckets with the +Inf bucket, _sum and _count.
+func TestPromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("st_units_total", "Trial units finished.", L("outcome", "computed")).Add(7)
+	r.Counter("st_units_total", "Trial units finished.", L("outcome", "cached")).Add(3)
+	r.Gauge("st_runs_inflight", "Engine runs in flight.").Set(2)
+	r.DurationCounter("st_busy_seconds_total", "Worker busy time.").Add(1500 * time.Millisecond)
+	h := r.Histogram("st_op_seconds", "Op latency.", []float64{0.01, 0.1, 1}, L("tier", "disk"))
+	// Powers of two, so the sum is exact and formats predictably.
+	for _, v := range []float64{0.0078125, 0.0625, 0.0625, 0.5, 2} {
+		h.Observe(v)
+	}
+
+	const want = `# HELP st_busy_seconds_total Worker busy time.
+# TYPE st_busy_seconds_total counter
+st_busy_seconds_total 1.5
+# HELP st_op_seconds Op latency.
+# TYPE st_op_seconds histogram
+st_op_seconds_bucket{tier="disk",le="0.01"} 1
+st_op_seconds_bucket{tier="disk",le="0.1"} 3
+st_op_seconds_bucket{tier="disk",le="1"} 4
+st_op_seconds_bucket{tier="disk",le="+Inf"} 5
+st_op_seconds_sum{tier="disk"} 2.6328125
+st_op_seconds_count{tier="disk"} 5
+# HELP st_runs_inflight Engine runs in flight.
+# TYPE st_runs_inflight gauge
+st_runs_inflight 2
+# HELP st_units_total Trial units finished.
+# TYPE st_units_total counter
+st_units_total{outcome="cached"} 3
+st_units_total{outcome="computed"} 7
+`
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPromBucketCumulativity: bucket counts must be monotonically
+// non-decreasing and end at _count, whatever the observation mix.
+func TestPromBucketCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "l.", LatencyBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%17) * 1e-4)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	buckets := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_bucket") {
+			continue
+		}
+		buckets++
+		f := strings.Fields(line)
+		n, err := strconv.ParseInt(f[len(f)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, last)
+		}
+		last = n
+	}
+	if buckets != len(LatencyBuckets)+1 {
+		t.Fatalf("saw %d buckets, want %d (+Inf included)", buckets, len(LatencyBuckets)+1)
+	}
+	if last != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", last, h.Count())
+	}
+}
+
+// TestHandler serves the exposition over HTTP with the Prometheus
+// content type; non-GET is rejected; a nil registry serves an empty
+// valid exposition.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 ||
+		rec.Header().Get("Content-Type") != "text/plain; version=0.0.4; charset=utf-8" ||
+		!strings.Contains(rec.Body.String(), "c_total 1") {
+		t.Errorf("GET /metrics = %d %q body %q", rec.Code, rec.Header().Get("Content-Type"), rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	(*Registry)(nil).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry GET /metrics = %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while scraping — the -race CI job turns any unsynchronised
+// access into a failure — then checks the totals are exact (no lost
+// increments).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Registration races too: every goroutine asks for the same
+			// series and must get the same instrument.
+			c := r.Counter("ops_total", "o.")
+			gg := r.Gauge("level", "l.")
+			d := r.DurationCounter("busy_seconds_total", "b.")
+			h := r.Histogram("lat", "l.", []float64{0.5})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				gg.Add(1)
+				d.Add(time.Microsecond)
+				h.Observe(float64(i%2) * 0.75)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_ = r.WriteProm(&b)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := int64(goroutines * perG)
+	if got := r.Counter("ops_total", "o.").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("level", "l.").Value(); got != float64(total) {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	if got := r.DurationCounter("busy_seconds_total", "b.").Seconds(); got != float64(total)*1e-6 {
+		t.Errorf("duration = %v, want %v", got, float64(total)*1e-6)
+	}
+	h := r.Histogram("lat", "l.", []float64{0.5})
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if h.Sum() != float64(total/2)*0.75 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), float64(total/2)*0.75)
+	}
+}
+
+// TestNilFastPathAllocs pins the disabled-telemetry contract: every
+// instrument and span operation on nil receivers performs zero
+// allocations (and, by construction, no atomics).
+func TestNilFastPathAllocs(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		d *DurationCounter
+		h *Histogram
+		s *Span
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		g.Add(1)
+		d.Add(time.Second)
+		h.Observe(0.5)
+		child := s.Child("x")
+		child.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil instrument ops allocate %v/op, want 0", allocs)
+	}
+}
+
+// TestEnabledHotPathAllocs: the lock-free enabled path must not
+// allocate either — increments are atomics on pre-registered series.
+func TestEnabledHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c.")
+	g := r.Gauge("g", "g.")
+	d := r.DurationCounter("d_seconds_total", "d.")
+	h := r.Histogram("h", "h.", LatencyBuckets)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		d.Add(time.Microsecond)
+		h.Observe(3e-4)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled instrument ops allocate %v/op, want 0", allocs)
+	}
+}
+
+// TestRegistrationIdempotent: the same (name, labels) yields the same
+// instrument; different labels yield distinct series; mismatched
+// re-registration panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x.", L("k", "1"))
+	b := r.Counter("x_total", "x.", L("k", "1"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("x_total", "x.", L("k", "2")); c == a {
+		t.Error("distinct labels shared a series")
+	}
+	for name, f := range map[string]func(){
+		"kind": func() { r.Gauge("x_total", "x.") },
+		"help": func() { r.Counter("x_total", "different.") },
+		"buckets": func() {
+			r.Histogram("h", "h.", []float64{1})
+			r.Histogram("h", "h.", []float64{2})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mismatched %s re-registration did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSpan covers the span tree: parent links, monotonic durations,
+// idempotent End, and plain-data rendering.
+func TestSpan(t *testing.T) {
+	root := StartSpan("run")
+	a := root.Child("expand")
+	time.Sleep(time.Millisecond)
+	da := a.End()
+	if da <= 0 {
+		t.Errorf("child duration %v, want > 0", da)
+	}
+	if a.End() != da {
+		t.Error("second End changed the duration")
+	}
+	b := root.Child("execute")
+	b.End()
+	root.End()
+
+	v := root.Value()
+	if v.Name != "run" || len(v.Children) != 2 ||
+		v.Children[0].Name != "expand" || v.Children[1].Name != "execute" {
+		t.Fatalf("span value %+v", v)
+	}
+	if v.Duration < v.Children[0].Duration {
+		t.Errorf("root %v shorter than child %v", v.Duration, v.Children[0].Duration)
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanValue
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != v.Name || back.Duration != v.Duration || len(back.Children) != 2 {
+		t.Errorf("span did not round-trip: %+v vs %+v", back, v)
+	}
+}
+
+// TestSnapshotSub: deltas subtract counters and histogram buckets,
+// keep gauge levels, pass through new series, and drop untouched
+// ones.
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "o.", L("tier", "disk"))
+	idle := r.Counter("idle_total", "i.")
+	g := r.Gauge("level", "l.")
+	h := r.Histogram("lat", "l.", []float64{0.1, 1})
+
+	c.Add(5)
+	idle.Add(2)
+	g.Set(4)
+	h.Observe(0.05)
+	before := r.Snapshot()
+
+	c.Add(3)
+	g.Set(7)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	delta := r.Snapshot().Sub(before)
+
+	if len(delta.Counters) != 1 || delta.Counters[0].Name != "ops_total" ||
+		delta.Counters[0].Value != 3 || delta.Counters[0].Labels["tier"] != "disk" {
+		t.Errorf("counter delta %+v", delta.Counters)
+	}
+	if len(delta.Gauges) != 1 || delta.Gauges[0].Value != 7 {
+		t.Errorf("gauge delta %+v", delta.Gauges)
+	}
+	if len(delta.Histograms) != 1 {
+		t.Fatalf("histogram delta %+v", delta.Histograms)
+	}
+	hd := delta.Histograms[0]
+	if hd.Count != 2 || hd.Sum != 1 ||
+		hd.Buckets[0].Count != 0 || hd.Buckets[1].Count != 2 {
+		t.Errorf("histogram delta %+v", hd)
+	}
+
+	// JSON round-trip: the report path serialises snapshots.
+	buf, err := json.Marshal(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 2 {
+		t.Errorf("snapshot did not round-trip: %+v", back)
+	}
+}

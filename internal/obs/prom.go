@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with HELP and
+// TYPE lines, series sorted by label set, histograms with cumulative
+// buckets plus the implicit +Inf bucket, _sum, and _count. A nil
+// registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.k.promType())
+		for _, s := range f.sortedSeries() {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch inst := s.inst.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.key, ""), inst.Value())
+	case *Gauge:
+		fmt.Fprintf(w, "%s %s\n", seriesName(f.name, s.key, ""), formatFloat(inst.Value()))
+	case *DurationCounter:
+		fmt.Fprintf(w, "%s %s\n", seriesName(f.name, s.key, ""), formatFloat(inst.Seconds()))
+	case *Histogram:
+		// Buckets are stored per-interval and exported cumulative, as
+		// the le (less-or-equal) semantics require.
+		cum := int64(0)
+		for i, b := range inst.bounds {
+			cum += inst.counts[i].Load()
+			fmt.Fprintf(w, "%s %d\n",
+				seriesName(f.name+"_bucket", s.key, `le="`+formatFloat(b)+`"`), cum)
+		}
+		cum += inst.counts[len(inst.bounds)].Load()
+		fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_bucket", s.key, `le="+Inf"`), cum)
+		fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", s.key, ""), formatFloat(inst.Sum()))
+		fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", s.key, ""), inst.Count())
+	}
+}
+
+// seriesName renders name{labels,extra} — extra is the le="..." pair
+// histogram buckets append after the series' own labels.
+func seriesName(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	}
+	return name + "{" + labels + "," + extra + "}"
+}
+
+// formatFloat renders a float the shortest way that round-trips;
+// Prometheus accepts +Inf/-Inf spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// Handler serves the registry's text exposition on GET — mount it at
+// /metrics. A nil registry serves an empty (but valid) exposition, so
+// wiring the endpoint costs nothing when telemetry is off.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "obs: method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Registry state only moves forward; a partially concurrent
+		// scrape is still a valid exposition, so no locking beyond the
+		// per-family snapshots.
+		_ = r.WriteProm(w)
+	})
+}

@@ -1,0 +1,143 @@
+package obs
+
+// Snapshot is a point-in-time plain-data copy of a registry: it
+// marshals to JSON losslessly and carries no locks or atomics.
+// Counters (including duration counters, in seconds) and gauges
+// flatten to MetricValues; histograms keep their cumulative buckets.
+// Subtracting two snapshots of a cumulative registry yields per-run
+// deltas — the shape the campaign run report carries.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// MetricValue is one counter or gauge series.
+type MetricValue struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramValue is one histogram series. Buckets are cumulative
+// (each Count includes every smaller bucket); the implicit +Inf
+// bucket is not materialised — its cumulative count is Count.
+type HistogramValue struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []BucketValue     `json:"buckets,omitempty"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// BucketValue is one cumulative histogram bucket: the count of
+// observations ≤ LE.
+type BucketValue struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot copies the registry's current state. A nil registry
+// yields the zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			labels := labelMap(s.labels)
+			switch inst := s.inst.(type) {
+			case *Counter:
+				snap.Counters = append(snap.Counters,
+					MetricValue{Name: f.name, Labels: labels, Value: float64(inst.Value())})
+			case *DurationCounter:
+				snap.Counters = append(snap.Counters,
+					MetricValue{Name: f.name, Labels: labels, Value: inst.Seconds()})
+			case *Gauge:
+				snap.Gauges = append(snap.Gauges,
+					MetricValue{Name: f.name, Labels: labels, Value: inst.Value()})
+			case *Histogram:
+				hv := HistogramValue{Name: f.name, Labels: labels,
+					Sum: inst.Sum(), Count: inst.Count()}
+				cum := int64(0)
+				for i, b := range inst.bounds {
+					cum += inst.counts[i].Load()
+					hv.Buckets = append(hv.Buckets, BucketValue{LE: b, Count: cum})
+				}
+				snap.Histograms = append(snap.Histograms, hv)
+			}
+		}
+	}
+	return snap
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// seriesID identifies a series across snapshots: name plus the
+// canonical label rendering.
+func seriesID(name string, labels map[string]string) string {
+	_, key := labelKey(labelsOf(labels))
+	return name + "{" + key + "}"
+}
+
+func labelsOf(m map[string]string) []Label {
+	out := make([]Label, 0, len(m))
+	for k, v := range m {
+		out = append(out, Label{Key: k, Value: v})
+	}
+	return out
+}
+
+// Sub returns the per-series difference s − before: counters and
+// histogram buckets subtract (a series absent from before passes
+// through whole), gauges keep their current value (a level, not a
+// rate). Series that are zero after subtraction are dropped, so a
+// run report only carries what the run actually touched.
+func (s Snapshot) Sub(before Snapshot) Snapshot {
+	prevC := make(map[string]MetricValue, len(before.Counters))
+	for _, c := range before.Counters {
+		prevC[seriesID(c.Name, c.Labels)] = c
+	}
+	prevH := make(map[string]HistogramValue, len(before.Histograms))
+	for _, h := range before.Histograms {
+		prevH[seriesID(h.Name, h.Labels)] = h
+	}
+
+	var out Snapshot
+	for _, c := range s.Counters {
+		if p, ok := prevC[seriesID(c.Name, c.Labels)]; ok {
+			c.Value -= p.Value
+		}
+		if c.Value != 0 {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Value != 0 {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if p, ok := prevH[seriesID(h.Name, h.Labels)]; ok && len(p.Buckets) == len(h.Buckets) {
+			h.Sum -= p.Sum
+			h.Count -= p.Count
+			buckets := make([]BucketValue, len(h.Buckets))
+			for i := range h.Buckets {
+				buckets[i] = BucketValue{LE: h.Buckets[i].LE,
+					Count: h.Buckets[i].Count - p.Buckets[i].Count}
+			}
+			h.Buckets = buckets
+		}
+		if h.Count != 0 {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a run, with parent links: a root span
+// covers the whole run, children cover its phases. Timing is
+// monotonic (time.Time's monotonic reading, via time.Since), so spans
+// are immune to wall-clock steps. All methods are safe on a nil
+// receiver — nil spans are the disabled-telemetry fast path — and a
+// span's children may be started from concurrent goroutines.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	done     bool
+	children []*Span
+}
+
+// StartSpan begins a root span now.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a child span now and links it under s. On a nil
+// receiver it returns nil (whose methods all no-op).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End finishes the span and returns its duration. Ending twice keeps
+// the first duration; End on a nil span returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.dur = time.Since(s.start)
+		s.done = true
+	}
+	return s.dur
+}
+
+// Duration returns the span's duration: the recorded one once ended,
+// the running elapsed time before that, 0 on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Value renders the span tree as plain data (children in start
+// order). Nil spans render as the zero SpanValue; callers normally
+// guard with a nil check and omit the field instead.
+func (s *Span) Value() SpanValue {
+	if s == nil {
+		return SpanValue{}
+	}
+	s.mu.Lock()
+	v := SpanValue{Name: s.name, Start: s.start, Duration: s.dur}
+	if !s.done {
+		v.Duration = time.Since(s.start)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		v.Children = append(v.Children, c.Value())
+	}
+	return v
+}
+
+// SpanValue is the plain-data form of a finished span tree: it
+// marshals to JSON losslessly (Duration is nanoseconds) and carries
+// no locks, so it can live in run stats and reports.
+type SpanValue struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Children []SpanValue   `json:"children,omitempty"`
+}

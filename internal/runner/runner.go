@@ -26,6 +26,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalises a requested worker count: values <= 0 select
@@ -56,6 +57,26 @@ func Map[T any](n, workers int, trial func(i int) T) []T {
 // cancelled run can never fold a prefix that depends on worker timing.
 // With a never-cancelled ctx the returned error is always nil.
 func MapCtx[T any](ctx context.Context, n, workers int, trial func(i int) T) ([]T, error) {
+	return MapCtxObserved(ctx, n, workers, trial, nil)
+}
+
+// PoolObserver receives the pool's per-worker utilization telemetry.
+// ObserveWorker is called once per worker goroutine as it exits (from
+// that goroutine, so implementations must be safe for concurrent
+// use): trials is how many trial bodies the worker ran, busy the time
+// spent inside them, idle the remainder of the worker's lifetime
+// (dispatch overhead, contention, draining), and wait the dispatch
+// latency — pool start to the worker's first trial, or its whole
+// lifetime if it never received one. Timing never influences results;
+// a nil observer skips every clock read.
+type PoolObserver interface {
+	ObserveWorker(trials int, busy, idle, wait time.Duration)
+}
+
+// MapCtxObserved is MapCtx with optional worker-pool telemetry: a
+// non-nil PoolObserver receives one ObserveWorker call per worker.
+// With po == nil it is exactly MapCtx — no clocks are read.
+func MapCtxObserved[T any](ctx context.Context, n, workers int, trial func(i int) T, po PoolObserver) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -64,12 +85,35 @@ func MapCtx[T any](ctx context.Context, n, workers int, trial func(i int) T) ([]
 	if workers > n {
 		workers = n
 	}
+	var poolStart time.Time
+	if po != nil {
+		poolStart = time.Now()
+	}
 	if workers == 1 {
+		var busy time.Duration
+		var wait time.Duration
+		trials := 0
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				if po != nil {
+					po.ObserveWorker(trials, busy, time.Since(poolStart)-busy, wait)
+				}
 				return nil, err
 			}
+			if po == nil {
+				out[i] = trial(i)
+				continue
+			}
+			t0 := time.Now()
+			if trials == 0 {
+				wait = t0.Sub(poolStart)
+			}
 			out[i] = trial(i)
+			busy += time.Since(t0)
+			trials++
+		}
+		if po != nil {
+			po.ObserveWorker(trials, busy, time.Since(poolStart)-busy, wait)
 		}
 		return out, nil
 	}
@@ -81,10 +125,27 @@ func MapCtx[T any](ctx context.Context, n, workers int, trial func(i int) T) ([]
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var busy, wait time.Duration
+			trials := 0
+			if po != nil {
+				defer func() {
+					if wait == 0 && trials == 0 {
+						wait = time.Since(poolStart)
+					}
+					po.ObserveWorker(trials, busy, time.Since(poolStart)-busy, wait)
+				}()
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || panicked.Load() != nil || ctx.Err() != nil {
 					return
+				}
+				var t0 time.Time
+				if po != nil {
+					t0 = time.Now()
+					if trials == 0 {
+						wait = t0.Sub(poolStart)
+					}
 				}
 				func() {
 					defer func() {
@@ -96,6 +157,10 @@ func MapCtx[T any](ctx context.Context, n, workers int, trial func(i int) T) ([]
 					}()
 					out[i] = trial(i)
 				}()
+				if po != nil {
+					busy += time.Since(t0)
+					trials++
+				}
 			}
 		}()
 	}

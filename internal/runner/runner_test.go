@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -220,5 +221,84 @@ func TestMapCtxPreCancelled(t *testing.T) {
 		// Workers may each race one dispatch check; a pre-cancelled ctx
 		// must not run the whole grid.
 		t.Fatalf("pre-cancelled ctx still ran %d trials", calls.Load())
+	}
+}
+
+// poolRecorder collects ObserveWorker calls; safe for concurrent use.
+type poolRecorder struct {
+	mu      sync.Mutex
+	calls   int
+	trials  int
+	busy    time.Duration
+	idle    time.Duration
+	anyWait bool
+}
+
+func (p *poolRecorder) ObserveWorker(trials int, busy, idle, wait time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	p.trials += trials
+	p.busy += busy
+	p.idle += idle
+	if wait >= 0 {
+		p.anyWait = true
+	}
+}
+
+// TestMapCtxObserved: exactly one ObserveWorker call per worker, trial
+// counts summing to n, nonzero busy time, and results identical to the
+// unobserved path — at both the serial and the pooled shape.
+func TestMapCtxObserved(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := &poolRecorder{}
+		const n = 32
+		out, err := MapCtxObserved(context.Background(), n, workers, func(i int) int {
+			time.Sleep(100 * time.Microsecond)
+			return i * i
+		}, rec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		if rec.calls != workers {
+			t.Errorf("workers=%d: %d ObserveWorker calls", workers, rec.calls)
+		}
+		if rec.trials != n {
+			t.Errorf("workers=%d: observed %d trials, want %d", workers, rec.trials, n)
+		}
+		if rec.busy <= 0 {
+			t.Errorf("workers=%d: busy = %v, want > 0", workers, rec.busy)
+		}
+		if rec.idle < 0 {
+			t.Errorf("workers=%d: idle = %v, want >= 0", workers, rec.idle)
+		}
+	}
+}
+
+// TestMapCtxObservedCancelled: a cancelled pool still reports each
+// worker exactly once.
+func TestMapCtxObservedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &poolRecorder{}
+	var done atomic.Int64
+	_, err := MapCtxObserved(ctx, 10_000, 4, func(i int) int {
+		if done.Add(1) == 8 {
+			cancel()
+		}
+		return i
+	}, rec)
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if rec.calls != 4 {
+		t.Errorf("%d ObserveWorker calls, want 4", rec.calls)
+	}
+	if rec.trials >= 10_000 || rec.trials < 1 {
+		t.Errorf("observed %d trials after cancellation", rec.trials)
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 
 	"silenttracker/internal/campaign"
 	"silenttracker/internal/experiments"
+	"silenttracker/internal/obs"
 )
 
 // ErrUnknownExperiment is wrapped by errors returned for names that
@@ -45,6 +47,7 @@ type settings struct {
 	chaosProfile string
 	chaosSeed    int64
 	progress     func(Event)
+	metrics      bool
 }
 
 // storeCfg extracts the store-shaping subset of the settings. Two
@@ -53,7 +56,8 @@ type settings struct {
 func (s *settings) storeCfg() storeConfig {
 	return storeConfig{cacheDir: s.cacheDir, memBudget: s.memBudget,
 		remoteURL: s.remoteURL, custom: s.store, retry: s.retry,
-		chaosProfile: s.chaosProfile, chaosSeed: s.chaosSeed}
+		chaosProfile: s.chaosProfile, chaosSeed: s.chaosSeed,
+		metrics: s.metrics}
 }
 
 // Option configures a Client or a Session (functional options).
@@ -148,6 +152,17 @@ func WithoutCache() Option {
 // unsubscribes.
 func WithProgress(fn func(Event)) Option { return func(s *settings) { s.progress = fn } }
 
+// WithMetrics enables run telemetry: a metrics registry accumulating
+// counters and latency histograms across runs (engine phases, unit
+// compute/cache service time, store-tier latency, worker-pool
+// utilization), served as Prometheus text by MetricsHandler, plus a
+// per-run Report on every Result with the run's span tree and metric
+// deltas. Telemetry never changes results — rendered output is
+// byte-identical with metrics on or off — and costs nothing when off
+// (the default): the disabled hot path reads no clocks and allocates
+// nothing.
+func WithMetrics() Option { return func(s *settings) { s.metrics = true } }
+
 // Client is the entry point of the public API: it carries cross-run
 // configuration (result store, worker count, defaults for every
 // session) and hands out Sessions bound to single experiments. A
@@ -156,6 +171,7 @@ func WithProgress(fn func(Event)) Option { return func(s *settings) { s.progress
 type Client struct {
 	cfg   settings
 	store campaign.Store // nil when caching is disabled
+	obs   *obs.Registry  // nil without WithMetrics
 
 	// progressMu serialises progress callbacks across every session of
 	// this client, so WithProgress's no-locking-needed contract holds
@@ -173,12 +189,22 @@ func NewClient(opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	store, err := buildStore(cfg.storeCfg())
+	var reg *obs.Registry
+	if cfg.metrics {
+		reg = obs.NewRegistry()
+	}
+	store, err := buildStore(cfg.storeCfg(), reg)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg, store: store}, nil
+	return &Client{cfg: cfg, store: store, obs: reg}, nil
 }
+
+// MetricsHandler serves the client's metrics registry as Prometheus
+// text exposition (GET only) — mount it at /metrics on any HTTP
+// server. Without WithMetrics the handler serves an empty, valid
+// exposition, so mounting is always safe.
+func (c *Client) MetricsHandler() http.Handler { return c.obs.Handler() }
 
 // Close releases the client's result store (idle HTTP connections,
 // in-memory tiers). Sessions that built their own store via overriding
@@ -301,10 +327,20 @@ func (c *Client) Session(name string, opts ...Option) (*Session, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// The session's registry: the client's when metrics were already
+	// on (telemetry accumulates across the client's sessions), a fresh
+	// one when this session alone enables them, nil when it disables
+	// them.
+	reg := c.obs
+	if cfg.metrics && reg == nil {
+		reg = obs.NewRegistry()
+	} else if !cfg.metrics {
+		reg = nil
+	}
 	store, ownsStore := c.store, false
 	if cfg.storeCfg() != c.cfg.storeCfg() {
 		// The session overrode the store shape; build its own.
-		built, err := buildStore(cfg.storeCfg())
+		built, err := buildStore(cfg.storeCfg(), reg)
 		if err != nil {
 			return nil, err
 		}
@@ -316,6 +352,7 @@ func (c *Client) Session(name string, opts ...Option) (*Session, error) {
 		cfg:        cfg,
 		store:      store,
 		ownsStore:  ownsStore,
+		obs:        reg,
 		progressMu: &c.progressMu,
 		spec:       def.Build(params),
 	}, nil
@@ -339,8 +376,9 @@ type Session struct {
 	def        experiments.CampaignDef
 	cfg        settings
 	store      campaign.Store
-	ownsStore  bool        // the session built store (overriding options); Close releases it
-	progressMu *sync.Mutex // shared with the parent client's sessions
+	ownsStore  bool          // the session built store (overriding options); Close releases it
+	obs        *obs.Registry // nil without WithMetrics
+	progressMu *sync.Mutex   // shared with the parent client's sessions
 	spec       *campaign.Spec
 }
 
@@ -392,7 +430,7 @@ func (s *Session) Describe() *Description {
 // in the cache, and the returned error is a *CancelledError wrapping
 // ctx.Err().
 func (s *Session) Run(ctx context.Context) (*Result, error) {
-	eng := campaign.Engine{Store: s.store, Workers: s.cfg.workers}
+	eng := campaign.Engine{Store: s.store, Workers: s.cfg.workers, Obs: s.obs}
 	if fn := s.cfg.progress; fn != nil {
 		mu := s.progressMu
 		eng.Progress = func(ev campaign.Event) {
@@ -401,12 +439,19 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			fn(publicEvent(ev))
 		}
 	}
+	// Bracket the run with registry snapshots so the Report carries
+	// this run's deltas while the registry keeps accumulating totals
+	// for /metrics scrapes.
+	var before obs.Snapshot
+	if s.obs != nil {
+		before = s.obs.Snapshot()
+	}
 	cells, stats, err := eng.RunCtx(ctx, s.spec)
 	if err != nil {
 		return nil, &CancelledError{Stats: publicStats(stats), Err: err}
 	}
 	params := experiments.CampaignParams{Quick: s.cfg.quick, Seed: s.spec.Seed, Trials: s.spec.Trials}
-	return &Result{
+	res := &Result{
 		Campaign:    s.def.Name,
 		Title:       s.def.Title,
 		Description: s.spec.Description,
@@ -416,7 +461,11 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		Cells:       publicCells(cells),
 		Table:       publicTable(s.def.Table(cells, params)),
 		Stats:       publicStats(stats),
-	}, nil
+	}
+	if s.obs != nil {
+		res.Report = buildReport(s.def.Name, stats.Span, s.obs.Snapshot().Sub(before), res.Stats)
+	}
+	return res, nil
 }
 
 // publicEvent converts an engine progress event to its public mirror.
@@ -425,6 +474,8 @@ func publicEvent(ev campaign.Event) Event {
 	case campaign.UnitDone:
 		return UnitDone{Campaign: ev.Spec, Cell: publicCell(ev.Cell), Trial: ev.Trial,
 			Cached: ev.Cached, Done: ev.Done, Units: ev.Units}
+	case campaign.PhaseDone:
+		return PhaseDone{Campaign: ev.Spec, Phase: ev.Phase, Duration: ev.Duration}
 	case campaign.CellDone:
 		return CellDone{Campaign: ev.Spec, Cell: publicCell(ev.Cell),
 			Index: ev.Index, Cells: ev.Cells}

@@ -63,6 +63,21 @@
 // failed store write as Stats.PutFailed plus one StoreDegraded
 // progress event per run. None of it ever changes rendered bytes.
 //
+// # Metrics
+//
+// WithMetrics attaches a telemetry registry to the client (or, as a
+// session option, to one session). Each Run then carries
+// Result.Report — the run's span tree (expand/execute/fold phase
+// timings) plus per-run metric deltas: unit outcomes, per-unit
+// compute/cache service time, worker busy/idle/dispatch-wait, and
+// per-store-tier get/put latency histograms measured outside the
+// retry and breaker wrappers. Client.MetricsHandler serves the
+// cumulative registry as Prometheus text (the CLIs mount it under
+// -metrics-addr), and the engine emits PhaseDone progress events.
+// Telemetry is measurement, not results: rendered bytes are identical
+// with metrics on or off, and a client without WithMetrics pays
+// nothing — the instruments are nil and every call no-ops.
+//
 // # Determinism and rendering
 //
 // Results are deterministic: the same experiment, seed, and trial
@@ -80,6 +95,6 @@
 // the error (a *CancelledError wrapping ctx.Err()) reports how much
 // finished. A cancelled cold run followed by a warm run computes only
 // the remainder. WithProgress subscribes a callback to the typed event
-// stream (UnitDone, CellDone, SpecDone); events are delivered
+// stream (UnitDone, CellDone, PhaseDone, SpecDone); events are delivered
 // serially, so the callback needs no locking.
 package st

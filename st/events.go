@@ -1,5 +1,7 @@
 package st
 
+import "time"
+
 // Event is one item of a run's typed progress stream, subscribed with
 // WithProgress. Events are delivered serially — the engine holds a
 // lock around every callback — so a consumer needs no synchronisation.
@@ -20,6 +22,19 @@ type UnitDone struct {
 	Cached   bool // served from the cache; false = computed
 	Done     int  // units finished so far, including this one
 	Units    int  // total units of the run
+}
+
+// PhaseDone reports that one engine phase finished: "expand" (units
+// enumerated and content-addressed), "execute" (all units computed or
+// served from the store), or "fold" (results folded into grid order).
+// Phases are sequential, so PhaseDone("expand") precedes every
+// UnitDone and PhaseDone("fold") precedes SpecDone; a cancelled run
+// emits no further phase events. Durations vary run to run — they are
+// measurement, not results.
+type PhaseDone struct {
+	Campaign string
+	Phase    string // "expand", "execute", "fold"
+	Duration time.Duration
 }
 
 // CellDone reports that every trial of one cell has been folded; Index
@@ -50,6 +65,7 @@ type StoreDegraded struct {
 }
 
 func (UnitDone) progressEvent()      {}
+func (PhaseDone) progressEvent()     {}
 func (CellDone) progressEvent()      {}
 func (SpecDone) progressEvent()      {}
 func (StoreDegraded) progressEvent() {}

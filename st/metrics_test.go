@@ -1,0 +1,261 @@
+package st_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"silenttracker/st"
+)
+
+func findCounter(ps []st.MetricPoint, name string, labels map[string]string) (float64, bool) {
+	for _, p := range ps {
+		if p.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if p.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+func findHist(hs []st.HistogramPoint, name string, labels map[string]string) (st.HistogramPoint, bool) {
+	for _, h := range hs {
+		if h.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if h.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return h, true
+		}
+	}
+	return st.HistogramPoint{}, false
+}
+
+// TestMetricsRun drives the whole telemetry surface: per-run Report
+// deltas (phase spans, unit and store-tier histograms, worker
+// utilization), the cumulative Prometheus scrape, and the invariant
+// that telemetry never changes rendered output.
+func TestMetricsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	dir := t.TempDir()
+	client, err := st.NewClient(st.WithQuick(), st.WithTrials(2),
+		st.WithCacheDir(dir+"/cache"), st.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	cold, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Report == nil || warm.Report == nil {
+		t.Fatal("WithMetrics run returned no Report")
+	}
+
+	// Rendered bytes are identical with metrics on or off.
+	bare, err := st.NewClient(st.WithQuick(), st.WithTrials(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	ref, err := bare.Run(context.Background(), "fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := st.RenderText(&a, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderText(&b, ref); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("metrics changed rendered output")
+	}
+	if ref.Report != nil {
+		t.Error("Report present without WithMetrics")
+	}
+
+	// The span tree: root named after the campaign, the three engine
+	// phases as children, all with recorded time.
+	rep := cold.Report
+	if rep.Campaign != "fig2a" || rep.Span == nil || rep.Span.Name != "fig2a" {
+		t.Fatalf("report header: campaign %q, span %+v", rep.Campaign, rep.Span)
+	}
+	if len(rep.Span.Children) != 3 {
+		t.Fatalf("span has %d children, want expand/execute/fold", len(rep.Span.Children))
+	}
+	for i, want := range []string{"expand", "execute", "fold"} {
+		c := rep.Span.Children[i]
+		if c.Name != want || c.Duration <= 0 {
+			t.Errorf("span child %d = %q (%v), want %q with nonzero duration", i, c.Name, c.Duration, want)
+		}
+	}
+
+	// Per-run deltas: the cold run computed every unit, the warm run
+	// cached every unit — each report only carries its own split.
+	units := float64(cold.Stats.Units)
+	if got, ok := findCounter(rep.Counters, "st_campaign_units_total", map[string]string{"outcome": "computed"}); !ok || got != units {
+		t.Errorf("cold computed delta = %v (%v), want %v", got, ok, units)
+	}
+	if got, ok := findCounter(warm.Report.Counters, "st_campaign_units_total", map[string]string{"outcome": "cached"}); !ok || got != units {
+		t.Errorf("warm cached delta = %v (%v), want %v", got, ok, units)
+	}
+	if got, _ := findCounter(warm.Report.Counters, "st_campaign_units_total", map[string]string{"outcome": "computed"}); got != 0 {
+		t.Errorf("warm report leaked %v computed units from the cold run", got)
+	}
+
+	// Store-tier latency reaches the report through the observer
+	// wrapper: cold Gets missed then Put, warm Gets hit.
+	if h, ok := findHist(rep.Histograms, "st_store_put_seconds", map[string]string{"tier": "disk"}); !ok || h.Count != int64(units) {
+		t.Errorf("cold disk put histogram: %+v (%v)", h, ok)
+	}
+	if h, ok := findHist(warm.Report.Histograms, "st_store_get_seconds", map[string]string{"tier": "disk"}); !ok || h.Count != int64(units) {
+		t.Errorf("warm disk get histogram: %+v (%v)", h, ok)
+	}
+	if h, ok := findHist(warm.Report.Histograms, "st_unit_cache_seconds", nil); !ok || h.Count != int64(units) {
+		t.Errorf("warm cache-latency histogram: %+v (%v)", h, ok)
+	}
+
+	// Worker utilization: busy seconds accumulated, and bucket counts
+	// are cumulative with the last bucket equal to Count.
+	if got, ok := findCounter(rep.Counters, "st_worker_busy_seconds_total", nil); !ok || got <= 0 {
+		t.Errorf("worker busy seconds = %v (%v), want > 0", got, ok)
+	}
+	if h, ok := findHist(rep.Histograms, "st_phase_seconds", map[string]string{"phase": "execute"}); !ok {
+		t.Error("no execute phase histogram in report")
+	} else {
+		prev := int64(0)
+		for _, b := range h.Buckets {
+			if b.Count < prev {
+				t.Fatalf("bucket counts not cumulative: %+v", h.Buckets)
+			}
+			prev = b.Count
+		}
+		if len(h.Buckets) > 0 && h.Buckets[len(h.Buckets)-1].Count != h.Count {
+			t.Errorf("last bucket %d != count %d", h.Buckets[len(h.Buckets)-1].Count, h.Count)
+		}
+	}
+
+	// The report round-trips through JSON without loss.
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back st.Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Span == nil || len(back.Histograms) != len(rep.Histograms) {
+		t.Error("report JSON round trip lost data")
+	}
+
+	// The Prometheus scrape serves the cumulative registry: both runs'
+	// units, phase buckets, and store tiers.
+	srv := httptest.NewServer(client.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	text := body.String()
+	for _, want := range []string{
+		"# TYPE st_campaign_runs_total counter",
+		"st_campaign_runs_total 2",
+		"# TYPE st_phase_seconds histogram",
+		`st_phase_seconds_bucket{phase="execute",le="+Inf"} 2`,
+		`st_campaign_units_total{outcome="computed"}`,
+		`st_store_get_seconds_bucket{tier="disk",le="+Inf"}`,
+		"st_worker_busy_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// A metrics-less client's handler serves an empty, valid scrape.
+	bareSrv := httptest.NewServer(bare.MetricsHandler())
+	defer bareSrv.Close()
+	r2, err := http.Get(bareSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var empty bytes.Buffer
+	empty.ReadFrom(r2.Body)
+	if r2.StatusCode != http.StatusOK || empty.Len() != 0 {
+		t.Errorf("bare scrape: %d %q, want empty 200", r2.StatusCode, empty.String())
+	}
+}
+
+// TestMetricsSessionOverride: WithMetrics as a session option builds
+// session-local telemetry without touching the client's (absent)
+// registry, and the phase event stream carries PhaseDone markers.
+func TestMetricsSessionOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	var phases []string
+	client, err := st.NewClient(st.WithQuick(), st.WithTrials(2),
+		st.WithProgress(func(ev st.Event) {
+			if pd, ok := ev.(st.PhaseDone); ok {
+				phases = append(phases, pd.Phase)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	res, err := client.Run(context.Background(), "fig2a", st.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil {
+		t.Fatal("session-level WithMetrics returned no Report")
+	}
+	if len(phases) != 3 || phases[0] != "expand" || phases[2] != "fold" {
+		t.Errorf("phase events = %v, want [expand execute fold]", phases)
+	}
+	// The client itself never grew a registry: its handler is empty.
+	srv := httptest.NewServer(client.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if body.Len() != 0 {
+		t.Errorf("client registry grew from a session-local run: %q", body.String())
+	}
+}

@@ -1,0 +1,114 @@
+package st
+
+import (
+	"time"
+
+	"silenttracker/internal/obs"
+)
+
+// Span is one node of a run's timing tree: the root covers the whole
+// engine run (named after the campaign), its children the engine
+// phases (expand, execute, fold). Durations are measurement, not
+// results — they vary run to run while the folded cells do not.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Children []Span        `json:"children,omitempty"`
+}
+
+// MetricPoint is one counter or gauge reading: a name, optional
+// labels, and the value (counters and duration totals are per-run
+// deltas; gauges are levels at snapshot time).
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket: the count of
+// observations ≤ LE (upper bounds ascending; the implicit +Inf bucket
+// equals Count and is omitted — JSON cannot carry infinity).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramPoint is one histogram's per-run delta: cumulative
+// buckets, the sum of observed values, and the observation count.
+type HistogramPoint struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []Bucket          `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// Report is the structured telemetry of one run, attached to
+// Result.Report when the session carries a metrics registry
+// (WithMetrics). It is plain data — it marshals to JSON and back
+// without loss — and carries per-run deltas: the same run repeated
+// warm shows cache-hit histograms where the cold run showed compute
+// time, while the registry underneath keeps accumulating totals for
+// /metrics scrapes. Concurrent runs sharing one client see a
+// best-effort attribution, exactly like Stats.Store.
+type Report struct {
+	// Campaign is the canonical experiment name.
+	Campaign string `json:"campaign"`
+	// Span is the run's timing tree: phases under a root named after
+	// the campaign.
+	Span *Span `json:"span,omitempty"`
+	// Counters and Gauges are the run's metric deltas and levels —
+	// unit outcomes, worker busy/idle seconds, run counts.
+	Counters []MetricPoint `json:"counters,omitempty"`
+	Gauges   []MetricPoint `json:"gauges,omitempty"`
+	// Histograms carry the run's latency distributions: engine phases,
+	// per-unit compute/cache service time, store tiers, dispatch wait.
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+	// Stats duplicates Result.Stats so a report file stands alone.
+	Stats Stats `json:"stats"`
+}
+
+func publicSpan(v *obs.SpanValue) *Span {
+	if v == nil {
+		return nil
+	}
+	s := Span{Name: v.Name, Start: v.Start, Duration: v.Duration}
+	for i := range v.Children {
+		s.Children = append(s.Children, *publicSpan(&v.Children[i]))
+	}
+	return &s
+}
+
+func publicPoints(ms []obs.MetricValue) []MetricPoint {
+	if ms == nil {
+		return nil
+	}
+	out := make([]MetricPoint, len(ms))
+	for i, m := range ms {
+		out[i] = MetricPoint{Name: m.Name, Labels: m.Labels, Value: m.Value}
+	}
+	return out
+}
+
+// buildReport assembles the public report from a run's span tree, the
+// registry delta bracketing the run, and the run's stats.
+func buildReport(name string, span *obs.SpanValue, delta obs.Snapshot, stats Stats) *Report {
+	hists := make([]HistogramPoint, len(delta.Histograms))
+	for i, h := range delta.Histograms {
+		buckets := make([]Bucket, len(h.Buckets))
+		for j, b := range h.Buckets {
+			buckets[j] = Bucket{LE: b.LE, Count: b.Count}
+		}
+		hists[i] = HistogramPoint{Name: h.Name, Labels: h.Labels,
+			Buckets: buckets, Sum: h.Sum, Count: h.Count}
+	}
+	return &Report{
+		Campaign:   name,
+		Span:       publicSpan(span),
+		Counters:   publicPoints(delta.Counters),
+		Gauges:     publicPoints(delta.Gauges),
+		Histograms: hists,
+		Stats:      stats,
+	}
+}

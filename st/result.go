@@ -137,6 +137,11 @@ type Result struct {
 	Table Table `json:"table"`
 	// Stats summarises the run (cache hits, units computed, wall clock).
 	Stats Stats `json:"stats"`
+	// Report carries the run's telemetry — span tree, metric deltas,
+	// latency histograms — when the session enabled WithMetrics; nil
+	// otherwise. Like Elapsed it is measurement, not results: two runs
+	// with identical Cells and Table may carry different Reports.
+	Report *Report `json:"report,omitempty"`
 }
 
 // params reconstructs the experiment parameters that produced this

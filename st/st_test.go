@@ -369,9 +369,10 @@ func TestConcurrentRunsShareProgressCallback(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	// 3 cells × 2 trials + SpecDone + CellDone×3 for fig2a, 2 cells ×
-	// 2 trials + SpecDone + CellDone×2 for patterns.
-	if len(events) != (6+3+1)+(4+2+1) {
+	// 3 cells × 2 trials + PhaseDone×3 + SpecDone + CellDone×3 for
+	// fig2a, 2 cells × 2 trials + PhaseDone×3 + SpecDone + CellDone×2
+	// for patterns.
+	if len(events) != (6+3+3+1)+(4+2+3+1) {
 		t.Errorf("saw %d events", len(events))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"silenttracker/internal/campaign"
+	"silenttracker/internal/obs"
 )
 
 // TierStats is one result-store tier's counters for a run: how the
@@ -156,6 +157,9 @@ type storeConfig struct {
 	retry        RetryPolicy
 	chaosProfile string
 	chaosSeed    int64
+	// metrics participates in sharing: a session that flips telemetry
+	// needs its tiers wrapped (or unwrapped) for its own registry.
+	metrics bool
 }
 
 // buildStore assembles the resolved settings' store: the custom one
@@ -164,13 +168,16 @@ type storeConfig struct {
 // there is more than one. The remote tier is wrapped breaker →
 // retry → chaos → HTTP (chaos innermost so injected faults exercise
 // the real recovery path); WithChaos wraps whichever tier its
-// profile targets. Returns nil for a cacheless config.
-func buildStore(cfg storeConfig) (campaign.Store, error) {
+// profile targets. With a registry each tier is additionally wrapped
+// outermost in a latency observer, so the per-tier histograms see the
+// whole resilience stack — retries, backoff, breaker shorts — exactly
+// as the engine does. Returns nil for a cacheless config.
+func buildStore(cfg storeConfig, reg *obs.Registry) (campaign.Store, error) {
 	if cfg.custom != nil {
 		if cfg.chaosProfile != "" {
 			return nil, fmt.Errorf("st: WithChaos targets the built-in tiers and cannot wrap a WithStore backend")
 		}
-		return storeAdapter{cfg.custom}, nil
+		return campaign.ObserveStore(storeAdapter{cfg.custom}, "custom", reg), nil
 	}
 
 	// Resolve the chaos profile up front so a typo or a profile whose
@@ -207,7 +214,7 @@ func buildStore(cfg storeConfig) (campaign.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		tiers = append(tiers, mem)
+		tiers = append(tiers, campaign.ObserveStore(mem, "mem", reg))
 	}
 	if cfg.cacheDir != "" {
 		disk, err := campaign.Open(cfg.cacheDir)
@@ -218,7 +225,7 @@ func buildStore(cfg storeConfig) (campaign.Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		tiers = append(tiers, wrapped)
+		tiers = append(tiers, campaign.ObserveStore(wrapped, "disk", reg))
 	}
 	if cfg.remoteURL != "" {
 		remote, err := chaos("remote", campaign.NewHTTPStore(cfg.remoteURL, nil))
@@ -235,7 +242,7 @@ func buildStore(cfg storeConfig) (campaign.Store, error) {
 				Threshold: p.BreakerThreshold, Cooldown: p.BreakerCooldown,
 				CooldownOps: p.BreakerCooldownOps})
 		}
-		tiers = append(tiers, remote)
+		tiers = append(tiers, campaign.ObserveStore(remote, "remote", reg))
 	}
 	switch len(tiers) {
 	case 0:
