@@ -41,13 +41,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
 	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"silenttracker/st"
 )
@@ -110,17 +110,24 @@ func main() {
 	if *metricsAddr != "" {
 		// Bind synchronously so a bad address fails loudly before any
 		// experiment runs; serve in the background for the process
-		// lifetime.
-		ln, err := net.Listen("tcp", *metricsAddr)
+		// lifetime. st.NewHTTPServer reports serve failures instead of
+		// dropping them, and the deferred Stop closes the listener on the
+		// normal exit path (os.Exit paths skip defers by design).
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", client.MetricsHandler())
+		msrv, err := st.NewHTTPServer(*metricsAddr, mux, func(err error) {
+			fmt.Fprintf(os.Stderr, "stbench: -metrics-addr: serve: %v\n", err)
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stbench: -metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
-		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", client.MetricsHandler())
-		go http.Serve(ln, mux)
-		fmt.Fprintf(os.Stderr, "stbench: serving metrics on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			msrv.Stop(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "stbench: serving metrics on http://%s/metrics\n", msrv.Addr())
 	}
 	infos := client.Experiments()
 

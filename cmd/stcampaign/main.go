@@ -56,7 +56,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -214,6 +213,9 @@ func cmdRun(args []string) int {
 	opts = append(opts, st.WithProgress(func(ev st.Event) {
 		switch ev := ev.(type) {
 		case st.StoreDegraded:
+			// Finalise a half-painted progress line first, so the warning
+			// starts at column zero instead of gluing onto it.
+			prog.flush()
 			fmt.Fprintf(os.Stderr, "stcampaign: warning: %s: result store degraded: %v\n", ev.Campaign, ev.Err)
 		case st.UnitDone:
 			prog.update(ev)
@@ -239,19 +241,26 @@ func cmdRun(args []string) int {
 	defer client.Close()
 
 	// Bind the metrics listener synchronously so a bad address fails
-	// the run up front, then serve in the background for the process's
-	// lifetime — scrapes observe the registry's cumulative totals.
+	// the run up front, then serve in the background — scrapes observe
+	// the registry's cumulative totals. st.NewHTTPServer reports serve
+	// failures instead of dropping them, and the deferred Stop closes
+	// the listener on every exit path.
 	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", client.MetricsHandler())
+		msrv, err := st.NewHTTPServer(*metricsAddr, mux, func(err error) {
+			fmt.Fprintf(os.Stderr, "stcampaign: -metrics-addr: serve: %v\n", err)
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stcampaign: -metrics-addr: %v\n", err)
 			return 1
 		}
-		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", client.MetricsHandler())
-		go http.Serve(ln, mux)
-		fmt.Fprintf(os.Stderr, "stcampaign: serving metrics on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			msrv.Stop(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "stcampaign: serving metrics on http://%s/metrics\n", msrv.Addr())
 	}
 
 	// First ^C: cancel the context — the engine stops dispatching,
@@ -279,6 +288,9 @@ func cmdRun(args []string) int {
 		}
 		matched++
 		res, err := client.Run(ctx, in.Name)
+		// A cancelled or throttled run can leave the progress line
+		// mid-paint; finalise it before anything else prints to stderr.
+		prog.flush()
 		var cancelled *st.CancelledError
 		if errors.As(err, &cancelled) {
 			fmt.Fprintf(os.Stderr, "stcampaign: %s: %v\n", in.Name, err)
@@ -330,13 +342,19 @@ func cmdRun(args []string) int {
 
 // progressLine renders the -progress stderr line: overwritten in
 // place (carriage return, no newline) at most every 100ms, finalised
-// with a newline when the campaign's last unit lands. The event
-// stream is serialised by the client, so no locking is needed.
+// with a newline when the campaign's last unit lands — and by flush()
+// whenever something else is about to print to stderr (the stats
+// line, a store-degraded warning, a cancellation message), so the
+// line always ends in its latest state on its own line and never has
+// another message glued onto it. The event stream is serialised by
+// the client, so no locking is needed.
 type progressLine struct {
 	enabled          bool
 	campaign         string
 	start, last      time.Time
 	computed, cached int
+	done, units      int
+	pending          bool // a line is painted without its newline
 }
 
 func (p *progressLine) update(ev st.UnitDone) {
@@ -354,20 +372,36 @@ func (p *progressLine) update(ev st.UnitDone) {
 	} else {
 		p.computed++
 	}
+	p.done, p.units = ev.Done, ev.Units
 	final := ev.Done == ev.Units
 	if !final && now.Sub(p.last) < 100*time.Millisecond {
-		return
+		return // throttled; flush() repaints the latest state if needed
 	}
 	p.last = now
+	p.render(now, final)
+}
+
+// flush finalises a pending line with the latest counters and a
+// newline. A no-op when the line already ended cleanly.
+func (p *progressLine) flush() {
+	if !p.enabled || !p.pending {
+		return
+	}
+	p.render(time.Now(), true)
+}
+
+func (p *progressLine) render(now time.Time, newline bool) {
 	eta := "--"
-	if elapsed := now.Sub(p.start); ev.Done > 0 && elapsed > 0 {
-		remain := time.Duration(float64(elapsed) / float64(ev.Done) * float64(ev.Units-ev.Done))
+	if elapsed := now.Sub(p.start); p.done > 0 && elapsed > 0 {
+		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.units-p.done))
 		eta = remain.Round(100 * time.Millisecond).String()
 	}
 	fmt.Fprintf(os.Stderr, "\r%s: %d/%d units (computed %d, cached %d) eta %s",
-		ev.Campaign, ev.Done, ev.Units, p.computed, p.cached, eta)
-	if final {
+		p.campaign, p.done, p.units, p.computed, p.cached, eta)
+	p.pending = true
+	if newline {
 		fmt.Fprintln(os.Stderr)
+		p.pending = false
 	}
 }
 

@@ -1,0 +1,146 @@
+// Command stserve is the campaign daemon: a long-running HTTP service
+// that accepts campaign-run requests and multiplexes many concurrent
+// sessions over one shared result-store stack and one bounded pool of
+// session slots. Clients that would each run stcampaign — and each
+// recompute the sweep — instead POST jobs at one daemon and share its
+// cache: concurrent jobs of the same campaign converge on a single
+// set of computed units, and the second wave of an identical request
+// computes nothing.
+//
+// Submit a job and watch it:
+//
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"experiment":"hotspot","quick":true}'
+//	curl -s localhost:8080/jobs/j000001
+//	curl -sN localhost:8080/jobs/j000001/events     # SSE progress stream
+//	curl -s  localhost:8080/jobs/j000001/result     # stcampaign bytes
+//	curl -s 'localhost:8080/jobs/j000001/result?format=json'
+//	curl -s -X DELETE localhost:8080/jobs/j000001   # cancel
+//
+// Operational endpoints: GET /healthz (job counts; 503 while
+// draining), GET /metrics (Prometheus text: engine phases, store
+// tiers, job counters, per-route request metrics), and /store/ — the
+// daemon's result store in the storehttp wire format, so remote
+// workers can point `stcampaign -remote-cache http://daemon/store` at
+// it and share the same units.
+//
+// Store flags mirror stcampaign run: -cache-dir (default .stcache),
+// -no-cache, -mem-cache, -remote-cache, -remote-retry. -j sets each
+// session's trial parallelism; -max-jobs caps concurrently running
+// sessions (total trial workers ≤ max-jobs × j) and -max-queue caps
+// waiting jobs — beyond both, POST /jobs answers 429 so load sheds at
+// the edge.
+//
+// SIGINT/SIGTERM drains: admission closes, accepted jobs run to
+// completion (up to -drain, then they are cancelled and in-flight
+// units persist to the cache), the listener closes, and the process
+// exits 0. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"silenttracker/internal/serve"
+	"silenttracker/st"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("stserve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	cacheDir := fs.String("cache-dir", ".stcache", "content-addressed result cache directory")
+	noCache := fs.Bool("no-cache", false, "no disk cache tier (memory-only unless -remote-cache)")
+	memCache := fs.Int64("mem-cache", 64<<20, "in-memory LRU hot tier budget in bytes (0 = disabled)")
+	remoteCache := fs.String("remote-cache", "", "base URL of an upstream storehttp result store (\"\" = disabled)")
+	remoteRetry := fs.Int("remote-retry", 0, "attempts per remote-store op, with backoff and a circuit breaker (0 = disabled)")
+	jobs := fs.Int("j", 0, "per-session trial parallelism (0 = GOMAXPROCS)")
+	maxJobs := fs.Int("max-jobs", 4, "concurrently running sessions")
+	maxQueue := fs.Int("max-queue", 16, "queued jobs beyond which POST /jobs answers 429")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs before they are cancelled")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: stserve [flags]")
+		return 2
+	}
+
+	opts := []st.Option{st.WithWorkers(*jobs), st.WithMetrics()}
+	if !*noCache {
+		opts = append(opts, st.WithCacheDir(*cacheDir))
+	}
+	if *memCache > 0 {
+		opts = append(opts, st.WithMemCache(*memCache))
+	}
+	if *remoteCache != "" {
+		opts = append(opts, st.WithRemoteCache(*remoteCache))
+	}
+	if *remoteRetry > 0 {
+		p := st.DefaultRetryPolicy()
+		p.Attempts = *remoteRetry
+		opts = append(opts, st.WithRemoteRetry(p))
+	}
+	client, err := st.NewClient(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stserve: %v\n", err)
+		return 1
+	}
+	defer client.Close()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "stserve: "+format+"\n", args...)
+	}
+	daemon, err := serve.New(serve.Config{
+		Client:   client,
+		MaxJobs:  *maxJobs,
+		MaxQueue: *maxQueue,
+		Logf:     logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stserve: %v\n", err)
+		return 1
+	}
+	srv, err := st.NewHTTPServer(*addr, daemon, func(err error) {
+		fmt.Fprintf(os.Stderr, "stserve: serve: %v\n", err)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stserve: -addr: %v\n", err)
+		return 1
+	}
+	logf("listening on http://%s", srv.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	logf("%s — draining (again to abort)", sig)
+	go func() {
+		<-sigc
+		logf("second signal — aborting")
+		os.Exit(1)
+	}()
+
+	// Drain order: stop accepting and finish jobs first (the daemon
+	// answers status/SSE polls about the jobs it is finishing), then
+	// close the listener, then flush the client's store tiers.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := daemon.Shutdown(drainCtx); err != nil {
+		logf("drain: %v", err)
+	}
+	stopCtx, cancelStop := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancelStop()
+	if err := srv.Stop(stopCtx); err != nil {
+		logf("stop: %v", err)
+	}
+	if err := client.Close(); err != nil {
+		logf("close: %v", err)
+		return 1
+	}
+	logf("drained cleanly")
+	return 0
+}

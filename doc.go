@@ -33,9 +33,14 @@
 //   - internal/obs — dependency-free metrics registry (lock-free
 //     counters/gauges/histograms), run-scoped spans, Prometheus text
 //     exposition; a nil registry costs nothing
+//   - internal/serve — the stserve campaign daemon: concurrent job
+//     sessions over one shared store stack, SSE progress streams,
+//     admission control, graceful drain
 //   - internal/scenario    — declarative multi-cell, multi-UE world generator
 //   - cmd/{stbench, stcampaign, stsim, stmachine} — executables; stbench
 //     and stcampaign are thin shells over st (flags + renderer choice)
+//   - cmd/stserve — the campaign daemon binary (HTTP front of
+//     internal/serve)
 //   - examples/ — runnable scenarios (quickstart is the st API tour)
 //   - e2e/      — end-to-end CLI and examples tests (real binaries, os/exec)
 //

@@ -40,7 +40,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, "e2e:", err)
 		os.Exit(1)
 	}
-	for _, pkg := range []string{"stcampaign", "stbench"} {
+	for _, pkg := range []string{"stcampaign", "stbench", "stserve"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, pkg), "./cmd/"+pkg)
 		cmd.Dir = repoRoot
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,289 @@
+// End-to-end tests of the stserve campaign daemon: concurrent jobs
+// sharing one cache, results byte-identical to the CLI, cancellation
+// persisting completed units, and SIGTERM draining cleanly.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"silenttracker/st"
+)
+
+// serveDaemon is one running stserve process under test.
+type serveDaemon struct {
+	cmd        *exec.Cmd
+	base       string // http://host:port
+	mu         sync.Mutex
+	stderr     bytes.Buffer
+	readerDone chan struct{}
+}
+
+// startServe launches stserve on an ephemeral port in dir and waits
+// for its "listening on" announcement.
+func startServe(t *testing.T, dir string, args ...string) *serveDaemon {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "stserve"),
+		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Dir = dir
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &serveDaemon{cmd: cmd, readerDone: make(chan struct{})}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-d.readerDone
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(pipe)
+	for sc.Scan() {
+		line := sc.Text()
+		d.stderr.WriteString(line + "\n")
+		if idx := strings.Index(line, "listening on http://"); idx >= 0 {
+			d.base = strings.TrimPrefix(line[idx:], "listening on ")
+			break
+		}
+	}
+	if d.base == "" {
+		t.Fatalf("stserve never announced its address:\n%s", d.stderrText())
+	}
+	go func() {
+		defer close(d.readerDone)
+		for sc.Scan() {
+			d.mu.Lock()
+			d.stderr.WriteString(sc.Text() + "\n")
+			d.mu.Unlock()
+		}
+	}()
+	return d
+}
+
+func (d *serveDaemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+// stop SIGTERMs the daemon, asserts a clean exit, and returns its
+// full stderr.
+func (d *serveDaemon) stop(t *testing.T) string {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	kill := time.AfterFunc(120*time.Second, func() { d.cmd.Process.Kill() })
+	defer kill.Stop()
+	<-d.readerDone // drain stderr fully before Wait closes the pipe
+	if err := d.cmd.Wait(); err != nil {
+		t.Fatalf("stserve did not exit cleanly on SIGTERM: %v\nstderr:\n%s", err, d.stderrText())
+	}
+	return d.stderrText()
+}
+
+func (d *serveDaemon) submit(t *testing.T, req st.JobRequest) st.JobStatus {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d (%s), want 202", resp.StatusCode, body)
+	}
+	var status st.JobStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("decode job status %q: %v", body, err)
+	}
+	return status
+}
+
+func (d *serveDaemon) status(t *testing.T, id string) st.JobStatus {
+	t.Helper()
+	resp, err := http.Get(d.base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status st.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	return status
+}
+
+func (d *serveDaemon) wait(t *testing.T, id string, pred func(st.JobStatus) bool) st.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		status := d.status(t, id)
+		if pred(status) {
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached the awaited state: %+v", id, status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (d *serveDaemon) get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestServeSharedCache is the daemon acceptance gate: two waves of
+// four concurrent identical jobs — the second wave computes zero
+// units — with results byte-identical to the stcampaign CLI, job and
+// session counters on /metrics, and a clean SIGTERM drain.
+func TestServeSharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	const n = 4
+	dir := t.TempDir()
+	d := startServe(t, dir, "-cache-dir", filepath.Join(dir, "cache"), "-max-jobs", fmt.Sprint(n))
+
+	req := st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1}
+	wave := func() []st.JobStatus {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = d.submit(t, req).ID
+		}
+		out := make([]st.JobStatus, n)
+		for i, id := range ids {
+			out[i] = d.wait(t, id, func(s st.JobStatus) bool { return s.State.Terminal() })
+			if out[i].State != st.JobDone {
+				t.Fatalf("job %s: %+v, want done", id, out[i])
+			}
+		}
+		return out
+	}
+	wave()
+	second := wave()
+	for _, s := range second {
+		if s.Stats == nil || s.Stats.Computed != 0 || s.Stats.Cached != s.Stats.Units {
+			t.Errorf("second-wave job %s recomputed units: %+v", s.ID, s.Stats)
+		}
+	}
+
+	// Byte-identity with the CLI renderers, text and JSON.
+	refText, _, code := run(t, "stcampaign", "run", "-quick", "-trials", "1", "-no-cache", "hotspot")
+	if code != 0 {
+		t.Fatalf("reference text run exited %d", code)
+	}
+	refJSON, _, code := run(t, "stcampaign", "run", "-quick", "-trials", "1", "-no-cache", "-json", "hotspot")
+	if code != 0 {
+		t.Fatalf("reference JSON run exited %d", code)
+	}
+	id := second[0].ID
+	if code, body := d.get(t, "/jobs/"+id+"/result"); code != 200 || body != refText {
+		t.Errorf("daemon text result differs from stcampaign stdout (%d):\n--- daemon ---\n%s--- cli ---\n%s",
+			code, body, refText)
+	}
+	if code, body := d.get(t, "/jobs/"+id+"/result?format=json"); code != 200 || body != refJSON {
+		t.Errorf("daemon JSON result differs from stcampaign -json stdout (%d):\n--- daemon ---\n%s--- cli ---\n%s",
+			code, body, refJSON)
+	}
+
+	// The shared registry saw every job, session, and request.
+	code, metrics := d.get(t, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		fmt.Sprintf(`st_serve_jobs_total{state="done"} %d`, 2*n),
+		fmt.Sprintf("st_serve_sessions_total %d", 2*n),
+		`st_http_requests_total{code="2xx",route="jobs"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	stderr := d.stop(t)
+	for _, want := range []string{"draining", "drained cleanly"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("drain stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestServeCancelThenWarmCLI cancels a daemon job mid-run, drains the
+// daemon, and asserts a warm stcampaign run against the same cache
+// directory finishes from what the cancelled job persisted.
+func TestServeCancelThenWarmCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	d := startServe(t, dir, "-cache-dir", cacheDir)
+
+	// One worker, so units land one at a time and the cancel window is
+	// wide.
+	status := d.submit(t, st.JobRequest{Experiment: "urban", Quick: true, Workers: 1})
+	d.wait(t, status.ID, func(s st.JobStatus) bool { return s.Done >= 1 || s.State.Terminal() })
+	req, err := http.NewRequest(http.MethodDelete, d.base+"/jobs/"+status.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d, want 202", resp.StatusCode)
+	}
+	final := d.wait(t, status.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+	if final.State != st.JobDone && final.State != st.JobCancelled {
+		t.Fatalf("cancelled job: %+v", final)
+	}
+	if final.Stats == nil {
+		t.Fatalf("terminal job carries no stats: %+v", final)
+	}
+	persisted := final.Stats.Computed + final.Stats.Cached
+	d.stop(t)
+
+	// The warm CLI run finishes from the daemon's cache: cached equals
+	// what the daemon persisted, computed is exactly the remainder.
+	_, warmErr, code := run(t, "stcampaign", "run", "-quick", "-cache-dir", cacheDir, "urban")
+	if code != 0 {
+		t.Fatalf("warm CLI run exited %d: %s", code, warmErr)
+	}
+	var units, computed, cached int
+	if _, err := fmt.Sscanf(lastLine(warmErr), "urban: units=%d computed=%d cached=%d",
+		&units, &computed, &cached); err != nil {
+		t.Fatalf("cannot parse warm stats from %q: %v", warmErr, err)
+	}
+	if cached != persisted || computed != units-persisted {
+		t.Errorf("warm CLI run: units=%d computed=%d cached=%d, want cached=%d computed=%d",
+			units, computed, cached, persisted, units-persisted)
+	}
+}

@@ -1,0 +1,167 @@
+// Serve: driving the stserve campaign daemon over plain HTTP. The
+// daemon is started in-process here so the example is self-contained,
+// but every request below is exactly what you would type against a
+// real one (stserve -addr localhost:8080):
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"experiment":"hotspot","quick":true,"trials":1}'
+//	curl -sN localhost:8080/jobs/j000001/events      # SSE progress stream
+//	curl -s  localhost:8080/jobs/j000001/result      # stcampaign bytes
+//	curl -s  localhost:8080/metrics | grep st_serve
+//
+// Two identical jobs run back to back: the first computes every unit,
+// the second is served entirely from the daemon's shared result store
+// — computed=0 — with byte-identical results. That is the point of
+// the daemon: N clients share one cache instead of each recomputing.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"silenttracker/internal/serve"
+	"silenttracker/st"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A daemon is an st.Client (the store stack every job shares)
+	// wrapped in serve.New and mounted on any HTTP server.
+	dir, err := os.MkdirTemp("", "st-serve-example")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	client, err := st.NewClient(
+		st.WithCacheDir(filepath.Join(dir, "cache")),
+		st.WithMetrics(),
+	)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	daemon, err := serve.New(serve.Config{Client: client})
+	if err != nil {
+		return err
+	}
+	srv, err := st.NewHTTPServer("127.0.0.1:0", daemon, nil)
+	if err != nil {
+		return err
+	}
+	base := "http://" + srv.Addr().String()
+	fmt.Printf("daemon listening (ephemeral port)\n\n")
+
+	// POST /jobs — the body is an st.JobRequest; the knobs mirror the
+	// st.With* options.
+	for wave := 1; wave <= 2; wave++ {
+		status, err := submit(base, st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wave %d: submitted %s (%s)\n", wave, status.ID, status.State)
+
+		// GET /jobs/{id}/events — typed progress as SSE. Each data
+		// frame is an st.JobEvent; JobEvent.Event() turns it back into
+		// the same typed event a local WithProgress callback sees.
+		final, err := watch(base, status.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wave %d: %s — units=%d computed=%d cached=%d\n",
+			wave, final.State, final.Stats.Units, final.Stats.Computed, final.Stats.Cached)
+
+		// GET /jobs/{id}/result — byte-identical to `stcampaign run`.
+		resp, err := http.Get(base + "/jobs/" + status.ID + "/result")
+		if err != nil {
+			return err
+		}
+		var table bytes.Buffer
+		table.ReadFrom(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("wave %d result: %d bytes of stcampaign-identical table\n\n", wave, table.Len())
+	}
+
+	// GET /metrics — one registry covers engine, store, and daemon.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "st_serve_jobs_total") ||
+			strings.HasPrefix(line, "st_serve_sessions_total") {
+			fmt.Println(line)
+		}
+	}
+
+	ctx := context.Background()
+	if err := daemon.Shutdown(ctx); err != nil {
+		return err
+	}
+	return srv.Stop(ctx)
+}
+
+func submit(base string, req st.JobRequest) (st.JobStatus, error) {
+	var status st.JobStatus
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return status, err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return status, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return status, fmt.Errorf("POST /jobs: %s", resp.Status)
+	}
+	return status, json.NewDecoder(resp.Body).Decode(&status)
+}
+
+// watch follows the job's SSE stream — counting unit_done frames,
+// noting phase transitions — until the terminal "job" frame.
+func watch(base, id string) (*st.JobStatus, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	units := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev st.JobEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, err
+		}
+		if ev.Type == "job" {
+			fmt.Printf("  %d unit_done frames, terminal %q frame\n", units, ev.Type)
+			return ev.Job, nil
+		}
+		if typed, ok := ev.Event(); ok {
+			switch typed.(type) {
+			case st.UnitDone:
+				units++
+			case st.PhaseDone:
+				fmt.Printf("  phase %-8s done\n", ev.Phase)
+			}
+		}
+	}
+	return nil, fmt.Errorf("event stream ended without a terminal frame")
+}

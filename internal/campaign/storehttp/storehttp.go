@@ -29,7 +29,6 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"time"
 
 	"silenttracker/internal/campaign"
 	"silenttracker/internal/obs"
@@ -62,10 +61,12 @@ type config struct {
 }
 
 // WithRegistry attaches a metrics registry: the handler counts and
-// times requests per route (st_http_requests_total,
-// st_http_request_seconds) and serves the whole registry — including
-// whatever else the process records into it — as Prometheus text on
-// GET /metrics.
+// times requests per route and status class
+// (st_http_requests_total{route,code} — a 200 hit, a 404 miss, and a
+// 400 malformed hash land in distinct series — plus
+// st_http_request_seconds{route}) and serves the whole registry —
+// including whatever else the process records into it — as Prometheus
+// text on GET /metrics.
 func WithRegistry(r *obs.Registry) Option {
 	return func(c *config) { c.reg = r }
 }
@@ -86,28 +87,15 @@ func Handler(s campaign.Store, opts ...Option) http.Handler {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	// route wraps a handler with per-route request count and latency.
-	// Without a registry the handler passes through untouched — no
-	// clock reads, no wrapper frame.
-	route := func(name string, h http.HandlerFunc) http.HandlerFunc {
-		if cfg.reg == nil {
-			return h
-		}
-		ctr := cfg.reg.Counter("st_http_requests_total",
-			"Store server requests by route.", obs.L("route", name))
-		hist := cfg.reg.Histogram("st_http_request_seconds",
-			"Store server request latency by route.",
-			obs.LatencyBuckets, obs.L("route", name))
-		return func(w http.ResponseWriter, r *http.Request) {
-			t0 := time.Now()
-			h(w, r)
-			ctr.Inc()
-			hist.ObserveSince(t0)
-		}
+	// route wraps a handler with per-route request count (by status
+	// class) and latency. Without a registry the handler passes
+	// through untouched — no clock reads, no wrapper frame.
+	route := func(name string, h http.HandlerFunc) http.Handler {
+		return obs.Instrument(cfg.reg, name, h)
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/units/", route("units", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/units/", route("units", func(w http.ResponseWriter, r *http.Request) {
 		hash := strings.TrimPrefix(r.URL.Path, "/units/")
 		if !validHash(hash) {
 			http.Error(w, "storehttp: malformed unit hash", http.StatusBadRequest)
@@ -123,21 +111,20 @@ func Handler(s campaign.Store, opts ...Option) http.Handler {
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
 		}
 	}))
-	mux.HandleFunc("/stats", route("stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/stats", route("stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", "GET")
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.Stats())
+		writeJSON(w, http.StatusOK, s.Stats())
 	}))
 	// The health probe daemons and load balancers poll. It answers
 	// even while the store limps — that is the point: 200 "ok" means
 	// healthy, 503 "degraded" (open breaker, downed tier) means route
 	// traffic elsewhere but the process is alive. The body carries the
 	// per-tier counters so a human reading the probe sees why.
-	mux.HandleFunc("/healthz", route("healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/healthz", route("healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", "GET")
 			http.Error(w, "storehttp: method not allowed", http.StatusMethodNotAllowed)
@@ -149,14 +136,29 @@ func Handler(s campaign.Store, opts ...Option) http.Handler {
 			h.Status = "degraded"
 			code = http.StatusServiceUnavailable
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		json.NewEncoder(w).Encode(h)
+		writeJSON(w, code, h)
 	}))
 	if cfg.reg != nil {
 		mux.Handle("/metrics", route("metrics", cfg.reg.Handler().ServeHTTP))
 	}
 	return mux
+}
+
+// writeJSON marshals v before touching the ResponseWriter, so an
+// encoding failure becomes a clean 500 instead of a torn 200 whose
+// error used to be dropped on the floor (json.Encoder.Encode straight
+// into the writer cannot take the status back once it fails midway).
+// A write error after that means the client went away — there is no
+// one left to tell, so it is deliberately not checked.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "storehttp: encode response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
 }
 
 func serveGet(w http.ResponseWriter, s campaign.Store, hash string) {

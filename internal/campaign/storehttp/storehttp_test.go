@@ -265,15 +265,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv := httptest.NewServer(storehttp.Handler(campaign.NewMemStore(1<<20), storehttp.WithRegistry(reg)))
 	defer srv.Close()
 
-	// Drive one units miss and one stats hit so the route counters move.
-	if r, err := http.Get(srv.URL + "/units/" + hash); err != nil {
-		t.Fatal(err)
-	} else {
-		r.Body.Close()
-	}
-	if r, err := http.Get(srv.URL + "/stats"); err != nil {
-		t.Fatal(err)
-	} else {
+	// Drive one units miss (404), one malformed hash (400), and one
+	// stats hit (200) so distinct status classes move on one route.
+	for _, path := range []string{"/units/" + hash, "/units/not-a-hash", "/stats"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
 		r.Body.Close()
 	}
 
@@ -293,10 +291,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	body := buf.String()
 	for _, want := range []string{
 		"# TYPE st_http_requests_total counter",
-		`st_http_requests_total{route="units"} 1`,
-		`st_http_requests_total{route="stats"} 1`,
+		// The status-class label keeps a hit, a miss, and a malformed
+		// request in distinct series on the same route.
+		`st_http_requests_total{code="4xx",route="units"} 2`,
+		`st_http_requests_total{code="2xx",route="units"} 0`,
+		`st_http_requests_total{code="2xx",route="stats"} 1`,
 		"# TYPE st_http_request_seconds histogram",
-		`st_http_request_seconds_bucket{route="units",le="+Inf"} 1`,
+		`st_http_request_seconds_bucket{route="units",le="+Inf"} 2`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusClasses are the label values of the code dimension, indexed by
+// status/100 - 1. Every class series is registered up front so a scrape
+// always sees the full matrix (a zero 5xx row is information too).
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Instrument wraps h with per-route request telemetry on reg: a
+// request counter by status class (st_http_requests_total{route,code},
+// code one of "1xx".."5xx", so a 200 hit, a 404 miss, and a 500
+// backend failure are distinguishable) and a latency histogram
+// (st_http_request_seconds{route}). A nil registry returns h
+// untouched — no wrapper frame, no clock reads.
+//
+// The wrapped ResponseWriter passes Flush through (streaming handlers
+// keep working) and exposes the original writer via Unwrap for
+// http.ResponseController.
+func Instrument(reg *Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	hist := reg.Histogram("st_http_request_seconds",
+		"HTTP request latency by route.",
+		LatencyBuckets, L("route", route))
+	var byClass [len(statusClasses)]*Counter
+	for i, class := range statusClasses {
+		byClass[i] = reg.Counter("st_http_requests_total",
+			"HTTP requests by route and status class.",
+			L("code", class), L("route", route))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		class := sw.status()/100 - 1
+		if class < 0 || class >= len(byClass) {
+			// A handler wrote a status outside 1xx–5xx; net/http
+			// panics on those before they reach a client, but a
+			// recovered handler could still land here — count it as a
+			// server-side failure rather than dropping the request.
+			class = 4
+		}
+		byClass[class].Inc()
+		hist.ObserveSince(t0)
+	})
+}
+
+// statusWriter records the first status code written (200 when the
+// handler writes a body without an explicit WriteHeader, as net/http
+// does).
+type statusWriter struct {
+	http.ResponseWriter
+	code int // 0 until the handler commits a status
+}
+
+// status returns the committed status code; a handler that never wrote
+// anything is an implicit 200, matching what the client observed.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so instrumented streaming
+// responses (SSE) still flush per event.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"silenttracker/st"
+)
+
+// job is one admitted campaign run: a context (cancellation handle),
+// an append-only event buffer every SSE subscriber replays, and the
+// state machine queued → running → done/cancelled/failed.
+//
+// Lock discipline: j.mu guards everything below it; the server takes
+// s.mu → j.mu, never the reverse, and the progress callback (engine
+// goroutine) takes only j.mu. cond broadcasts on every append and
+// state change, waking SSE subscribers.
+type job struct {
+	id     string // assigned under s.mu at admission, constant after
+	req    st.JobRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  st.JobState
+	done   int // live UnitDone progress
+	units  int
+	events []st.JobEvent
+	stats  *st.Stats
+	err    string
+	result *st.Result
+}
+
+func newJob(base context.Context, req st.JobRequest) *job {
+	ctx, cancel := context.WithCancel(base)
+	j := &job{req: req, ctx: ctx, cancel: cancel, state: st.JobQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// onEvent is the session's progress callback: flatten to the wire
+// form, append, wake subscribers. The engine delivers events
+// synchronously, so the buffer order IS the contract order.
+func (j *job) onEvent(ev st.Event) {
+	wire := st.EventWire(ev)
+	j.mu.Lock()
+	if u, ok := ev.(st.UnitDone); ok {
+		j.done, j.units = u.Done, u.Units
+	}
+	j.events = append(j.events, wire)
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+func (j *job) transition(state st.JobState) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// finish classifies the run's outcome, records it, and appends the
+// terminal "job" frame. State flip and terminal append share one
+// critical section, so a subscriber that observes a terminal state
+// with the buffer drained knows the stream is over.
+func (j *job) finish(res *st.Result, runErr error) st.JobState {
+	var state st.JobState
+	var stats *st.Stats
+	var msg string
+	var cancelled *st.CancelledError
+	switch {
+	case runErr == nil:
+		state = st.JobDone
+		s := res.Stats
+		stats = &s
+	case errors.As(runErr, &cancelled):
+		state = st.JobCancelled
+		s := cancelled.Stats
+		stats = &s
+		msg = runErr.Error()
+	case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		state = st.JobCancelled // cancelled while queued: never ran, no stats
+		msg = runErr.Error()
+	default:
+		state = st.JobFailed
+		msg = runErr.Error()
+	}
+	j.mu.Lock()
+	j.state = state
+	j.stats = stats
+	j.err = msg
+	j.result = res
+	if state == st.JobDone {
+		j.done, j.units = res.Stats.Units, res.Stats.Units
+	}
+	status := j.snapshotLocked()
+	j.events = append(j.events, st.JobEvent{Type: "job", Campaign: j.req.Experiment, Job: &status})
+	j.mu.Unlock()
+	j.cond.Broadcast()
+	return state
+}
+
+func (j *job) snapshotLocked() st.JobStatus {
+	return st.JobStatus{
+		ID:         j.id,
+		Experiment: j.req.Experiment,
+		State:      j.state,
+		Done:       j.done,
+		Units:      j.units,
+		Stats:      j.stats,
+		Error:      j.err,
+	}
+}
+
+func (j *job) snapshot() st.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *job) queuedState() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == st.JobQueued
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+func (j *job) broadcast() { j.cond.Broadcast() }

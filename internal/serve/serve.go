@@ -1,0 +1,533 @@
+// Package serve implements the stserve campaign daemon: a long-
+// running HTTP service that accepts campaign-run requests and
+// multiplexes many concurrent sessions over one shared result-store
+// stack and one bounded pool of session slots.
+//
+// The daemon is a consumer of the public silenttracker/st API — every
+// job is an st.Session on one shared st.Client, so jobs get exactly
+// the capabilities a local caller has (content-addressed caching,
+// tiered stores, resilience wrappers, typed progress events,
+// cancellation), and concurrent jobs of the same campaign converge on
+// a single set of computed units: the second wave of an identical
+// request computes nothing.
+//
+// Routes:
+//
+//	POST   /jobs              submit a job (st.JobRequest body) →
+//	                          202 + st.JobStatus, 429 when the
+//	                          admission queue is full
+//	GET    /jobs              list jobs in submission order
+//	GET    /jobs/{id}         status (state, queue position, live
+//	                          progress, final stats)
+//	GET    /jobs/{id}/events  typed progress stream as SSE
+//	                          (st.JobEvent frames; the full history
+//	                          replays on connect, a terminal "job"
+//	                          frame ends the stream)
+//	GET    /jobs/{id}/result  rendered result: ?format=text (default,
+//	                          stcampaign bytes), json (stcampaign
+//	                          -json bytes), bench (stbench bytes)
+//	DELETE /jobs/{id}         cancel (st.RunCtx semantics: in-flight
+//	                          units finish and persist)
+//	/store/...                the shared result store in the storehttp
+//	                          wire format, so remote workers can point
+//	                          -remote-cache at this daemon
+//	GET    /healthz           liveness + drain state + job counts
+//	GET    /metrics           the client's registry as Prometheus text
+//	                          (engine phases, store tiers, worker
+//	                          utilization, plus the daemon's job
+//	                          counters and per-route request metrics)
+//
+// Admission control bounds the work the daemon will hold: at most
+// MaxJobs sessions run concurrently (each with the client's worker
+// count, so total trial workers are bounded by MaxJobs × workers) and
+// at most MaxQueue jobs wait; beyond that POST /jobs answers 429 so
+// load sheds at the edge instead of queueing unboundedly — the
+// end-to-end admission discipline of the congestion-control line of
+// work this repo's papers sit in.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"silenttracker/internal/obs"
+	"silenttracker/internal/stx"
+	"silenttracker/st"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Client is the shared session factory: its store stack, worker
+	// count, and metrics registry are the daemon's. Required.
+	Client *st.Client
+	// MaxJobs caps concurrently running sessions (≤ 0 → 4).
+	MaxJobs int
+	// MaxQueue caps jobs waiting for a slot (≤ 0 → 16); beyond it
+	// POST /jobs answers 429.
+	MaxQueue int
+	// MaxHistory caps retained terminal jobs (≤ 0 → 256); the oldest
+	// finished jobs (and their results) are dropped beyond it, so a
+	// long-lived daemon's memory is bounded.
+	MaxHistory int
+	// Logf, when non-nil, receives one line per lifecycle step.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon. It serves its whole API via ServeHTTP, so it
+// mounts on any http.Server (cmd/stserve pairs it with
+// st.NewHTTPServer) or httptest server.
+type Server struct {
+	client     *st.Client
+	maxJobs    int
+	maxQueue   int
+	maxHistory int
+	logf       func(string, ...any)
+	reg        *obs.Registry
+	mux        *http.ServeMux
+	sem        chan struct{} // session slots; len == running sessions
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order (queue position, listing, reaping)
+	nextID   int
+	running  int
+	queued   int
+	draining bool
+	wg       sync.WaitGroup // one count per admitted job goroutine
+
+	mSubmitted *obs.Counter
+	mRejected  *obs.Counter
+	mSessions  *obs.Counter
+	mDone      *obs.Counter
+	mCancelled *obs.Counter
+	mFailed    *obs.Counter
+	mActive    *obs.Gauge
+	mQueued    *obs.Gauge
+}
+
+// New builds a Server around cfg.Client.
+func New(cfg Config) (*Server, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("serve: Config.Client is required")
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 256
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		client:     cfg.Client,
+		maxJobs:    cfg.MaxJobs,
+		maxQueue:   cfg.MaxQueue,
+		maxHistory: cfg.MaxHistory,
+		logf:       logf,
+		reg:        stx.ClientRegistry(cfg.Client), // nil without WithMetrics; every instrument below no-ops
+		sem:        make(chan struct{}, cfg.MaxJobs),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+	}
+	s.mSubmitted = s.reg.Counter("st_serve_jobs_submitted_total", "Jobs accepted by POST /jobs.")
+	s.mRejected = s.reg.Counter("st_serve_jobs_rejected_total", "Jobs rejected by admission control (429).")
+	s.mSessions = s.reg.Counter("st_serve_sessions_total", "Campaign sessions started.")
+	s.mDone = s.reg.Counter("st_serve_jobs_total", "Jobs finished, by terminal state.", obs.L("state", "done"))
+	s.mCancelled = s.reg.Counter("st_serve_jobs_total", "Jobs finished, by terminal state.", obs.L("state", "cancelled"))
+	s.mFailed = s.reg.Counter("st_serve_jobs_total", "Jobs finished, by terminal state.", obs.L("state", "failed"))
+	s.mActive = s.reg.Gauge("st_serve_jobs_active", "Jobs currently running.")
+	s.mQueued = s.reg.Gauge("st_serve_jobs_queued", "Jobs currently queued.")
+
+	route := func(name string, h http.HandlerFunc) http.Handler {
+		return obs.Instrument(s.reg, name, h)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /jobs", route("jobs", s.handleSubmit))
+	mux.Handle("GET /jobs", route("jobs", s.handleList))
+	mux.Handle("GET /jobs/{id}", route("job", s.handleStatus))
+	mux.Handle("DELETE /jobs/{id}", route("job", s.handleCancel))
+	mux.Handle("GET /jobs/{id}/events", route("events", s.handleEvents))
+	mux.Handle("GET /jobs/{id}/result", route("result", s.handleResult))
+	mux.Handle("GET /healthz", route("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", route("metrics", cfg.Client.MetricsHandler().ServeHTTP))
+	// The store speaks its own wire format below /store/ and records
+	// its own per-route metrics (units/stats/healthz), so it is not
+	// double-counted under a "store" route.
+	mux.Handle("/store/", http.StripPrefix("/store", cfg.Client.StoreHandler()))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP serves the daemon API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the daemon: admission closes (POST /jobs answers
+// 503 and /healthz reports draining), and every accepted job —
+// running or still queued — runs to completion. If ctx expires first,
+// every job's context is cancelled; RunCtx semantics apply, so
+// in-flight units finish and persist to the shared store, and a warm
+// rerun (daemon or CLI) computes only the remainder. Shutdown returns
+// once the last job goroutine has stopped; the HTTP listener is the
+// caller's to close afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	running, queued := s.running, s.queued
+	s.mu.Unlock()
+	s.logf("draining: %d running, %d queued", running, queued)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.logf("drain deadline hit: cancelling remaining jobs")
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req st.JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.errorf(w, http.StatusBadRequest, "malformed job request: %v", err)
+		return
+	}
+	if req.Experiment == "" {
+		s.errorf(w, http.StatusBadRequest, "job request names no experiment")
+		return
+	}
+	j := newJob(s.baseCtx, req)
+	// Build the session up front so a bad request fails here, not
+	// inside the job goroutine: the session pins the exact sweep and
+	// subscribes the job's event buffer to the progress stream.
+	sess, err := s.client.Session(req.Experiment, append(req.Options(), st.WithProgress(j.onEvent))...)
+	if errors.Is(err, st.ErrUnknownExperiment) {
+		s.errorf(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err != nil {
+		s.errorf(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.errorf(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	if s.running >= s.maxJobs && s.queued >= s.maxQueue {
+		s.mRejected.Inc()
+		running, queued := s.running, s.queued
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		s.errorf(w, http.StatusTooManyRequests,
+			"admission queue full (%d running, %d queued)", running, queued)
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.queued++
+	s.mQueued.Set(float64(s.queued))
+	s.mSubmitted.Inc()
+	s.wg.Add(1) // inside the lock: Shutdown must not miss an admitted job
+	status := s.statusLocked(j)
+	s.mu.Unlock()
+
+	go s.runJob(j, sess)
+	s.logf("job %s: queued %s", j.id, req.Experiment)
+	w.Header().Set("Location", "/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+// runJob carries one job through its lifecycle: wait for a session
+// slot, run, finish, account.
+func (s *Server) runJob(j *job, sess *st.Session) {
+	defer s.wg.Done()
+	defer sess.Close()
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.mQueued.Set(float64(s.queued))
+		s.mu.Unlock()
+		j.finish(nil, fmt.Errorf("cancelled while queued: %w", j.ctx.Err()))
+		s.mCancelled.Inc()
+		s.reap()
+		s.logf("job %s: cancelled while queued", j.id)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.mQueued.Set(float64(s.queued))
+	s.mActive.Set(float64(s.running))
+	s.mu.Unlock()
+	s.mSessions.Inc()
+	j.transition(st.JobRunning)
+	s.logf("job %s: running %s", j.id, j.req.Experiment)
+
+	res, err := sess.Run(j.ctx)
+	state := j.finish(res, err)
+
+	s.mu.Lock()
+	s.running--
+	s.mActive.Set(float64(s.running))
+	s.mu.Unlock()
+	switch state {
+	case st.JobDone:
+		s.mDone.Inc()
+		s.logf("job %s: done (%s)", j.id, res.Stats)
+	case st.JobCancelled:
+		s.mCancelled.Inc()
+		s.logf("job %s: cancelled (%v)", j.id, err)
+	default:
+		s.mFailed.Inc()
+		s.logf("job %s: failed: %v", j.id, err)
+	}
+	s.reap()
+}
+
+// reap drops the oldest terminal jobs beyond the history cap, so a
+// long-lived daemon holds a bounded number of results.
+func (s *Server) reap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, j := range s.order {
+		if j.terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.maxHistory {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if terminal > s.maxHistory && j.terminal() {
+			delete(s.jobs, j.id)
+			terminal--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// lookup resolves {id}; on a miss it writes the 404 and returns nil.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		s.errorf(w, http.StatusNotFound, "no such job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	status := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]st.JobStatus, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, s.statusLocked(j))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	s.logf("job %s: cancel requested", j.id)
+	s.mu.Lock()
+	status := s.statusLocked(j)
+	s.mu.Unlock()
+	// 202: cancellation is asynchronous — in-flight units are still
+	// finishing (and persisting). Poll the status or watch the event
+	// stream for the terminal state.
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, res := j.state, j.result
+	j.mu.Unlock()
+	if res == nil {
+		code := http.StatusConflict // still queued or running
+		if state.Terminal() {
+			code = http.StatusNotFound // cancelled or failed: no result exists
+		}
+		s.errorf(w, code, "job %s is %s: no result", j.id, state)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := st.RenderCampaignText(w, res); err != nil {
+			s.logf("job %s: render: %v", j.id, err)
+		}
+	case "bench":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := st.RenderText(w, res); err != nil {
+			s.logf("job %s: render: %v", j.id, err)
+		}
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := st.RenderJSON(w, res); err != nil {
+			s.logf("job %s: render: %v", j.id, err)
+		}
+	default:
+		s.errorf(w, http.StatusBadRequest,
+			"unknown format %q (have text, json, bench)", format)
+	}
+}
+
+// handleEvents streams the job's event history and live tail as SSE.
+// Every subscriber sees the full ordered stream from the first event,
+// so connecting after submission loses nothing; the terminal "job"
+// frame ends the stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return // transport cannot stream; nothing to salvage
+	}
+	// A departing subscriber must not wait on the cond forever: wake
+	// the loop when the request context ends.
+	stop := context.AfterFunc(r.Context(), j.broadcast)
+	defer stop()
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.events) && !j.state.Terminal() && r.Context().Err() == nil {
+			j.cond.Wait()
+		}
+		batch := append([]st.JobEvent(nil), j.events[next:]...)
+		next += len(batch)
+		// finish appends the terminal frame and flips the state in one
+		// critical section, so "terminal and drained" is stable: no
+		// further events can appear.
+		done := j.state.Terminal() && next >= len(j.events)
+		j.mu.Unlock()
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, ev := range batch {
+			buf, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, buf)
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// serveHealth is the /healthz body.
+type serveHealth struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Running int    `json:"running"`
+	Queued  int    `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := serveHealth{Status: "ok", Running: s.running, Queued: s.queued}
+	draining := s.draining
+	s.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		// Load balancers route away while the daemon finishes what it
+		// accepted; the process is alive and still answering.
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// statusLocked snapshots a job's status; the caller holds s.mu (lock
+// order is always s.mu → j.mu).
+func (s *Server) statusLocked(j *job) st.JobStatus {
+	status := j.snapshot()
+	if status.State == st.JobQueued {
+		pos := 0
+		for _, other := range s.order {
+			if other == j {
+				break
+			}
+			if other.queuedState() {
+				pos++
+			}
+		}
+		status.Position = pos
+	}
+	return status
+}
+
+func (s *Server) errorf(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON marshals before writing, so an encode failure is a clean
+// 500 instead of a torn 200.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "serve: encode response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(buf, '\n'))
+}

@@ -1,0 +1,542 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"silenttracker/internal/serve"
+	"silenttracker/st"
+)
+
+// newLineScanner scans SSE frames, sized for large data lines.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return sc
+}
+
+// newDaemon builds a client with opts, wraps it in a daemon with cfg,
+// and serves it from an httptest server. Cleanup closes both.
+func newDaemon(t *testing.T, cfg serve.Config, opts ...st.Option) (*serve.Server, string) {
+	t.Helper()
+	client, err := st.NewClient(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	cfg.Client = client
+	d, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d)
+	t.Cleanup(ts.Close)
+	return d, ts.URL
+}
+
+// post submits a job and returns the decoded status (zero unless 202)
+// with the status code and raw body.
+func post(t *testing.T, base string, req st.JobRequest) (st.JobStatus, int, string) {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var status st.JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(body, &status); err != nil {
+			t.Fatalf("decode 202 body %q: %v", body, err)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/jobs/"+status.ID {
+			t.Errorf("Location = %q, want /jobs/%s", loc, status.ID)
+		}
+	}
+	return status, resp.StatusCode, string(body)
+}
+
+func submit(t *testing.T, base string, req st.JobRequest) st.JobStatus {
+	t.Helper()
+	status, code, body := post(t, base, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d (%s), want 202", code, body)
+	}
+	return status
+}
+
+func getStatus(t *testing.T, base, id string) st.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %d", id, resp.StatusCode)
+	}
+	var status st.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	return status
+}
+
+// waitStatus polls a job until pred holds.
+func waitStatus(t *testing.T, base, id string, pred func(st.JobStatus) bool) st.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		status := getStatus(t, base, id)
+		if pred(status) {
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached the awaited state: %+v", id, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readEvents consumes the job's SSE stream until the terminal "job"
+// frame and returns every decoded event, asserting the event: field
+// always names the data frame's type.
+func readEvents(t *testing.T, base, id string) []st.JobEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var evs []st.JobEvent
+	frameType := ""
+	sc := newLineScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			frameType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev st.JobEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad data frame %q: %v", line, err)
+			}
+			if ev.Type != frameType {
+				t.Fatalf("event: field %q does not match data type %q", frameType, ev.Type)
+			}
+			evs = append(evs, ev)
+			if ev.Type == "job" {
+				return evs
+			}
+		}
+	}
+	t.Fatalf("SSE stream ended without a terminal job frame (%d events)", len(evs))
+	return nil
+}
+
+// checkEventContract asserts the pinned ordering of a completed run:
+// phase_done(expand) → unit_done ×N (Done 1..N) → phase_done(execute)
+// → cell_done ×C (in fold order) → phase_done(fold) → spec_done →
+// terminal job frame.
+func checkEventContract(t *testing.T, evs []st.JobEvent) {
+	t.Helper()
+	i := 0
+	expectPhase := func(name string) {
+		t.Helper()
+		if i >= len(evs) || evs[i].Type != "phase_done" || evs[i].Phase != name {
+			t.Fatalf("event %d: want phase_done %q, got %+v", i, name, evs[i])
+		}
+		i++
+	}
+	expectPhase("expand")
+	units := 0
+	for i < len(evs) && evs[i].Type == "unit_done" {
+		units++
+		if evs[i].Done != units {
+			t.Fatalf("event %d: unit_done Done=%d, want %d", i, evs[i].Done, units)
+		}
+		if evs[i].Units != 0 && units > evs[i].Units {
+			t.Fatalf("event %d: more unit_dones than Units=%d", i, evs[i].Units)
+		}
+		i++
+	}
+	if units == 0 {
+		t.Fatalf("no unit_done events: %+v", evs)
+	}
+	expectPhase("execute")
+	cells := 0
+	lastIndex := -1
+	for i < len(evs) && evs[i].Type == "cell_done" {
+		cells++
+		if evs[i].Index <= lastIndex {
+			t.Fatalf("event %d: cell_done out of fold order: Index %d after %d", i, evs[i].Index, lastIndex)
+		}
+		lastIndex = evs[i].Index
+		i++
+	}
+	if cells == 0 {
+		t.Fatal("no cell_done events")
+	}
+	expectPhase("fold")
+	if i >= len(evs) || evs[i].Type != "spec_done" || evs[i].Stats == nil {
+		t.Fatalf("event %d: want spec_done with stats, got %+v", i, evs[i])
+	}
+	i++
+	if i != len(evs)-1 || evs[i].Type != "job" {
+		t.Fatalf("stream does not end with the terminal job frame: %+v", evs[i:])
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestJobLifecycle runs one campaign through the daemon and checks
+// the event contract, the terminal status, and that every result
+// rendering is byte-identical to the CLI renderers on a local run.
+func TestJobLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, base := newDaemon(t, serve.Config{},
+		st.WithCacheDir(cacheDir), st.WithMetrics())
+
+	status := submit(t, base, st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1})
+	if status.State != st.JobQueued && status.State != st.JobRunning {
+		t.Fatalf("fresh job state %q", status.State)
+	}
+
+	evs := readEvents(t, base, status.ID) // blocks until terminal
+	checkEventContract(t, evs)
+	final := evs[len(evs)-1].Job
+	if final == nil || final.State != st.JobDone || final.Stats == nil {
+		t.Fatalf("terminal frame: %+v", evs[len(evs)-1])
+	}
+	if final.Stats.Computed != final.Stats.Units || final.Stats.Cached != 0 {
+		t.Errorf("cold run stats: %+v", final.Stats)
+	}
+	// The buffered stream replays identically for a late subscriber.
+	replay := readEvents(t, base, status.ID)
+	if len(replay) != len(evs) {
+		t.Errorf("replayed %d events, live stream had %d", len(replay), len(evs))
+	}
+
+	// Reference: the same campaign run locally, through the renderers
+	// the CLIs use. The daemon's store mix must not change a byte.
+	ref, err := st.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	res, err := ref.Run(context.Background(), "hotspot", st.WithQuick(), st.WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantText, wantJSON, wantBench bytes.Buffer
+	if err := st.RenderCampaignText(&wantText, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderJSON(&wantJSON, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderText(&wantBench, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		query string
+		want  string
+	}{
+		{"", wantText.String()},
+		{"?format=text", wantText.String()},
+		{"?format=json", wantJSON.String()},
+		{"?format=bench", wantBench.String()},
+	} {
+		code, body := getBody(t, base+"/jobs/"+status.ID+"/result"+tc.query)
+		if code != http.StatusOK {
+			t.Fatalf("result%s = %d", tc.query, code)
+		}
+		if body != tc.want {
+			t.Errorf("result%s differs from the local renderer:\n--- daemon ---\n%s--- local ---\n%s",
+				tc.query, body, tc.want)
+		}
+	}
+	if code, _ := getBody(t, base+"/jobs/"+status.ID+"/result?format=yaml"); code != http.StatusBadRequest {
+		t.Errorf("unknown format = %d, want 400", code)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, base := newDaemon(t, serve.Config{})
+	if _, code, body := post(t, base, st.JobRequest{Experiment: "no-such-campaign"}); code != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d (%s), want 404", code, body)
+	}
+	if _, code, _ := post(t, base, st.JobRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty experiment: %d, want 400", code)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+	if code, _ := getBody(t, base+"/jobs/j999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if code, _ := getBody(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz: %d, want 200", code)
+	}
+}
+
+// TestAdmissionControl fills the single run slot and the single queue
+// slot, then asserts the third job is rejected with 429.
+func TestAdmissionControl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	_, base := newDaemon(t, serve.Config{MaxJobs: 1, MaxQueue: 1},
+		st.WithWorkers(1), st.WithMetrics())
+
+	// urban -quick at one worker runs for seconds — long enough to pin
+	// the slot while the rest of the test executes.
+	running := submit(t, base, st.JobRequest{Experiment: "urban", Quick: true})
+	waitStatus(t, base, running.ID, func(s st.JobStatus) bool { return s.State == st.JobRunning })
+	queued := submit(t, base, st.JobRequest{Experiment: "urban", Quick: true})
+	qs := getStatus(t, base, queued.ID)
+	if qs.State != st.JobQueued || qs.Position != 0 {
+		t.Errorf("queued job: state %q position %d, want queued at position 0", qs.State, qs.Position)
+	}
+	_, code, body := post(t, base, st.JobRequest{Experiment: "urban", Quick: true})
+	if code != http.StatusTooManyRequests || !strings.Contains(body, "admission queue full") {
+		t.Errorf("overflow job: %d (%s), want 429", code, body)
+	}
+
+	// Cancelling the queued job must resolve it without it ever
+	// running: terminal cancelled, no stats.
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+queued.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE queued job = %d, want 202", resp.StatusCode)
+	}
+	got := waitStatus(t, base, queued.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+	if got.State != st.JobCancelled || got.Stats != nil {
+		t.Errorf("cancelled-while-queued job: %+v", got)
+	}
+	waitStatus(t, base, running.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+}
+
+// TestCancelPersistsCompletedUnits cancels a running job mid-flight
+// and asserts a warm rerun against the same cache computes exactly
+// the remainder — the RunCtx persistence contract, through the HTTP
+// surface.
+func TestCancelPersistsCompletedUnits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, base := newDaemon(t, serve.Config{},
+		st.WithCacheDir(cacheDir), st.WithWorkers(1))
+
+	status := submit(t, base, st.JobRequest{Experiment: "urban", Quick: true})
+	// Wait until at least one unit has landed, then cancel.
+	waitStatus(t, base, status.ID, func(s st.JobStatus) bool {
+		return s.Done >= 1 || s.State.Terminal()
+	})
+	req, err := http.NewRequest(http.MethodDelete, base+"/jobs/"+status.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := waitStatus(t, base, status.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+	if final.State == st.JobDone {
+		t.Skip("job finished before the cancel landed")
+	}
+	if final.State != st.JobCancelled || final.Stats == nil {
+		t.Fatalf("cancelled job: %+v", final)
+	}
+	if final.Stats.PutFailed != 0 {
+		t.Fatalf("cancelled run dropped store writes: %+v", final.Stats)
+	}
+	persisted := final.Stats.Computed + final.Stats.Cached
+	if persisted == 0 {
+		t.Fatal("cancelled run completed no units")
+	}
+	// A cancelled job serves no result.
+	if code, _ := getBody(t, base+"/jobs/"+status.ID+"/result"); code != http.StatusNotFound {
+		t.Errorf("result of cancelled job = %d, want 404", code)
+	}
+
+	// Warm rerun through a fresh client on the same cache: computed ==
+	// remainder, cached == what the cancelled job persisted.
+	warm, err := st.NewClient(st.WithCacheDir(cacheDir), st.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	res, err := warm.Run(context.Background(), "urban", st.WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Units == persisted {
+		t.Skip("cancelled job had already completed every unit")
+	}
+	if res.Stats.Cached != persisted || res.Stats.Computed != res.Stats.Units-persisted {
+		t.Errorf("warm rerun: %+v, want cached=%d computed=%d",
+			res.Stats, persisted, res.Stats.Units-persisted)
+	}
+}
+
+// TestConcurrentJobsShareCache is the in-process half of the shared-
+// cache acceptance gate: a first wave of concurrent identical jobs
+// warms the store, a second wave computes zero units, and every
+// result is byte-identical.
+func TestConcurrentJobsShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	const n = 4
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, base := newDaemon(t, serve.Config{MaxJobs: n},
+		st.WithCacheDir(cacheDir), st.WithMemCache(1<<20), st.WithMetrics())
+
+	// Submissions are near-instant next to a run, so submitting
+	// back-to-back still has all n jobs in flight at once.
+	wave := func() []st.JobStatus {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = submit(t, base, st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1}).ID
+		}
+		out := make([]st.JobStatus, n)
+		for i, id := range ids {
+			out[i] = waitStatus(t, base, id, func(s st.JobStatus) bool { return s.State.Terminal() })
+		}
+		return out
+	}
+
+	first := wave()
+	for _, s := range first {
+		if s.State != st.JobDone {
+			t.Fatalf("first-wave job %s: %+v", s.ID, s)
+		}
+	}
+	second := wave()
+	var bodies []string
+	for _, s := range second {
+		if s.State != st.JobDone || s.Stats == nil {
+			t.Fatalf("second-wave job %s: %+v", s.ID, s)
+		}
+		if s.Stats.Computed != 0 {
+			t.Errorf("second-wave job %s recomputed %d units: %+v", s.ID, s.Stats.Computed, s.Stats)
+		}
+		code, body := getBody(t, base+"/jobs/"+s.ID+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("result %s = %d", s.ID, code)
+		}
+		bodies = append(bodies, body)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("job results differ:\n--- job 0 ---\n%s--- job %d ---\n%s", bodies[0], i, bodies[i])
+		}
+	}
+
+	// The shared registry saw every job and session.
+	code, metrics := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		fmt.Sprintf(`st_serve_jobs_total{state="done"} %d`, 2*n),
+		fmt.Sprintf("st_serve_sessions_total %d", 2*n),
+		`st_http_requests_total{code="2xx",route="jobs"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestShutdownDrains: draining closes admission (503 on POST, 503
+// draining on /healthz) but the accepted job still finishes.
+func TestShutdownDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	d, base := newDaemon(t, serve.Config{}, st.WithCacheDir(filepath.Join(t.TempDir(), "cache")))
+	status := submit(t, base, st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1})
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownErr <- d.Shutdown(ctx)
+	}()
+	// Draining flips synchronously at the head of Shutdown; poll until
+	// the health probe reflects it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := getBody(t, base+"/healthz")
+		if code == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reported draining: %d %s", code, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, code, _ := post(t, base, st.JobRequest{Experiment: "hotspot", Quick: true}); code != http.StatusServiceUnavailable {
+		t.Errorf("POST while draining = %d, want 503", code)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := getStatus(t, base, status.ID); got.State != st.JobDone {
+		t.Errorf("drained job: %+v, want done", got)
+	}
+}

@@ -1,0 +1,22 @@
+// Package stx is the private seam between the public silenttracker/st
+// package and the internal packages that extend it (the stserve
+// daemon in internal/serve). The public API deliberately never names
+// internal types in its signatures, which leaves in-module consumers
+// with no path to state they legitimately share with st — most
+// importantly the telemetry registry, so the daemon can record job
+// and route metrics into the same registry the engine, store tiers,
+// and worker pool already populate, and serve them all on one
+// /metrics endpoint.
+//
+// Package st installs the accessors below from an init function; they
+// take `any` because stx cannot import st (st imports the packages
+// stx's consumers also need, and a typed parameter would force a
+// cycle).
+package stx
+
+import "silenttracker/internal/obs"
+
+// ClientRegistry reports the metrics registry of an *st.Client — nil
+// when the client was built without WithMetrics, or when the argument
+// is not an *st.Client. Installed by package st.
+var ClientRegistry func(client any) *obs.Registry

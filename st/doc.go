@@ -97,4 +97,18 @@
 // the remainder. WithProgress subscribes a callback to the typed event
 // stream (UnitDone, CellDone, PhaseDone, SpecDone); events are delivered
 // serially, so the callback needs no locking.
+//
+// # Serving
+//
+// The types and helpers the stserve campaign daemon shares with its
+// clients live here, so driving a daemon needs nothing but this
+// package and net/http: JobRequest / JobStatus / JobEvent are the
+// wire vocabulary of POST /jobs, GET /jobs/{id}, and the SSE event
+// stream (EventWire flattens a typed Event onto the wire;
+// JobEvent.Event reconstructs it). Client.StoreHandler serves the
+// client's result store over HTTP in the storehttp wire format, so
+// remote workers can point WithRemoteCache at this process and share
+// its computed units. NewHTTPServer is the shared serving lifecycle
+// (synchronous bind, background serve with reported errors, clean
+// shutdown) used by the daemon and the CLIs' -metrics-addr endpoints.
 package st

@@ -1,0 +1,90 @@
+package st
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+
+	"silenttracker/internal/campaign/storehttp"
+	"silenttracker/internal/obs"
+	"silenttracker/internal/stx"
+)
+
+// init installs the private accessors internal packages (the stserve
+// daemon) use to share state with a Client that the public API
+// deliberately does not export — see internal/stx.
+func init() {
+	stx.ClientRegistry = func(c any) *obs.Registry {
+		if cl, ok := c.(*Client); ok {
+			return cl.obs
+		}
+		return nil
+	}
+}
+
+// StoreHandler serves the client's result store over HTTP in the
+// storehttp wire format (GET/PUT /units/<hash>, GET /stats, GET
+// /healthz), so remote workers can point WithRemoteCache (or
+// stcampaign -remote-cache) at this process and share its computed
+// units. The stserve daemon mounts it at /store/. With WithMetrics
+// the handler also records per-route request counters and latency
+// into the client's registry. A store-less client serves misses: every
+// GET is a 404 and every PUT is refused — mounting is always safe.
+func (c *Client) StoreHandler() http.Handler {
+	if c.store == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "st: no result store configured", http.StatusNotFound)
+		})
+	}
+	return storehttp.Handler(c.store, storehttp.WithRegistry(c.obs))
+}
+
+// HTTPServer is the shared serving lifecycle of the CLIs'
+// -metrics-addr endpoints and the stserve daemon: bind synchronously
+// (a bad address fails before any work starts), serve in the
+// background, report serve failures through a callback instead of
+// silently dropping them, and shut down cleanly on Stop — the
+// listener is closed, idle connections are torn down, and in-flight
+// requests get until the context's deadline to finish.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewHTTPServer binds addr and starts serving h in the background.
+// onError, if non-nil, receives the serve loop's failure (never
+// http.ErrServerClosed, which is the normal Stop path).
+func NewHTTPServer(addr string, h http.Handler, onError func(error)) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) && onError != nil {
+			onError(err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address — with ":0" this is where the
+// ephemeral port landed.
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Stop shuts the server down: the listener closes immediately (no new
+// connections), in-flight requests get until ctx's deadline, then
+// stragglers are cut. Always waits for the serve loop to exit, so no
+// goroutine outlives the call.
+func (s *HTTPServer) Stop(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with requests still in flight — cut them.
+		s.srv.Close()
+	}
+	<-s.done
+	return err
+}

@@ -1,0 +1,184 @@
+package st
+
+import "time"
+
+// This file is the job wire format of the stserve daemon: the JSON
+// bodies of POST /jobs (JobRequest), GET /jobs/{id} (JobStatus), and
+// the SSE frames of GET /jobs/{id}/events (JobEvent). They live in
+// the public package so daemon, CLI clients, and tests share one
+// vocabulary — a client needs nothing but these types and net/http to
+// drive a daemon.
+
+// JobRequest asks a daemon to run one experiment. The knobs mirror
+// the client options of the same names (WithSeed, WithTrials,
+// WithQuick, WithWorkers); zero values keep the daemon's defaults.
+// Store configuration is deliberately absent — the store stack is the
+// daemon's, shared by every job, which is what makes concurrent
+// sessions of one campaign converge on a single set of computed
+// units.
+type JobRequest struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed,omitempty"`
+	Trials     int    `json:"trials,omitempty"`
+	Quick      bool   `json:"quick,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+}
+
+// Options maps the request's knobs onto the client options a daemon
+// session applies — the same With* functions a local caller would
+// pass to Client.Run.
+func (r JobRequest) Options() []Option {
+	var opts []Option
+	if r.Seed != 0 {
+		opts = append(opts, WithSeed(r.Seed))
+	}
+	if r.Trials != 0 {
+		opts = append(opts, WithTrials(r.Trials))
+	}
+	if r.Quick {
+		opts = append(opts, WithQuick())
+	}
+	if r.Workers != 0 {
+		opts = append(opts, WithWorkers(r.Workers))
+	}
+	return opts
+}
+
+// JobState is a job's position in the daemon lifecycle.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for a session slot.
+	JobQueued JobState = "queued"
+	// JobRunning: a session is executing the sweep.
+	JobRunning JobState = "running"
+	// JobDone: finished; the result is available.
+	JobDone JobState = "done"
+	// JobCancelled: cancelled (DELETE, or daemon shutdown). Completed
+	// units were persisted to the shared store, so a rerun — through
+	// the daemon or the CLI against the same cache — computes only the
+	// remainder.
+	JobCancelled JobState = "cancelled"
+	// JobFailed: the run errored (not by cancellation).
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final — no further events
+// will be emitted and the status will not change.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCancelled || s == JobFailed
+}
+
+// JobStatus is one job's externally visible state: what GET
+// /jobs/{id} returns and what the terminal SSE event carries.
+type JobStatus struct {
+	ID         string   `json:"id"`
+	Experiment string   `json:"experiment"`
+	State      JobState `json:"state"`
+	// Position counts the queued jobs ahead of this one (only while
+	// queued).
+	Position int `json:"position,omitempty"`
+	// Done/Units are live progress while running (mirroring UnitDone).
+	Done  int `json:"done,omitempty"`
+	Units int `json:"units,omitempty"`
+	// Stats carries the run's final stats once terminal — including
+	// the computed/cached split a shared cache is judged by. A
+	// cancelled job reports the units it completed before stopping.
+	Stats *Stats `json:"stats,omitempty"`
+	// Error describes a failed or cancelled run.
+	Error string `json:"error,omitempty"`
+}
+
+// JobEvent is the wire form of one progress event: a flattened,
+// JSON-stable union of the typed Event stream plus the terminal "job"
+// frame the daemon appends when a job reaches a terminal state. Type
+// discriminates; only the fields of that type are populated.
+type JobEvent struct {
+	// Type: "phase_done", "unit_done", "cell_done", "spec_done",
+	// "store_degraded", or "job" (terminal daemon frame).
+	Type     string `json:"type"`
+	Campaign string `json:"campaign,omitempty"`
+
+	// unit_done / cell_done
+	Cell   Cell `json:"cell,omitempty"`
+	Trial  int  `json:"trial,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	Done   int  `json:"done,omitempty"`
+	Units  int  `json:"units,omitempty"`
+	Index  int  `json:"index,omitempty"`
+	Cells  int  `json:"cells,omitempty"`
+
+	// phase_done
+	Phase      string `json:"phase,omitempty"`
+	DurationNS int64  `json:"duration_ns,omitempty"`
+
+	// spec_done
+	Stats *Stats `json:"stats,omitempty"`
+
+	// store_degraded
+	Error string `json:"error,omitempty"`
+
+	// job (terminal)
+	Job *JobStatus `json:"job,omitempty"`
+}
+
+// EventWire flattens a typed progress event into its wire form.
+func EventWire(ev Event) JobEvent {
+	switch ev := ev.(type) {
+	case UnitDone:
+		return JobEvent{Type: "unit_done", Campaign: ev.Campaign, Cell: ev.Cell,
+			Trial: ev.Trial, Cached: ev.Cached, Done: ev.Done, Units: ev.Units}
+	case PhaseDone:
+		return JobEvent{Type: "phase_done", Campaign: ev.Campaign,
+			Phase: ev.Phase, DurationNS: int64(ev.Duration)}
+	case CellDone:
+		return JobEvent{Type: "cell_done", Campaign: ev.Campaign, Cell: ev.Cell,
+			Index: ev.Index, Cells: ev.Cells}
+	case SpecDone:
+		s := ev.Stats
+		return JobEvent{Type: "spec_done", Campaign: ev.Campaign, Stats: &s}
+	case StoreDegraded:
+		msg := ""
+		if ev.Err != nil {
+			msg = ev.Err.Error()
+		}
+		return JobEvent{Type: "store_degraded", Campaign: ev.Campaign, Error: msg}
+	}
+	return JobEvent{Type: "unknown"}
+}
+
+// Event reconstructs the typed progress event a wire frame encodes.
+// The terminal "job" frame (and any type from a newer writer) has no
+// typed counterpart and returns ok == false.
+func (e JobEvent) Event() (Event, bool) {
+	switch e.Type {
+	case "unit_done":
+		return UnitDone{Campaign: e.Campaign, Cell: e.Cell, Trial: e.Trial,
+			Cached: e.Cached, Done: e.Done, Units: e.Units}, true
+	case "phase_done":
+		return PhaseDone{Campaign: e.Campaign, Phase: e.Phase,
+			Duration: time.Duration(e.DurationNS)}, true
+	case "cell_done":
+		return CellDone{Campaign: e.Campaign, Cell: e.Cell,
+			Index: e.Index, Cells: e.Cells}, true
+	case "spec_done":
+		var s Stats
+		if e.Stats != nil {
+			s = *e.Stats
+		}
+		return SpecDone{Campaign: e.Campaign, Stats: s}, true
+	case "store_degraded":
+		var err error
+		if e.Error != "" {
+			err = wireError(e.Error)
+		}
+		return StoreDegraded{Campaign: e.Campaign, Err: err}, true
+	}
+	return nil, false
+}
+
+// wireError is an error reconstructed from its wire string — the
+// original type is gone, the message survives.
+type wireError string
+
+func (e wireError) Error() string { return string(e) }

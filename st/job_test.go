@@ -1,0 +1,186 @@
+package st_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"silenttracker/st"
+)
+
+// TestJobEventRoundTrip: every typed progress event survives the trip
+// through its wire form and JSON — the daemon's SSE frames decode
+// back into the exact event a local progress callback would have
+// seen.
+func TestJobEventRoundTrip(t *testing.T) {
+	cell := st.Cell{{Axis: "density", Value: "0.5"}}
+	events := []st.Event{
+		st.PhaseDone{Campaign: "hotspot", Phase: "expand", Duration: 1500 * time.Microsecond},
+		st.UnitDone{Campaign: "hotspot", Cell: cell, Trial: 2, Cached: true, Done: 3, Units: 15},
+		st.CellDone{Campaign: "hotspot", Cell: cell, Index: 1, Cells: 5},
+		st.SpecDone{Campaign: "hotspot", Stats: st.Stats{Units: 15, Computed: 10, Cached: 5}},
+		st.StoreDegraded{Campaign: "hotspot", Err: errors.New("disk full")},
+	}
+	for _, ev := range events {
+		wire := st.EventWire(ev)
+		buf, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("%T: marshal: %v", ev, err)
+		}
+		var decoded st.JobEvent
+		if err := json.Unmarshal(buf, &decoded); err != nil {
+			t.Fatalf("%T: unmarshal: %v", ev, err)
+		}
+		got, ok := decoded.Event()
+		if !ok {
+			t.Fatalf("%T: wire form %+v does not decode", ev, decoded)
+		}
+		// StoreDegraded's error loses its type on the wire; compare by
+		// message.
+		if d, isDegraded := ev.(st.StoreDegraded); isDegraded {
+			g := got.(st.StoreDegraded)
+			if g.Campaign != d.Campaign || g.Err == nil || g.Err.Error() != d.Err.Error() {
+				t.Errorf("StoreDegraded round-trip: %+v", g)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Errorf("%T round-trip:\n got %+v\nwant %+v", ev, got, ev)
+		}
+	}
+
+	// The terminal daemon frame has no typed counterpart.
+	terminal := st.JobEvent{Type: "job", Job: &st.JobStatus{ID: "j000001", State: st.JobDone}}
+	if _, ok := terminal.Event(); ok {
+		t.Error("terminal job frame decoded to a typed event")
+	}
+	if _, ok := (st.JobEvent{Type: "from-the-future"}).Event(); ok {
+		t.Error("unknown frame type decoded to a typed event")
+	}
+}
+
+func TestJobRequestOptions(t *testing.T) {
+	if n := len((st.JobRequest{}).Options()); n != 0 {
+		t.Errorf("zero request maps to %d options, want 0", n)
+	}
+	if n := len((st.JobRequest{Seed: 7, Trials: 2, Quick: true, Workers: 3}).Options()); n != 4 {
+		t.Errorf("full request maps to %d options, want 4", n)
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[st.JobState]bool{
+		st.JobQueued: false, st.JobRunning: false,
+		st.JobDone: true, st.JobCancelled: true, st.JobFailed: true,
+	} {
+		if got := state.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", state, got, want)
+		}
+	}
+}
+
+// TestHTTPServerLifecycle: bind synchronously (a bad address fails up
+// front), serve in the background, stop cleanly.
+func TestHTTPServerLifecycle(t *testing.T) {
+	if _, err := st.NewHTTPServer("256.0.0.1:0", http.NotFoundHandler(), nil); err == nil {
+		t.Error("bad address bound")
+	}
+
+	srv, err := st.NewHTTPServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}), func(err error) { t.Errorf("serve error: %v", err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	// The listener is really closed: the port no longer answers.
+	if _, err := http.Get("http://" + srv.Addr().String() + "/"); err == nil {
+		t.Error("server still answering after Stop")
+	}
+}
+
+// TestStoreHandlerSharesCache: a second client pointed at the first
+// client's StoreHandler over HTTP computes nothing — the served store
+// is a real shared warm tier, byte-identical results included.
+func TestStoreHandlerSharesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	warm, err := st.NewClient(st.WithCacheDir(filepath.Join(t.TempDir(), "cache")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	res, err := warm.Run(context.Background(), "hotspot", st.WithQuick(), st.WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(warm.StoreHandler())
+	defer srv.Close()
+
+	remote, err := st.NewClient(st.WithRemoteCache(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	res2, err := remote.Run(context.Background(), "hotspot", st.WithQuick(), st.WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Computed != 0 || res2.Stats.Cached != res.Stats.Units {
+		t.Errorf("remote-backed run: %+v, want every unit served by the shared store", res2.Stats)
+	}
+	var a, b bytes.Buffer
+	if err := st.RenderCampaignText(&a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RenderCampaignText(&b, res2); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("shared-store run renders different bytes:\n--- local ---\n%s--- remote ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestStoreHandlerStoreless: a client without a store still mounts —
+// every request is a miss, none is an error.
+func TestStoreHandlerStoreless(t *testing.T) {
+	client, err := st.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv := httptest.NewServer(client.StoreHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/units/" + strings.Repeat("0", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("store-less GET = %d, want 404", resp.StatusCode)
+	}
+}
