@@ -29,7 +29,15 @@
 // session's trial parallelism; -max-jobs caps concurrently running
 // sessions (total trial workers ≤ max-jobs × j) and -max-queue caps
 // waiting jobs — beyond both, POST /jobs answers 429 so load sheds at
-// the edge.
+// the edge. Queued jobs dispatch round-robin across JobRequest.Client
+// classes, so one client's burst cannot starve another's job.
+//
+// A job submitted with "remote": true runs distributed: stworker
+// processes pointed at this daemon (-coordinator http://host:port)
+// lease unit ranges over /dist/, compute them against /store/, and
+// the daemon folds — byte-identical to a local run. -lease-ttl and
+// -lease-batch tune the coordinator (a worker that stops heartbeating
+// for a TTL forfeits its units to the rest of the fleet).
 //
 // SIGINT/SIGTERM drains: admission closes, accepted jobs run to
 // completion (up to -drain, then they are cancelled and in-flight
@@ -63,6 +71,8 @@ func run() int {
 	jobs := fs.Int("j", 0, "per-session trial parallelism (0 = GOMAXPROCS)")
 	maxJobs := fs.Int("max-jobs", 4, "concurrently running sessions")
 	maxQueue := fs.Int("max-queue", 16, "queued jobs beyond which POST /jobs answers 429")
+	leaseTTL := fs.Duration("lease-ttl", 0, "distributed lease TTL: a worker silent this long forfeits its units (0 = default)")
+	leaseBatch := fs.Int("lease-batch", 0, "max units per distributed lease (0 = default)")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs before they are cancelled")
 	fs.Parse(os.Args[1:])
 	if fs.NArg() != 0 {
@@ -96,10 +106,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "stserve: "+format+"\n", args...)
 	}
 	daemon, err := serve.New(serve.Config{
-		Client:   client,
-		MaxJobs:  *maxJobs,
-		MaxQueue: *maxQueue,
-		Logf:     logf,
+		Client:     client,
+		MaxJobs:    *maxJobs,
+		MaxQueue:   *maxQueue,
+		LeaseTTL:   *leaseTTL,
+		LeaseBatch: *leaseBatch,
+		Logf:       logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stserve: %v\n", err)

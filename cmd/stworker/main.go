@@ -1,0 +1,103 @@
+// Command stworker is the distributed campaign worker: it joins a
+// coordinator's fleet, leases batches of trial units over the
+// /dist/ protocol, computes them locally, and writes results through
+// the coordinator's shared result store. Units are content-addressed,
+// so any number of stworker processes — on one machine or many —
+// converge on a single set of computed units, and the coordinator's
+// fold renders bytes identical to a single-machine run.
+//
+// Point a fleet at a daemon and submit a remote job:
+//
+//	stserve -addr :8080 &
+//	stworker -coordinator http://localhost:8080 &
+//	stworker -coordinator http://localhost:8080 &
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"experiment":"hotspot","quick":true,"remote":true}'
+//
+// -j shards each lease's units across local workers; -lease-batch
+// caps units per lease; -heartbeat keeps held leases alive (it must
+// stay under the coordinator's lease TTL — a worker that dies simply
+// stops heartbeating and its units are re-leased). -idle-exit makes
+// the process exit once the coordinator has had no work for that
+// long, which is how a batch fleet drains; 0 polls forever.
+// -remote-retry and -chaos/-chaos-seed mirror the stcampaign flags on
+// the worker↔store path. Every failure on that path degrades to
+// recomputation somewhere else, never to wrong results.
+//
+// SIGINT/SIGTERM stops the lease loop; in-flight units finish and
+// persist before exit. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"silenttracker/internal/dist"
+	"silenttracker/st"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("stworker", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "", "base URL of the coordinating daemon (required)")
+	name := fs.String("name", "", "worker identity in the fleet (default hostname-pid)")
+	jobs := fs.Int("j", 0, "trial parallelism per lease (0 = GOMAXPROCS)")
+	leaseBatch := fs.Int("lease-batch", 0, "max units per lease (0 = coordinator's batch size)")
+	heartbeat := fs.Duration("heartbeat", dist.DefaultHeartbeat, "keep-alive interval for held leases")
+	idleExit := fs.Duration("idle-exit", 0, "exit after this long without work (0 = poll forever)")
+	remoteRetry := fs.Int("remote-retry", 0, "attempts per remote-store op, with backoff and a circuit breaker (0 = disabled)")
+	chaos := fs.String("chaos", "", "fault-injection profile on the worker↔store path: "+strings.Join(st.ChaosProfiles(), ", ")+" (\"\" = disabled)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed of the -chaos fault schedule (same seed = same faults)")
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 0 || *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "usage: stworker -coordinator URL [flags]")
+		return 2
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	worker, err := dist.NewWorker(dist.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Jobs:        *jobs,
+		LeaseBatch:  *leaseBatch,
+		Heartbeat:   *heartbeat,
+		IdleExit:    *idleExit,
+		RemoteRetry: *remoteRetry,
+		Chaos:       *chaos,
+		ChaosSeed:   *chaosSeed,
+		Logf:        logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stworker: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		logf("stworker %s: %s — finishing in-flight lease (again to abort)", worker.Name(), sig)
+		cancel()
+		<-sigc
+		logf("stworker %s: second signal — aborting", worker.Name())
+		os.Exit(1)
+	}()
+
+	logf("stworker %s: joining fleet at %s", worker.Name(), *coordinator)
+	if err := worker.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "stworker: %v\n", err)
+		return 1
+	}
+	return 0
+}

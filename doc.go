@@ -35,12 +35,18 @@
 //     exposition; a nil registry costs nothing
 //   - internal/serve — the stserve campaign daemon: concurrent job
 //     sessions over one shared store stack, SSE progress streams,
-//     admission control, graceful drain
+//     admission control with per-client fair queueing, graceful drain
+//   - internal/dist — distributed campaign execution: a unit-lease
+//     coordinator (range sharding, work stealing, lease-TTL recovery)
+//     the daemon mounts at /dist/, and the worker loop behind stworker
 //   - internal/scenario    — declarative multi-cell, multi-UE world generator
 //   - cmd/{stbench, stcampaign, stsim, stmachine} — executables; stbench
 //     and stcampaign are thin shells over st (flags + renderer choice)
 //   - cmd/stserve — the campaign daemon binary (HTTP front of
-//     internal/serve)
+//     internal/serve; doubles as the distributed-run coordinator)
+//   - cmd/stworker — the fleet worker binary: leases trial units
+//     from a coordinator, computes them locally, writes through the
+//     shared store
 //   - examples/ — runnable scenarios (quickstart is the st API tour)
 //   - e2e/      — end-to-end CLI and examples tests (real binaries, os/exec)
 //
@@ -61,6 +67,14 @@
 // sweep that shares cells with a previous one computes only the
 // delta. The store mix never changes rendered bytes; it only changes
 // how many units recompute.
+//
+// The same content addresses let a campaign scale past one process:
+// an stserve daemon can coordinate a fleet of stworker processes,
+// leasing unit ranges over HTTP while the workers fill the shared
+// store and the coordinator folds in deterministic unit order — a
+// cold N-worker distributed run renders stdout byte-identical to a
+// warm single-machine run, with lease TTLs, heartbeats, and work
+// stealing covering worker failure (internal/dist).
 //
 // Beyond the paper's three single-UE mobility cases, internal/scenario
 // generates whole families of worlds from declarative specs: a cell

@@ -40,7 +40,7 @@ func TestMain(m *testing.M) {
 		fmt.Fprintln(os.Stderr, "e2e:", err)
 		os.Exit(1)
 	}
-	for _, pkg := range []string{"stcampaign", "stbench", "stserve"} {
+	for _, pkg := range []string{"stcampaign", "stbench", "stserve", "stworker"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, pkg), "./cmd/"+pkg)
 		cmd.Dir = repoRoot
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -295,7 +295,7 @@ func TestCampaignRunSIGINT(t *testing.T) {
 
 // countCacheEntries counts persisted trial units (the CACHEDIR.TAG
 // marker is not a .json file, so it never counts).
-func countCacheEntries(t *testing.T, dir string) int {
+func countCacheEntries(t testing.TB, dir string) int {
 	t.Helper()
 	n := 0
 	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {

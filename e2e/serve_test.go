@@ -32,7 +32,7 @@ type serveDaemon struct {
 
 // startServe launches stserve on an ephemeral port in dir and waits
 // for its "listening on" announcement.
-func startServe(t *testing.T, dir string, args ...string) *serveDaemon {
+func startServe(t testing.TB, dir string, args ...string) *serveDaemon {
 	t.Helper()
 	cmd := exec.Command(filepath.Join(binDir, "stserve"),
 		append([]string{"-addr", "127.0.0.1:0"}, args...)...)
@@ -81,7 +81,7 @@ func (d *serveDaemon) stderrText() string {
 
 // stop SIGTERMs the daemon, asserts a clean exit, and returns its
 // full stderr.
-func (d *serveDaemon) stop(t *testing.T) string {
+func (d *serveDaemon) stop(t testing.TB) string {
 	t.Helper()
 	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func (d *serveDaemon) stop(t *testing.T) string {
 	return d.stderrText()
 }
 
-func (d *serveDaemon) submit(t *testing.T, req st.JobRequest) st.JobStatus {
+func (d *serveDaemon) submit(t testing.TB, req st.JobRequest) st.JobStatus {
 	t.Helper()
 	buf, err := json.Marshal(req)
 	if err != nil {
@@ -117,7 +117,7 @@ func (d *serveDaemon) submit(t *testing.T, req st.JobRequest) st.JobStatus {
 	return status
 }
 
-func (d *serveDaemon) status(t *testing.T, id string) st.JobStatus {
+func (d *serveDaemon) status(t testing.TB, id string) st.JobStatus {
 	t.Helper()
 	resp, err := http.Get(d.base + "/jobs/" + id)
 	if err != nil {
@@ -131,7 +131,7 @@ func (d *serveDaemon) status(t *testing.T, id string) st.JobStatus {
 	return status
 }
 
-func (d *serveDaemon) wait(t *testing.T, id string, pred func(st.JobStatus) bool) st.JobStatus {
+func (d *serveDaemon) wait(t testing.TB, id string, pred func(st.JobStatus) bool) st.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for {
@@ -146,7 +146,7 @@ func (d *serveDaemon) wait(t *testing.T, id string, pred func(st.JobStatus) bool
 	}
 }
 
-func (d *serveDaemon) get(t *testing.T, path string) (int, string) {
+func (d *serveDaemon) get(t testing.TB, path string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(d.base + path)
 	if err != nil {

@@ -29,7 +29,8 @@ type RunStats struct {
 	PutFailed int           `json:"put_failed,omitempty"`
 	Elapsed   time.Duration `json:"elapsed"` // wall clock of the Run call
 	// Span is the run's timing tree — root named after the spec, one
-	// child per engine phase (expand, execute, fold). Present only when
+	// child per engine phase (expand, distribute when a distributor is
+	// wired in, execute, fold). Present only when
 	// the engine carries a metrics registry; like Elapsed it is
 	// measurement, not results, and is excluded from String().
 	Span *obs.SpanValue `json:"span,omitempty"`
@@ -67,6 +68,18 @@ type Engine struct {
 	// atomics. Telemetry never influences results: metrics on or off,
 	// the folded cells are byte-identical.
 	Obs *obs.Registry
+	// Distribute, when non-nil (and a Store is configured), hands the
+	// expanded unit list to an external scheduler between the expand
+	// and execute phases — the distributed-execution seam. It should
+	// block until remote workers have pushed the units' results into
+	// the shared Store; the engine's subsequent cache-first execute
+	// sweep then serves every unit from the store and computes any
+	// remainder locally (lost writes, stragglers the distributor gave
+	// up on), so byte identity and the event contract hold regardless
+	// of what the distributor achieved. A non-cancellation error
+	// degrades to fully local execution; a cancelled context aborts
+	// the run with ctx.Err().
+	Distribute func(ctx context.Context, units []UnitRef) error
 }
 
 // emit delivers one progress event under the engine's lock.
@@ -154,25 +167,30 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 
 	// Expand: enumerate and content-address the trial units.
 	expandSpan := root.Child("expand")
-	type unit struct {
-		cell  int
-		trial int
-		hash  string
-	}
-	units := make([]unit, 0, len(cells)*spec.Trials)
-	for ci, cell := range cells {
-		for t := 0; t < spec.Trials; t++ {
-			u := unit{cell: ci, trial: t}
-			if e.Store != nil {
-				u.hash = spec.UnitKey(cell, t).Hash()
-			}
-			units = append(units, u)
-		}
-	}
+	units := expandUnits(spec, cells, e.Store != nil)
 	endPhase(expandSpan, "expand")
 
+	// Distribute: when a scheduler is wired in, give remote workers a
+	// chance to fill the store before the local sweep. The sweep below
+	// is what folds — distribution only changes the computed/cached
+	// split, never the rendered bytes, and a failed distribution (dead
+	// coordinator, no workers) falls through to plain local execution.
+	if e.Distribute != nil && e.Store != nil && len(units) > 0 {
+		distSpan := root.Child("distribute")
+		err := e.Distribute(ctx, units)
+		if err != nil && ctx.Err() != nil {
+			// Cancelled mid-distribution: same contract as a cancelled
+			// execute — no further phase events, folded cells withheld.
+			root.End()
+			stats := RunStats{Units: len(units), Tiers: tiersNow(),
+				Elapsed: time.Since(start)}
+			return nil, stats, ctx.Err()
+		}
+		endPhase(distSpan, "distribute")
+	}
+
 	done, computed, cached, putFailed := 0, 0, 0, 0
-	finish := func(u unit, wasCached bool) {
+	finish := func(u UnitRef, wasCached bool) {
 		if wasCached {
 			cached++
 		} else {
@@ -182,8 +200,8 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 		if e.Progress != nil {
 			e.Progress(UnitDone{
 				Spec:   spec.Name,
-				Cell:   cells[u.cell],
-				Trial:  u.trial,
+				Cell:   cells[u.Cell],
+				Trial:  u.Trial,
 				Cached: wasCached,
 				Done:   done,
 				Units:  len(units),
@@ -206,7 +224,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 			t0 = time.Now()
 		}
 		if e.Store != nil {
-			if m, ok := e.Store.Get(u.hash); ok {
+			if m, ok := e.Store.Get(u.Hash); ok {
 				if ins != nil {
 					ins.observeUnit(true, time.Since(t0))
 				}
@@ -216,7 +234,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 				return outcome{m: m}
 			}
 		}
-		m := spec.Trial(cells[u.cell], spec.TrialSeed(u.trial))
+		m := spec.Trial(cells[u.Cell], u.Seed)
 		if e.Store != nil {
 			// A failed store (full disk, dead remote) degrades to
 			// recomputation on the next run; this run's result is
@@ -224,7 +242,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 			// vanish either: the first failure is announced once via
 			// StoreDegraded (rate-limited by design) and the final
 			// count lands in RunStats.PutFailed.
-			if err := e.Store.Put(u.hash, m); err != nil {
+			if err := e.Store.Put(u.Hash, m); err != nil {
 				mu.Lock()
 				putFailed++
 				if putFailed == 1 && e.Progress != nil {
@@ -262,7 +280,7 @@ func (e *Engine) RunCtx(ctx context.Context, spec *Spec) ([]CellResult, RunStats
 	}
 	stats := RunStats{Units: len(units), PutFailed: putFailed}
 	for i, r := range results {
-		out[units[i].cell].Trials = append(out[units[i].cell].Trials, r.m)
+		out[units[i].Cell].Trials = append(out[units[i].Cell].Trials, r.m)
 		if r.computed {
 			stats.Computed++
 		} else {

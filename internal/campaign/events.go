@@ -33,7 +33,7 @@ type UnitDone struct {
 // results — they vary run to run while the folded cells do not.
 type PhaseDone struct {
 	Spec     string
-	Phase    string // "expand", "execute", "fold"
+	Phase    string // "expand", "distribute" (distributed runs), "execute", "fold"
 	Duration time.Duration
 }
 

@@ -19,6 +19,24 @@ const DefaultHTTPTimeout = 10 * time.Second
 // is a misbehaving server and reads as corrupt.
 const maxEntryBytes = 16 << 20
 
+// maxDrainBytes bounds how much of an unread response body the client
+// drains before closing. Draining lets the transport reuse the
+// connection — but only small remainders are worth it (error replies,
+// the tail past a decode). Past this, a misbehaving server is
+// streaming garbage and the connection is cheaper to drop than to
+// drain; under a sustained worker fleet an unbounded drain here
+// stalls every slot behind one bad reply.
+const maxDrainBytes = 256 << 10
+
+// drainClose discards at most maxDrainBytes of body and closes it.
+// A fully drained body keeps the underlying connection reusable; a
+// truncated drain forces the transport to discard the connection,
+// which is the right trade for oversized bodies.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes))
+	body.Close()
+}
+
 // HTTPStore is the remote result-store client: it speaks the
 // storehttp protocol (GET/PUT /units/<hash>) so distributed workers
 // and CI can share one warm store. Every failure mode — network
@@ -67,10 +85,7 @@ func (s *HTTPStore) GetE(hash string) (Metrics, bool, error) {
 		s.stats.errors.Add(1)
 		return nil, false, fmt.Errorf("campaign: remote get: %w", err)
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	defer drainClose(resp.Body)
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
 		s.stats.misses.Add(1)
@@ -123,8 +138,7 @@ func (s *HTTPStore) Put(hash string, m Metrics) error {
 		s.stats.errors.Add(1)
 		return fmt.Errorf("campaign: remote put: %w", err)
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	drainClose(resp.Body)
 	if resp.StatusCode/100 != 2 {
 		s.stats.errors.Add(1)
 		err := fmt.Errorf("campaign: remote put: server returned %s", resp.Status)

@@ -35,6 +35,7 @@ type engineObs struct {
 	computed     *obs.Counter
 	cached       *obs.Counter
 	phaseExpand  *obs.Histogram
+	phaseDist    *obs.Histogram
 	phaseExecute *obs.Histogram
 	phaseFold    *obs.Histogram
 	compute      *obs.Histogram
@@ -51,7 +52,7 @@ func newEngineObs(r *obs.Registry) *engineObs {
 	}
 	phase := func(name string) *obs.Histogram {
 		return r.Histogram(metricPhaseSeconds,
-			"Engine phase wall time per run (expand, execute, fold).",
+			"Engine phase wall time per run (expand, distribute, execute, fold).",
 			obs.LatencyBuckets, obs.L("phase", name))
 	}
 	return &engineObs{
@@ -62,6 +63,7 @@ func newEngineObs(r *obs.Registry) *engineObs {
 		cached: r.Counter(metricUnitsTotal, "Trial units finished, by outcome.",
 			obs.L("outcome", "cached")),
 		phaseExpand:  phase("expand"),
+		phaseDist:    phase("distribute"),
 		phaseExecute: phase("execute"),
 		phaseFold:    phase("fold"),
 		compute: r.Histogram(metricComputeSeconds,
@@ -108,6 +110,8 @@ func (o *engineObs) observePhase(phase string, d time.Duration) {
 	switch phase {
 	case "expand":
 		o.phaseExpand.Observe(d.Seconds())
+	case "distribute":
+		o.phaseDist.Observe(d.Seconds())
 	case "execute":
 		o.phaseExecute.Observe(d.Seconds())
 	case "fold":

@@ -1,0 +1,650 @@
+// Package dist is the distributed campaign subsystem: a Coordinator
+// that leases unit ranges of an expanded spec to a fleet of worker
+// processes (cmd/stworker) over three HTTP routes, and the Worker
+// loop those processes run. The shared result store is the data path
+// — workers compute trial units and Put them by content hash; the
+// coordinator's engine folds by reading the store in deterministic
+// unit order — so the lease protocol only moves indices, never
+// results, and a cold N-worker distributed run renders byte-identical
+// output to a warm single-machine run.
+//
+// Scheduling is range-sharding with work-stealing: leases hand out
+// contiguous index ranges in batches (per-unit chatter stays off the
+// coordinator hot path); when the pending queue drains, idle workers
+// steal the tail half of the largest outstanding lease, binary-
+// splitting stragglers. Leases carry TTLs refreshed by heartbeats; an
+// expired lease's unfinished units return to the pending queue and
+// are re-leased. Duplicated computation — racing a straggler, or a
+// killed worker's units recomputed elsewhere — is idempotent because
+// identical units write identical store entries under identical keys,
+// which is what makes the fold at-most-once without any distributed
+// consensus.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"silenttracker/internal/obs"
+	"silenttracker/st"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultLeaseTTL    = 10 * time.Second
+	DefaultLeaseBatch  = 64
+	DefaultMaxInflight = 2 // outstanding leases per worker
+	DefaultRetryAfter  = 300 * time.Millisecond
+)
+
+// minStealUnits is the smallest remaining lease worth splitting: a
+// 1-unit straggler is cheaper to wait out (or expire) than to race.
+const minStealUnits = 2
+
+// Config shapes a Coordinator. The zero value is usable: every field
+// falls back to the package default.
+type Config struct {
+	// LeaseTTL bounds how long a granted lease stays valid without a
+	// heartbeat or completion; expired leases are re-queued.
+	LeaseTTL time.Duration
+	// LeaseBatch is the default units per grant (a LeaseRequest.Max
+	// below it shrinks the grant).
+	LeaseBatch int
+	// MaxInflight bounds outstanding leases per worker — the
+	// backpressure knob. A worker at the bound gets 429 + Retry-After,
+	// mirroring the serve admission contract.
+	MaxInflight int
+	// RetryAfter paces workers when no work is available (empty grant)
+	// or they are over the in-flight bound (429).
+	RetryAfter time.Duration
+	// Obs, when non-nil, receives the coordinator's counters and the
+	// lease-latency histogram (metric names in observe.go… this file).
+	Obs *obs.Registry
+	// Logf, when non-nil, receives scheduling decisions worth a log
+	// line (expiries, steals, fingerprint refusals).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
+	if c.LeaseBatch <= 0 {
+		c.LeaseBatch = DefaultLeaseBatch
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Metric names of the coordinator's observability surface.
+const (
+	metricLeases     = "st_dist_leases_total"
+	metricSteals     = "st_dist_steals_total"
+	metricExpired    = "st_dist_expired_total"
+	metricReassigned = "st_dist_reassigned_total"
+	metricCompletes  = "st_dist_completes_total"
+	metricLeaseLat   = "st_dist_lease_seconds"
+)
+
+// instruments is the coordinator's pre-registered metric block.
+// Without a registry every field stays nil, and the obs instruments
+// are nil-safe no-ops.
+type instruments struct {
+	leases     *obs.Counter // grants handed out
+	steals     *obs.Counter // grants that split an outstanding lease
+	expired    *obs.Counter // leases that timed out
+	reassigned *obs.Counter // units re-queued from expired/failed leases
+	completes  *obs.Counter // successful lease completions
+	leaseLat   *obs.Histogram
+}
+
+func newInstruments(r *obs.Registry) *instruments {
+	if r == nil {
+		return &instruments{}
+	}
+	return &instruments{
+		leases:     r.Counter(metricLeases, "Unit leases granted to workers."),
+		steals:     r.Counter(metricSteals, "Leases granted by splitting an outstanding straggler lease."),
+		expired:    r.Counter(metricExpired, "Leases that exceeded their TTL and were revoked."),
+		reassigned: r.Counter(metricReassigned, "Trial units re-queued from expired or failed leases."),
+		completes:  r.Counter(metricCompletes, "Leases completed by their worker."),
+		leaseLat: r.Histogram(metricLeaseLat,
+			"Lease lifetime from grant to completion.", obs.LatencyBuckets),
+	}
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id      string
+	worker  string
+	ranges  []st.UnitRange
+	granted time.Time
+	expires time.Time
+	stolen  bool // tail already split off once; steal from the thief next
+}
+
+// units counts the lease's not-yet-done units against the run's done
+// bits.
+func (l *lease) units(done []bool) int {
+	n := 0
+	for _, r := range l.ranges {
+		for i := r.Start; i < r.End; i++ {
+			if !done[i] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// run is one distributed run's scheduling state. Each unit is in
+// exactly one of three logical states — pending (queued, refs == 0),
+// leased (refs counts the live leases covering it; stealing makes
+// that > 1), or done — and the pending queue never holds duplicates:
+// a unit re-enters it only when its last covering lease dies without
+// it being done.
+type run struct {
+	id          string
+	job         st.JobRequest
+	fingerprint string
+	units       int
+	done        []bool
+	refs        []int16 // live leases covering the unit
+	inPending   []bool
+	doneCount   int
+	pending     []st.UnitRange
+	leases      map[string]*lease
+	finished    chan struct{} // closed when doneCount reaches units
+}
+
+// Coordinator schedules distributed runs: it implements
+// st.Distributor (the engine-facing half) and serves the worker-
+// facing lease protocol via Handler. One Coordinator multiplexes any
+// number of concurrent runs over one worker fleet.
+type Coordinator struct {
+	cfg Config
+	ins *instruments
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	order    []string       // run ids in admission order (lease scan order)
+	inflight map[string]int // outstanding leases per worker
+	seq      int64          // run/lease id source
+}
+
+// New builds a Coordinator.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:      cfg,
+		ins:      newInstruments(cfg.Obs),
+		runs:     make(map[string]*run),
+		inflight: make(map[string]int),
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+var _ st.Distributor = (*Coordinator)(nil)
+
+// Distribute implements st.Distributor: it registers the run's units
+// for leasing and blocks until workers have completed (or been
+// expired off) every unit, periodically revoking overdue leases. It
+// returns nil when every unit was reported complete — the shared
+// store then holds every result the engine's fold sweep will read —
+// or ctx.Err() on cancellation. Distribute never fails for lack of
+// workers; it waits (the engine degrades to local execution only when
+// distribution is not configured, cancellation is the way out of a
+// workerless run).
+func (c *Coordinator) Distribute(ctx context.Context, job st.JobRequest, units []st.UnitRef) error {
+	if len(units) == 0 {
+		return nil
+	}
+	r := &run{
+		job:         job,
+		fingerprint: units[0].Hash,
+		units:       len(units),
+		done:        make([]bool, len(units)),
+		refs:        make([]int16, len(units)),
+		inPending:   make([]bool, len(units)),
+		pending:     []st.UnitRange{{Start: 0, End: len(units)}},
+		leases:      make(map[string]*lease),
+		finished:    make(chan struct{}),
+	}
+	for i := range r.inPending {
+		r.inPending[i] = true
+	}
+	c.mu.Lock()
+	c.seq++
+	r.id = "run-" + strconv.FormatInt(c.seq, 10)
+	c.runs[r.id] = r
+	c.order = append(c.order, r.id)
+	c.mu.Unlock()
+	c.logf("dist: %s: %s (%d units) open for lease", r.id, job.Experiment, len(units))
+
+	defer c.unregister(r.id)
+
+	// The expiry scan rides on this waiter: with at least one active
+	// run there is at least one ticker, and an idle coordinator has
+	// nothing to expire.
+	scan := time.NewTicker(c.scanInterval())
+	defer scan.Stop()
+	for {
+		select {
+		case <-r.finished:
+			c.logf("dist: %s: complete", r.id)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case now := <-scan.C:
+			c.expire(now)
+		}
+	}
+}
+
+func (c *Coordinator) scanInterval() time.Duration {
+	iv := c.cfg.LeaseTTL / 2
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	return iv
+}
+
+// unregister removes a finished or cancelled run and releases its
+// workers' in-flight budget.
+func (c *Coordinator) unregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[id]
+	if !ok {
+		return
+	}
+	for _, l := range r.leases {
+		c.dropInflight(l.worker)
+	}
+	delete(c.runs, id)
+	for i, rid := range c.order {
+		if rid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (c *Coordinator) dropInflight(worker string) {
+	if n := c.inflight[worker]; n <= 1 {
+		delete(c.inflight, worker)
+	} else {
+		c.inflight[worker] = n - 1
+	}
+}
+
+// expire revokes overdue leases, returning their unfinished units to
+// the pending queue.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rid := range c.order {
+		r := c.runs[rid]
+		for id, l := range r.leases {
+			if now.Before(l.expires) {
+				continue
+			}
+			delete(r.leases, id)
+			c.dropInflight(l.worker)
+			requeued := c.releaseLocked(r, l)
+			c.ins.expired.Inc()
+			c.ins.reassigned.Add(int64(requeued))
+			c.logf("dist: %s: lease %s (worker %s) expired, %d units re-queued",
+				r.id, id, l.worker, requeued)
+		}
+	}
+}
+
+// releaseLocked drops a dead lease's coverage: every unit's refcount
+// falls, and units left uncovered (no other live lease) and not done
+// return to the pending queue. Units a racing thief already finished,
+// or still covered by the thief's live lease, stay out — this is what
+// keeps the queue duplicate-free no matter how leases overlap.
+func (c *Coordinator) releaseLocked(r *run, l *lease) int {
+	requeued := 0
+	for _, rg := range l.ranges {
+		start := -1
+		for i := rg.Start; i <= rg.End; i++ {
+			back := false
+			if i < rg.End {
+				if r.refs[i] > 0 {
+					r.refs[i]--
+				}
+				back = r.refs[i] == 0 && !r.done[i] && !r.inPending[i]
+			}
+			if back {
+				if start < 0 {
+					start = i
+				}
+				r.inPending[i] = true
+				requeued++
+				continue
+			}
+			if start >= 0 {
+				r.pending = append(r.pending, st.UnitRange{Start: start, End: i})
+				start = -1
+			}
+		}
+	}
+	return requeued
+}
+
+// grant builds one lease for the requesting worker, or an empty grant
+// when no work (pending or stealable) exists. Runs are scanned in
+// admission order; within a run, pending ranges first, then a steal
+// of the largest outstanding lease's tail.
+func (c *Coordinator) grant(req st.LeaseRequest) (st.LeaseGrant, int) {
+	max := req.Max
+	if max <= 0 || max > c.cfg.LeaseBatch {
+		max = c.cfg.LeaseBatch
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight[req.Worker] >= c.cfg.MaxInflight {
+		return st.LeaseGrant{}, http.StatusTooManyRequests
+	}
+	for _, rid := range c.order {
+		r := c.runs[rid]
+		ranges, stolen := c.takeLocked(r, req.Worker, max)
+		if len(ranges) == 0 {
+			continue
+		}
+		c.seq++
+		l := &lease{
+			id:      "lease-" + strconv.FormatInt(c.seq, 10),
+			worker:  req.Worker,
+			ranges:  ranges,
+			granted: now,
+			expires: now.Add(c.cfg.LeaseTTL),
+		}
+		r.leases[l.id] = l
+		c.inflight[req.Worker]++
+		c.ins.leases.Inc()
+		if stolen {
+			c.ins.steals.Inc()
+		}
+		job := r.job
+		return st.LeaseGrant{
+			Run:         r.id,
+			Lease:       l.id,
+			Job:         &job,
+			Fingerprint: r.fingerprint,
+			Units:       ranges,
+			TTLMS:       c.cfg.LeaseTTL.Milliseconds(),
+		}, http.StatusOK
+	}
+	return st.LeaseGrant{RetryAfterMS: c.cfg.RetryAfter.Milliseconds()}, http.StatusOK
+}
+
+// takeLocked pops up to max units from the run: pending ranges first;
+// when pending is dry, the tail half of the largest not-yet-split
+// outstanding lease (work-stealing — the straggler keeps computing,
+// the thief races it, the done bits and content-addressed store make
+// the overlap harmless).
+func (c *Coordinator) takeLocked(r *run, worker string, max int) ([]st.UnitRange, bool) {
+	var out []st.UnitRange
+	n := 0
+	for n < max && len(r.pending) > 0 {
+		rg := &r.pending[0]
+		// Skip heads a zombie completion finished while they queued.
+		for rg.Start < rg.End && (r.done[rg.Start] || !r.inPending[rg.Start]) {
+			r.inPending[rg.Start] = false
+			rg.Start++
+		}
+		if rg.Start >= rg.End {
+			r.pending = r.pending[1:]
+			continue
+		}
+		i := rg.Start
+		r.inPending[i] = false
+		r.refs[i]++
+		if len(out) > 0 && out[len(out)-1].End == i {
+			out[len(out)-1].End = i + 1
+		} else {
+			out = append(out, st.UnitRange{Start: i, End: i + 1})
+		}
+		n++
+		rg.Start++
+	}
+	if n > 0 {
+		return out, false
+	}
+	// Steal: largest outstanding lease by remaining units, ties broken
+	// by lease id for determinism. Stealing from oneself is allowed —
+	// it converges a single slow worker's huge lease into smaller ones
+	// — but a lease is split at most once (steal from the thief next).
+	var victim *lease
+	victimLeft := 0
+	ids := make([]string, 0, len(r.leases))
+	for id := range r.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l := r.leases[id]
+		if l.stolen {
+			continue
+		}
+		if left := l.units(r.done); left >= minStealUnits && left > victimLeft {
+			victim, victimLeft = l, left
+		}
+	}
+	if victim == nil {
+		return nil, false
+	}
+	victim.stolen = true
+	// Tail half of the victim's not-done units, capped at max.
+	steal := victimLeft / 2
+	if steal > max {
+		steal = max
+	}
+	var tail []st.UnitRange
+	need := steal
+	for i := len(victim.ranges) - 1; i >= 0 && need > 0; i-- {
+		rg := victim.ranges[i]
+		start := -1
+		var got []st.UnitRange
+		// Walk the range backwards collecting not-done units.
+		for j := rg.End - 1; j >= rg.Start && need > 0; j-- {
+			if r.done[j] {
+				continue
+			}
+			if start < 0 || start != j+1 {
+				got = append(got, st.UnitRange{Start: j, End: j + 1})
+			} else {
+				got[len(got)-1].Start = j
+			}
+			start = j
+			need--
+		}
+		tail = append(tail, got...)
+	}
+	if len(tail) == 0 {
+		return nil, false
+	}
+	// Reverse into ascending order for the wire, and count the second
+	// coverage on each stolen unit.
+	for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+		tail[i], tail[j] = tail[j], tail[i]
+	}
+	for _, rg := range tail {
+		for i := rg.Start; i < rg.End; i++ {
+			r.refs[i]++
+		}
+	}
+	c.logf("dist: %s: stealing %d units from lease %s (worker %s, %d left)",
+		r.id, steal, victim.id, victim.worker, victimLeft)
+	return tail, true
+}
+
+// complete processes a worker's UnitReport: on success, mark the
+// units done (idempotently — a racing thief may have beaten this
+// worker to some); on a reported error, re-queue them for another
+// worker. Unknown runs and leases are fine (the run finished or the
+// lease expired while the worker computed) — the work is in the
+// store either way.
+func (c *Coordinator) complete(rep st.UnitReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[rep.Run]
+	if !ok {
+		return
+	}
+	l, live := r.leases[rep.Lease]
+	if live {
+		delete(r.leases, rep.Lease)
+		c.dropInflight(l.worker)
+	}
+	if rep.Error == "" {
+		for _, rg := range rep.Units {
+			for i := rg.Start; i < rg.End && i < r.units; i++ {
+				if i < 0 || r.done[i] {
+					continue
+				}
+				r.done[i] = true
+				r.doneCount++
+			}
+		}
+		c.ins.completes.Inc()
+		if live {
+			c.ins.leaseLat.ObserveSince(l.granted)
+		}
+	}
+	if live {
+		// Drop the lease's coverage either way; on a reported failure
+		// the uncovered, unfinished units go back to the queue.
+		requeued := c.releaseLocked(r, l)
+		if rep.Error != "" {
+			c.ins.reassigned.Add(int64(requeued))
+			c.logf("dist: %s: lease %s failed on %s (%s), %d units re-queued",
+				r.id, rep.Lease, rep.Worker, rep.Error, requeued)
+		}
+	}
+	if r.doneCount >= r.units {
+		select {
+		case <-r.finished:
+		default:
+			close(r.finished)
+		}
+	}
+}
+
+// heartbeat extends the worker's leases and reports which of the runs
+// it claims to be computing for no longer hold any of its leases —
+// those were expired and re-leased; the worker should abandon them.
+func (c *Coordinator) heartbeat(hb st.Heartbeat) st.HeartbeatAck {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := make(map[string]bool)
+	for _, rid := range c.order {
+		r := c.runs[rid]
+		for _, l := range r.leases {
+			if l.worker == hb.Worker {
+				l.expires = now.Add(c.cfg.LeaseTTL)
+				live[r.id] = true
+			}
+		}
+	}
+	var ack st.HeartbeatAck
+	for _, rid := range hb.Runs {
+		if !live[rid] {
+			ack.Expired = append(ack.Expired, rid)
+		}
+	}
+	return ack
+}
+
+// Handler serves the lease protocol: POST /lease, /complete,
+// /heartbeat relative to the mount point (stserve mounts it under
+// /dist/). Malformed bodies get 400; over-bound workers get 429 with
+// Retry-After, the same admission vocabulary as POST /jobs.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req st.LeaseRequest
+		if !c.decode(w, r, &req) {
+			return
+		}
+		if req.Worker == "" {
+			http.Error(w, "lease request names no worker", http.StatusBadRequest)
+			return
+		}
+		grant, code := c.grant(req)
+		if code == http.StatusTooManyRequests {
+			retry := int(c.cfg.RetryAfter.Seconds())
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			http.Error(w, "worker at in-flight lease bound", code)
+			return
+		}
+		c.writeJSON(w, grant)
+	})
+	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
+		var rep st.UnitReport
+		if !c.decode(w, r, &rep) {
+			return
+		}
+		c.complete(rep)
+		c.writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var hb st.Heartbeat
+		if !c.decode(w, r, &hb) {
+			return
+		}
+		c.writeJSON(w, c.heartbeat(hb))
+	})
+	return mux
+}
+
+// maxBodyBytes bounds protocol request bodies; lease traffic is a few
+// hundred bytes of JSON.
+const maxBodyBytes = 1 << 20
+
+func (c *Coordinator) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}

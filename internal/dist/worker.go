@@ -1,0 +1,386 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"silenttracker/st"
+)
+
+// Worker-side defaults.
+const (
+	DefaultHeartbeat  = 2 * time.Second
+	DefaultLeasePoll  = 300 * time.Millisecond
+	DefaultMaxDrained = 4 << 10 // protocol replies are small JSON
+)
+
+// WorkerConfig shapes one worker process's lease loop.
+type WorkerConfig struct {
+	// Coordinator is the daemon's base URL (e.g. http://host:8080):
+	// the worker leases from {base}/dist/* and reads/writes results
+	// through the shared store at {base}/store.
+	Coordinator string
+	// Name identifies the worker to the coordinator; defaults to
+	// hostname-pid.
+	Name string
+	// Jobs is the local trial parallelism per lease (0 = GOMAXPROCS).
+	Jobs int
+	// LeaseBatch caps units per lease request (0 accepts the
+	// coordinator's batch size).
+	LeaseBatch int
+	// Heartbeat is the keep-alive interval for held leases; it must
+	// stay well under the coordinator's lease TTL.
+	Heartbeat time.Duration
+	// IdleExit, when positive, exits the loop after this long without
+	// any work granted — how a fleet drains when the campaign is done.
+	// Zero keeps polling forever (a service fleet).
+	IdleExit time.Duration
+	// RemoteRetry arms the store client's retry/breaker stack with
+	// this many attempts per op (0 = disabled), mirroring the
+	// -remote-retry CLI knob.
+	RemoteRetry int
+	// Chaos/ChaosSeed inject deterministic faults on the worker↔store
+	// path ("flaky-remote"), mirroring the -chaos CLI knobs — the
+	// resilience gates run real workers under them.
+	Chaos     string
+	ChaosSeed int64
+	// Logf, when non-nil, receives the worker's progress lines.
+	Logf func(format string, args ...any)
+	// HTTPClient overrides the protocol transport (tests); nil gets a
+	// default client.
+	HTTPClient *http.Client
+}
+
+// Worker is the stworker process body: an endless (or idle-bounded)
+// loop of lease → rebuild spec → verify fingerprint → compute units
+// against the shared store → report, with a heartbeat goroutine
+// keeping held leases alive. One Worker computes for any number of
+// interleaved runs, caching one st.Session per run.
+type Worker struct {
+	cfg  WorkerConfig
+	base string
+	http *http.Client
+
+	mu       sync.Mutex
+	sessions map[string]*workerRun
+	active   map[string]context.CancelFunc // in-flight compute by run id
+
+	// Totals for the exit log line.
+	computed, cached, leases int
+}
+
+// workerRun is one run's cached session (and its client, owned here).
+type workerRun struct {
+	client *st.Client
+	sess   *st.Session
+	bad    string // non-empty: refused (fingerprint mismatch, build error)
+}
+
+// NewWorker builds a Worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("dist: worker needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{
+		cfg:      cfg,
+		base:     strings.TrimRight(cfg.Coordinator, "/"),
+		http:     client,
+		sessions: make(map[string]*workerRun),
+		active:   make(map[string]context.CancelFunc),
+	}, nil
+}
+
+// Name returns the worker's fleet identity.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the lease loop until ctx is cancelled (returns ctx.Err())
+// or — with IdleExit set — the coordinator has had no work for that
+// long (returns nil). Transient coordinator failures (restart,
+// network blip) are retried with the same pacing as an idle poll.
+func (w *Worker) Run(ctx context.Context) error {
+	defer w.closeSessions()
+
+	hbCtx, hbStop := context.WithCancel(ctx)
+	defer hbStop()
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeatLoop(hbCtx)
+	}()
+	defer hbWG.Wait()
+
+	idleSince := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, retryAfter, err := w.lease(ctx)
+		switch {
+		case err != nil:
+			w.logf("stworker %s: lease: %v", w.cfg.Name, err)
+			fallthrough
+		case grant.Run == "" || len(grant.Units) == 0:
+			if w.cfg.IdleExit > 0 && time.Since(idleSince) >= w.cfg.IdleExit {
+				w.logf("stworker %s: idle for %s, exiting (%d leases, %d computed, %d cached)",
+					w.cfg.Name, w.cfg.IdleExit, w.leases, w.computed, w.cached)
+				return nil
+			}
+			if retryAfter <= 0 {
+				retryAfter = DefaultLeasePoll
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retryAfter):
+			}
+			continue
+		}
+		idleSince = time.Now()
+		w.leases++
+		w.work(ctx, grant)
+	}
+}
+
+// lease requests one batch of work. A 429 maps to (empty, Retry-After,
+// nil) — backpressure is pacing, not an error.
+func (w *Worker) lease(ctx context.Context) (st.LeaseGrant, time.Duration, error) {
+	req := st.LeaseRequest{Worker: w.cfg.Name, Max: w.cfg.LeaseBatch}
+	var grant st.LeaseGrant
+	resp, err := w.post(ctx, "/dist/lease", req)
+	if err != nil {
+		return grant, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, DefaultMaxDrained))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return grant, retry, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return grant, 0, fmt.Errorf("coordinator returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&grant); err != nil {
+		return grant, 0, fmt.Errorf("undecodable grant: %v", err)
+	}
+	return grant, time.Duration(grant.RetryAfterMS) * time.Millisecond, nil
+}
+
+// work computes one granted lease and reports the outcome.
+func (w *Worker) work(ctx context.Context, grant st.LeaseGrant) {
+	rep := st.UnitReport{Worker: w.cfg.Name, Run: grant.Run, Lease: grant.Lease, Units: grant.Units}
+	run := w.session(grant)
+	if run.bad != "" {
+		rep.Error = run.bad
+		w.report(ctx, rep)
+		return
+	}
+	indices := make([]int, 0, unitCount(grant.Units))
+	for _, rg := range grant.Units {
+		indices = rg.Indices(indices)
+	}
+	// The compute context is cancellable by the heartbeat loop: when
+	// the coordinator says this run's leases expired from under us,
+	// finishing the batch is wasted work.
+	runCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.active[grant.Run] = cancel
+	w.mu.Unlock()
+	stats, err := run.sess.ComputeUnits(runCtx, indices)
+	w.mu.Lock()
+	delete(w.active, grant.Run)
+	w.mu.Unlock()
+	cancel()
+	w.computed += stats.Computed
+	w.cached += stats.Cached
+	suffix := ""
+	if err != nil {
+		rep.Error = err.Error()
+		suffix = " error: " + rep.Error
+	}
+	w.logf("stworker %s: %s %s: %d units (%d computed, %d cached)%s",
+		w.cfg.Name, grant.Run, grant.Lease, len(indices), stats.Computed, stats.Cached, suffix)
+	w.report(ctx, rep)
+}
+
+func unitCount(ranges []st.UnitRange) int {
+	n := 0
+	for _, r := range ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// session returns the run's cached session, building (and
+// fingerprint-checking) it on first sight. A session that cannot be
+// built or fingerprints differently from the grant is version skew —
+// this worker's binary expands a different spec than the coordinator's
+// — and is refused for the run's lifetime rather than allowed to
+// poison the shared store.
+func (w *Worker) session(grant st.LeaseGrant) *workerRun {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if run, ok := w.sessions[grant.Run]; ok {
+		return run
+	}
+	run := &workerRun{}
+	w.sessions[grant.Run] = run
+	if grant.Job == nil {
+		run.bad = "grant carries no job"
+		return run
+	}
+	opts := []st.Option{
+		st.WithRemoteCache(w.base + "/store"),
+		st.WithWorkers(w.cfg.Jobs),
+	}
+	if w.cfg.RemoteRetry > 0 {
+		p := st.DefaultRetryPolicy()
+		p.Attempts = w.cfg.RemoteRetry
+		opts = append(opts, st.WithRemoteRetry(p))
+	}
+	if w.cfg.Chaos != "" {
+		opts = append(opts, st.WithChaos(w.cfg.ChaosSeed, w.cfg.Chaos))
+	}
+	client, err := st.NewClient(opts...)
+	if err != nil {
+		run.bad = fmt.Sprintf("building client: %v", err)
+		return run
+	}
+	sess, err := client.Session(grant.Job.Experiment, grant.Job.Options()...)
+	if err != nil {
+		client.Close()
+		run.bad = fmt.Sprintf("building session: %v", err)
+		return run
+	}
+	if units := sess.Units(); len(units) == 0 || units[0].Hash != grant.Fingerprint {
+		client.Close()
+		run.bad = fmt.Sprintf("spec fingerprint mismatch (version skew): worker expands %q, coordinator expects %q",
+			firstHash(sess.Units()), grant.Fingerprint)
+		w.logf("stworker %s: refusing %s: %s", w.cfg.Name, grant.Run, run.bad)
+		return run
+	}
+	run.client, run.sess = client, sess
+	return run
+}
+
+func firstHash(units []st.UnitRef) string {
+	if len(units) == 0 {
+		return ""
+	}
+	return units[0].Hash
+}
+
+// report posts a completion; failures are logged, not fatal — an
+// unreported lease expires and re-leases, and the results are already
+// in the store.
+func (w *Worker) report(ctx context.Context, rep st.UnitReport) {
+	resp, err := w.post(ctx, "/dist/complete", rep)
+	if err != nil {
+		w.logf("stworker %s: report %s: %v", w.cfg.Name, rep.Lease, err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, DefaultMaxDrained))
+	resp.Body.Close()
+}
+
+// heartbeatLoop keeps held leases alive and abandons compute for runs
+// the coordinator has expired from under us.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	tick := time.NewTicker(w.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		runs := make([]string, 0, len(w.active))
+		for id := range w.active {
+			runs = append(runs, id)
+		}
+		w.mu.Unlock()
+		if len(runs) == 0 {
+			continue
+		}
+		resp, err := w.post(ctx, "/dist/heartbeat", st.Heartbeat{Worker: w.cfg.Name, Runs: runs})
+		if err != nil {
+			continue // a missed beat is what TTLs are for
+		}
+		var ack st.HeartbeatAck
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&ack)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, id := range ack.Expired {
+			w.mu.Lock()
+			cancel := w.active[id]
+			w.mu.Unlock()
+			if cancel != nil {
+				w.logf("stworker %s: %s expired from under us, abandoning", w.cfg.Name, id)
+				cancel()
+			}
+		}
+	}
+}
+
+func (w *Worker) post(ctx context.Context, path string, v any) (*http.Response, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.http.Do(req)
+}
+
+func (w *Worker) closeSessions() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, run := range w.sessions {
+		if run.client != nil {
+			run.client.Close()
+		}
+	}
+	w.sessions = make(map[string]*workerRun)
+}

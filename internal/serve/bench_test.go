@@ -1,0 +1,47 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"silenttracker/internal/serve"
+	"silenttracker/st"
+)
+
+// BenchmarkServeThroughput measures daemon job throughput at 1, 2,
+// and 4 session slots: each iteration pushes a batch of distinct
+// compute-bound jobs (per-job seeds, so nothing is served from cache)
+// through POST /jobs and waits for the last terminal state. jobs/sec
+// is the trajectory number; dividing the w4 figure by 4× the w1
+// figure gives the scaling efficiency of the session pool.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			d, base := newDaemon(b, serve.Config{MaxJobs: w, MaxQueue: 4096},
+				st.WithWorkers(1))
+			_ = d
+			const batch = 8
+			seed := int64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, batch)
+				for k := range ids {
+					ids[k] = submit(b, base, st.JobRequest{
+						Experiment: "hotspot", Quick: true, Trials: 1,
+						Seed:   seed,
+						Client: fmt.Sprintf("client-%d", k%w),
+					}).ID
+					seed++
+				}
+				for _, id := range ids {
+					final := waitStatus(b, base, id, func(s st.JobStatus) bool { return s.State.Terminal() })
+					if final.State != st.JobDone {
+						b.Fatalf("job %s: %+v", id, final)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		})
+	}
+}

@@ -1,0 +1,168 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"silenttracker/internal/dist"
+	"silenttracker/internal/serve"
+	"silenttracker/st"
+)
+
+// TestQueueFairness: with the single session slot pinned, a 3-job
+// burst from client alice cannot starve bob's later job — the fair
+// queue dispatches bob right after alice's first job, not after her
+// whole burst.
+func TestQueueFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, base := newDaemon(t, serve.Config{MaxJobs: 1, Logf: logf},
+		st.WithCacheDir(cacheDir), st.WithWorkers(1))
+
+	// Pin the slot with a long run; everything below queues behind it.
+	// urban -quick at one worker runs for seconds — wide enough to
+	// submit the burst and read the positions.
+	pin := submit(t, base, st.JobRequest{Experiment: "urban", Quick: true, Client: "pin"})
+	waitStatus(t, base, pin.ID, func(s st.JobStatus) bool { return s.State == st.JobRunning })
+
+	var alice []st.JobStatus
+	for i := 0; i < 3; i++ {
+		alice = append(alice, submit(t, base,
+			st.JobRequest{Experiment: "urban", Quick: true, Client: "alice"}))
+	}
+	bob := submit(t, base, st.JobRequest{Experiment: "urban", Quick: true, Client: "bob"})
+
+	// Queue positions reflect the round-robin dispatch order: bob is
+	// second in line behind a burst of three (FIFO would put him last).
+	wantPos := map[string]int{alice[0].ID: 0, bob.ID: 1, alice[1].ID: 2, alice[2].ID: 3}
+	for id, want := range wantPos {
+		if got := getStatus(t, base, id); got.State != st.JobQueued || got.Position != want {
+			t.Errorf("job %s: state %q position %d, want queued at position %d",
+				id, got.State, got.Position, want)
+		}
+	}
+
+	// Drain the queue (every queued job is the spec the pin computes,
+	// so each dispatch finishes from cache) and read the actual
+	// dispatch order off the daemon log.
+	all := append(append([]st.JobStatus{pin}, alice...), bob)
+	for _, s := range all {
+		final := waitStatus(t, base, s.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+		if final.State != st.JobDone {
+			t.Fatalf("job %s: %+v, want done", s.ID, final)
+		}
+	}
+	var order []string
+	mu.Lock()
+	for _, line := range lines {
+		if id, ok := strings.CutPrefix(line, "job "); ok {
+			if id, ok := strings.CutSuffix(id, ": running urban"); ok {
+				order = append(order, id)
+			}
+		}
+	}
+	mu.Unlock()
+	want := []string{pin.ID, alice[0].ID, bob.ID, alice[1].ID, alice[2].ID}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("dispatch order %v, want round-robin %v", order, want)
+	}
+}
+
+// TestRemoteJob runs a "remote": true job end to end inside the
+// process: two dist.Workers lease units off the daemon's /dist/
+// routes, compute them against /store/, and the daemon's fold renders
+// bytes identical to a local run without computing a single unit
+// itself.
+func TestRemoteJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real campaigns")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, base := newDaemon(t, serve.Config{},
+		st.WithCacheDir(cacheDir), st.WithMetrics())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := dist.NewWorker(dist.WorkerConfig{
+			Coordinator: base,
+			Name:        fmt.Sprintf("w%d", i),
+			Jobs:        2,
+			LeaseBatch:  2, // small leases, so both workers participate
+			Heartbeat:   time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() { cancel(); wg.Wait() })
+
+	status := submit(t, base, st.JobRequest{Experiment: "hotspot", Quick: true, Trials: 1, Remote: true})
+	final := waitStatus(t, base, status.ID, func(s st.JobStatus) bool { return s.State.Terminal() })
+	if final.State != st.JobDone || final.Stats == nil {
+		t.Fatalf("remote job: %+v", final)
+	}
+	if final.Stats.Computed != 0 || final.Stats.Cached != final.Stats.Units {
+		t.Errorf("daemon computed units the fleet should have: %+v", final.Stats)
+	}
+
+	// Byte-identity with a plain local run.
+	ref, err := st.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	res, err := ref.Run(context.Background(), "hotspot", st.WithQuick(), st.WithTrials(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := st.RenderCampaignText(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := getBody(t, base+"/jobs/"+status.ID+"/result"); code != http.StatusOK || body != want.String() {
+		t.Errorf("remote result differs from the local renderer (%d):\n--- daemon ---\n%s--- local ---\n%s",
+			code, body, want.String())
+	}
+
+	// The coordinator's instruments registered on the shared registry.
+	code, metrics := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, name := range []string{"st_dist_leases_total", "st_dist_completes_total"} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
+// TestRemoteJobRequiresStore: a store-less daemon has no worker↔fold
+// data path, so a remote job is a 400 at submission.
+func TestRemoteJobRequiresStore(t *testing.T) {
+	_, base := newDaemon(t, serve.Config{}) // no store options: store-less client
+	_, code, body := post(t, base, st.JobRequest{Experiment: "hotspot", Quick: true, Remote: true})
+	if code != http.StatusBadRequest || !strings.Contains(body, "result store") {
+		t.Errorf("remote job on store-less daemon: %d (%s), want 400 naming the missing store", code, body)
+	}
+}

@@ -22,6 +22,12 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// slot delivers the fair-queue dispatch grant to the job goroutine
+	// (buffered: the dispatcher never blocks on a goroutine that has
+	// not reached its select yet). dispatched is guarded by s.mu.
+	slot       chan struct{}
+	dispatched bool
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	state  st.JobState
@@ -35,7 +41,8 @@ type job struct {
 
 func newJob(base context.Context, req st.JobRequest) *job {
 	ctx, cancel := context.WithCancel(base)
-	j := &job{req: req, ctx: ctx, cancel: cancel, state: st.JobQueued}
+	j := &job{req: req, ctx: ctx, cancel: cancel, state: st.JobQueued,
+		slot: make(chan struct{}, 1)}
 	j.cond = sync.NewCond(&j.mu)
 	return j
 }
@@ -118,12 +125,6 @@ func (j *job) snapshot() st.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.snapshotLocked()
-}
-
-func (j *job) queuedState() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.state == st.JobQueued
 }
 
 func (j *job) terminal() bool {

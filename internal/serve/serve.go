@@ -31,6 +31,12 @@
 //	/store/...                the shared result store in the storehttp
 //	                          wire format, so remote workers can point
 //	                          -remote-cache at this daemon
+//	POST   /dist/lease        the distributed-execution lease protocol
+//	POST   /dist/complete     (internal/dist): stworker processes lease
+//	POST   /dist/heartbeat    unit ranges of jobs submitted with
+//	                          "remote": true, compute them against
+//	                          /store/, and the daemon folds —
+//	                          byte-identical to a local run
 //	GET    /healthz           liveness + drain state + job counts
 //	GET    /metrics           the client's registry as Prometheus text
 //	                          (engine phases, store tiers, worker
@@ -44,6 +50,12 @@
 // load sheds at the edge instead of queueing unboundedly — the
 // end-to-end admission discipline of the congestion-control line of
 // work this repo's papers sit in.
+//
+// The queue is fair across clients: jobs waiting for a session slot
+// are grouped by JobRequest.Client and dispatched round-robin over
+// the client classes (FIFO within a class), so one client's burst of
+// N jobs cannot starve another client's single job — it waits at most
+// one dispatch cycle, not N.
 package serve
 
 import (
@@ -53,7 +65,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
+	"silenttracker/internal/dist"
 	"silenttracker/internal/obs"
 	"silenttracker/internal/stx"
 	"silenttracker/st"
@@ -73,6 +87,11 @@ type Config struct {
 	// finished jobs (and their results) are dropped beyond it, so a
 	// long-lived daemon's memory is bounded.
 	MaxHistory int
+	// LeaseTTL / LeaseBatch tune the distributed coordinator serving
+	// /dist/ (zero keeps the dist package defaults). Short TTLs make
+	// worker-death recovery fast at the cost of more heartbeat traffic.
+	LeaseTTL   time.Duration
+	LeaseBatch int
 	// Logf, when non-nil, receives one line per lifecycle step.
 	Logf func(format string, args ...any)
 }
@@ -88,14 +107,21 @@ type Server struct {
 	logf       func(string, ...any)
 	reg        *obs.Registry
 	mux        *http.ServeMux
-	sem        chan struct{} // session slots; len == running sessions
+	coord      *dist.Coordinator // serves /dist/, schedules Remote jobs
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []*job // submission order (queue position, listing, reaping)
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job // submission order (listing, reaping)
+	// The fair queue: waiting jobs grouped by client class, dispatched
+	// round-robin over ring (FIFO within a class). cursor is the next
+	// ring slot to dispatch from; classes and ring hold only classes
+	// with at least one waiting job.
+	classes  map[string][]*job
+	ring     []string
+	cursor   int
 	nextID   int
 	running  int
 	queued   int
@@ -138,11 +164,17 @@ func New(cfg Config) (*Server, error) {
 		maxHistory: cfg.MaxHistory,
 		logf:       logf,
 		reg:        stx.ClientRegistry(cfg.Client), // nil without WithMetrics; every instrument below no-ops
-		sem:        make(chan struct{}, cfg.MaxJobs),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
+		classes:    make(map[string][]*job),
 	}
+	s.coord = dist.New(dist.Config{
+		LeaseTTL:   cfg.LeaseTTL,
+		LeaseBatch: cfg.LeaseBatch,
+		Obs:        s.reg,
+		Logf:       logf,
+	})
 	s.mSubmitted = s.reg.Counter("st_serve_jobs_submitted_total", "Jobs accepted by POST /jobs.")
 	s.mRejected = s.reg.Counter("st_serve_jobs_rejected_total", "Jobs rejected by admission control (429).")
 	s.mSessions = s.reg.Counter("st_serve_sessions_total", "Campaign sessions started.")
@@ -166,8 +198,10 @@ func New(cfg Config) (*Server, error) {
 	mux.Handle("GET /metrics", route("metrics", cfg.Client.MetricsHandler().ServeHTTP))
 	// The store speaks its own wire format below /store/ and records
 	// its own per-route metrics (units/stats/healthz), so it is not
-	// double-counted under a "store" route.
+	// double-counted under a "store" route. The lease protocol below
+	// /dist/ likewise records the st_dist_* family itself.
 	mux.Handle("/store/", http.StripPrefix("/store", cfg.Client.StoreHandler()))
+	mux.Handle("/dist/", http.StripPrefix("/dist", s.coord.Handler()))
 	s.mux = mux
 	return s, nil
 }
@@ -216,7 +250,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Build the session up front so a bad request fails here, not
 	// inside the job goroutine: the session pins the exact sweep and
 	// subscribes the job's event buffer to the progress stream.
-	sess, err := s.client.Session(req.Experiment, append(req.Options(), st.WithProgress(j.onEvent))...)
+	opts := append(req.Options(), st.WithProgress(j.onEvent))
+	if req.Remote {
+		// Route the job's units through the coordinator: stworkers
+		// lease and compute them, this session folds. A store-less
+		// daemon has no worker↔fold data path; the session build
+		// rejects the combination below (400).
+		opts = append(opts, st.WithDistributed(s.coord))
+	}
+	sess, err := s.client.Session(req.Experiment, opts...)
 	if errors.Is(err, st.ErrUnknownExperiment) {
 		s.errorf(w, http.StatusNotFound, "%v", err)
 		return
@@ -245,10 +287,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.id = fmt.Sprintf("j%06d", s.nextID)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
+	s.enqueueLocked(j)
 	s.queued++
 	s.mQueued.Set(float64(s.queued))
 	s.mSubmitted.Inc()
 	s.wg.Add(1) // inside the lock: Shutdown must not miss an admitted job
+	s.dispatchLocked()
 	status := s.statusLocked(j)
 	s.mu.Unlock()
 
@@ -258,32 +302,109 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, status)
 }
 
+// enqueueLocked appends the job to its client class's FIFO, admitting
+// the class to the round-robin ring if this is its first waiter.
+func (s *Server) enqueueLocked(j *job) {
+	class := j.req.Client
+	if len(s.classes[class]) == 0 {
+		s.ring = append(s.ring, class)
+	}
+	s.classes[class] = append(s.classes[class], j)
+}
+
+// dequeueLocked removes a waiting job (cancelled before dispatch) from
+// its class queue, retiring the class from the ring if it was the last.
+func (s *Server) dequeueLocked(j *job) {
+	class := j.req.Client
+	q := s.classes[class]
+	for i, other := range q {
+		if other == j {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) > 0 {
+		s.classes[class] = q
+		return
+	}
+	delete(s.classes, class)
+	for i, c := range s.ring {
+		if c == class {
+			s.ring = append(s.ring[:i], s.ring[i+1:]...)
+			if i < s.cursor {
+				s.cursor--
+			}
+			break
+		}
+	}
+}
+
+// dispatchLocked fills free session slots from the fair queue: one job
+// from the cursor's class, then advance — round-robin across clients,
+// FIFO within one. Dispatch accounting (queued→running) happens here;
+// the job's goroutine observes the grant through its slot channel.
+func (s *Server) dispatchLocked() {
+	for s.running < s.maxJobs && len(s.ring) > 0 {
+		if s.cursor >= len(s.ring) {
+			s.cursor = 0
+		}
+		class := s.ring[s.cursor]
+		q := s.classes[class]
+		j := q[0]
+		if len(q) == 1 {
+			delete(s.classes, class)
+			s.ring = append(s.ring[:s.cursor], s.ring[s.cursor+1:]...)
+			// cursor now indexes the next class already
+		} else {
+			s.classes[class] = q[1:]
+			s.cursor++
+		}
+		j.dispatched = true
+		s.queued--
+		s.running++
+		s.mQueued.Set(float64(s.queued))
+		s.mActive.Set(float64(s.running))
+		j.slot <- struct{}{} // buffered: the goroutine need not be waiting yet
+	}
+}
+
+// releaseSlot returns a finished job's session slot and dispatches the
+// next fair-queue winner into it.
+func (s *Server) releaseSlot() {
+	s.mu.Lock()
+	s.running--
+	s.mActive.Set(float64(s.running))
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
 // runJob carries one job through its lifecycle: wait for a session
 // slot, run, finish, account.
 func (s *Server) runJob(j *job, sess *st.Session) {
 	defer s.wg.Done()
 	defer sess.Close()
 	select {
-	case s.sem <- struct{}{}:
+	case <-j.slot:
 	case <-j.ctx.Done():
 		s.mu.Lock()
-		s.queued--
-		s.mQueued.Set(float64(s.queued))
-		s.mu.Unlock()
-		j.finish(nil, fmt.Errorf("cancelled while queued: %w", j.ctx.Err()))
-		s.mCancelled.Inc()
-		s.reap()
-		s.logf("job %s: cancelled while queued", j.id)
-		return
+		if j.dispatched {
+			// Dispatch raced the cancellation: the slot is ours. Fall
+			// through and run — RunCtx returns promptly with the
+			// cancellation and the slot is released below.
+			s.mu.Unlock()
+		} else {
+			s.dequeueLocked(j)
+			s.queued--
+			s.mQueued.Set(float64(s.queued))
+			s.mu.Unlock()
+			j.finish(nil, fmt.Errorf("cancelled while queued: %w", j.ctx.Err()))
+			s.mCancelled.Inc()
+			s.reap()
+			s.logf("job %s: cancelled while queued", j.id)
+			return
+		}
 	}
-	defer func() { <-s.sem }()
-
-	s.mu.Lock()
-	s.queued--
-	s.running++
-	s.mQueued.Set(float64(s.queued))
-	s.mActive.Set(float64(s.running))
-	s.mu.Unlock()
+	defer s.releaseSlot()
 	s.mSessions.Inc()
 	j.transition(st.JobRunning)
 	s.logf("job %s: running %s", j.id, j.req.Experiment)
@@ -291,10 +412,6 @@ func (s *Server) runJob(j *job, sess *st.Session) {
 	res, err := sess.Run(j.ctx)
 	state := j.finish(res, err)
 
-	s.mu.Lock()
-	s.running--
-	s.mActive.Set(float64(s.running))
-	s.mu.Unlock()
 	switch state {
 	case st.JobDone:
 		s.mDone.Inc()
@@ -500,19 +617,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // order is always s.mu → j.mu).
 func (s *Server) statusLocked(j *job) st.JobStatus {
 	status := j.snapshot()
-	if status.State == st.JobQueued {
-		pos := 0
-		for _, other := range s.order {
-			if other == j {
-				break
-			}
-			if other.queuedState() {
-				pos++
-			}
-		}
-		status.Position = pos
+	if status.State == st.JobQueued && !j.dispatched {
+		status.Position = s.positionLocked(j)
 	}
 	return status
+}
+
+// positionLocked counts the dispatches that will happen before j's: a
+// dry run of the round-robin over the current queue state. With one
+// client class this degenerates to the job's FIFO index.
+func (s *Server) positionLocked(j *job) int {
+	ring := append([]string(nil), s.ring...)
+	next := make(map[string]int, len(ring))
+	cur := s.cursor
+	for pos := 0; len(ring) > 0; pos++ {
+		if cur >= len(ring) {
+			cur = 0
+		}
+		class := ring[cur]
+		q := s.classes[class]
+		i := next[class]
+		if q[i] == j {
+			return pos
+		}
+		next[class] = i + 1
+		if i+1 >= len(q) {
+			ring = append(ring[:cur], ring[cur+1:]...)
+		} else {
+			cur++
+		}
+	}
+	return 0 // not in the queue (dispatch raced the snapshot)
 }
 
 func (s *Server) errorf(w http.ResponseWriter, code int, format string, args ...any) {

@@ -27,7 +27,7 @@ func newLineScanner(r io.Reader) *bufio.Scanner {
 
 // newDaemon builds a client with opts, wraps it in a daemon with cfg,
 // and serves it from an httptest server. Cleanup closes both.
-func newDaemon(t *testing.T, cfg serve.Config, opts ...st.Option) (*serve.Server, string) {
+func newDaemon(t testing.TB, cfg serve.Config, opts ...st.Option) (*serve.Server, string) {
 	t.Helper()
 	client, err := st.NewClient(opts...)
 	if err != nil {
@@ -46,7 +46,7 @@ func newDaemon(t *testing.T, cfg serve.Config, opts ...st.Option) (*serve.Server
 
 // post submits a job and returns the decoded status (zero unless 202)
 // with the status code and raw body.
-func post(t *testing.T, base string, req st.JobRequest) (st.JobStatus, int, string) {
+func post(t testing.TB, base string, req st.JobRequest) (st.JobStatus, int, string) {
 	t.Helper()
 	buf, err := json.Marshal(req)
 	if err != nil {
@@ -70,7 +70,7 @@ func post(t *testing.T, base string, req st.JobRequest) (st.JobStatus, int, stri
 	return status, resp.StatusCode, string(body)
 }
 
-func submit(t *testing.T, base string, req st.JobRequest) st.JobStatus {
+func submit(t testing.TB, base string, req st.JobRequest) st.JobStatus {
 	t.Helper()
 	status, code, body := post(t, base, req)
 	if code != http.StatusAccepted {
@@ -79,7 +79,7 @@ func submit(t *testing.T, base string, req st.JobRequest) st.JobStatus {
 	return status
 }
 
-func getStatus(t *testing.T, base, id string) st.JobStatus {
+func getStatus(t testing.TB, base, id string) st.JobStatus {
 	t.Helper()
 	resp, err := http.Get(base + "/jobs/" + id)
 	if err != nil {
@@ -97,7 +97,7 @@ func getStatus(t *testing.T, base, id string) st.JobStatus {
 }
 
 // waitStatus polls a job until pred holds.
-func waitStatus(t *testing.T, base, id string, pred func(st.JobStatus) bool) st.JobStatus {
+func waitStatus(t testing.TB, base, id string, pred func(st.JobStatus) bool) st.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for {
@@ -115,7 +115,7 @@ func waitStatus(t *testing.T, base, id string, pred func(st.JobStatus) bool) st.
 // readEvents consumes the job's SSE stream until the terminal "job"
 // frame and returns every decoded event, asserting the event: field
 // always names the data frame's type.
-func readEvents(t *testing.T, base, id string) []st.JobEvent {
+func readEvents(t testing.TB, base, id string) []st.JobEvent {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
@@ -213,7 +213,7 @@ func checkEventContract(t *testing.T, evs []st.JobEvent) {
 	}
 }
 
-func getBody(t *testing.T, url string) (int, string) {
+func getBody(t testing.TB, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {

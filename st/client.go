@@ -48,6 +48,7 @@ type settings struct {
 	chaosSeed    int64
 	progress     func(Event)
 	metrics      bool
+	dist         Distributor
 }
 
 // storeCfg extracts the store-shaping subset of the settings. Two
@@ -144,6 +145,7 @@ func WithoutCache() Option {
 	return func(s *settings) {
 		s.cacheDir, s.memBudget, s.remoteURL, s.store = "", 0, "", nil
 		s.retry, s.chaosProfile, s.chaosSeed = RetryPolicy{}, "", 0
+		s.dist = nil // distribution has no data path without a store
 	}
 }
 
@@ -346,6 +348,9 @@ func (c *Client) Session(name string, opts ...Option) (*Session, error) {
 		}
 		store, ownsStore = built, built != nil
 	}
+	if cfg.dist != nil && store == nil {
+		return nil, fmt.Errorf("st: %q: distributed execution requires a result store (the data path between workers and the fold)", name)
+	}
 	params := experiments.CampaignParams{Quick: cfg.quick, Seed: cfg.seed, Trials: cfg.trials}
 	return &Session{
 		def:        def,
@@ -431,6 +436,16 @@ func (s *Session) Describe() *Description {
 // ctx.Err().
 func (s *Session) Run(ctx context.Context) (*Result, error) {
 	eng := campaign.Engine{Store: s.store, Workers: s.cfg.workers, Obs: s.obs}
+	if d := s.cfg.dist; d != nil {
+		job := s.jobRequest()
+		eng.Distribute = func(ctx context.Context, units []campaign.UnitRef) error {
+			pub := make([]UnitRef, len(units))
+			for i, u := range units {
+				pub[i] = UnitRef(u)
+			}
+			return d.Distribute(ctx, job, pub)
+		}
+	}
 	if fn := s.cfg.progress; fn != nil {
 		mu := s.progressMu
 		eng.Progress = func(ev campaign.Event) {

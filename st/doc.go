@@ -111,4 +111,17 @@
 // its computed units. NewHTTPServer is the shared serving lifecycle
 // (synchronous bind, background serve with reported errors, clean
 // shutdown) used by the daemon and the CLIs' -metrics-addr endpoints.
+//
+// # Distributed execution
+//
+// WithDistributed hands a Session's expanded trial units to a
+// Distributor — typically the unit-lease coordinator an stserve
+// daemon mounts at /dist/ — instead of computing them in-process;
+// the fleet writes results through the shared store, and the fold
+// stays byte-identical to a local run (any unit the fleet fails to
+// deliver is recomputed locally). The wire vocabulary of the lease
+// protocol (UnitRange, LeaseRequest, LeaseGrant, UnitReport,
+// Heartbeat) lives here for the same reason the job types do: a
+// worker needs nothing but this package and net/http. Setting
+// JobRequest.Remote submits a daemon job in this mode.
 package st

@@ -22,6 +22,16 @@ type JobRequest struct {
 	Trials     int    `json:"trials,omitempty"`
 	Quick      bool   `json:"quick,omitempty"`
 	Workers    int    `json:"workers,omitempty"`
+	// Remote routes the job's trial units through the daemon's
+	// distributed coordinator: stworker processes lease unit ranges,
+	// compute them against the shared store, and the daemon folds —
+	// byte-identical to a local run. Rejected when the daemon runs
+	// without a coordinator (no shared store).
+	Remote bool `json:"remote,omitempty"`
+	// Client names the submitting client for queue fairness: the
+	// daemon's queue round-robins across client names, so one client's
+	// burst cannot starve another's jobs. Empty is its own class.
+	Client string `json:"client,omitempty"`
 }
 
 // Options maps the request's knobs onto the client options a daemon
