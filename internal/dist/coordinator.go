@@ -217,7 +217,7 @@ func (c *Coordinator) Distribute(ctx context.Context, job st.JobRequest, units [
 	}
 	r := &run{
 		job:         job,
-		fingerprint: units[0].Hash,
+		fingerprint: st.UnitsFingerprint(units),
 		units:       len(units),
 		done:        make([]bool, len(units)),
 		refs:        make([]int16, len(units)),
@@ -519,8 +519,16 @@ func (c *Coordinator) complete(rep st.UnitReport) {
 	}
 	if rep.Error == "" {
 		for _, rg := range rep.Units {
-			for i := rg.Start; i < rg.End && i < r.units; i++ {
-				if i < 0 || r.done[i] {
+			// Clamp worker-supplied ranges before iterating: an absurd
+			// Start (e.g. math.MinInt) must not spin under c.mu.
+			if rg.Start < 0 {
+				rg.Start = 0
+			}
+			if rg.End > r.units {
+				rg.End = r.units
+			}
+			for i := rg.Start; i < rg.End; i++ {
+				if r.done[i] {
 					continue
 				}
 				r.done[i] = true

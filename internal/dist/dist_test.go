@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -94,8 +95,8 @@ func TestLeaseProtocol(t *testing.T) {
 		if grant.Job == nil || grant.Job.Experiment != "fake" {
 			t.Fatalf("grant carries job %+v, want the run's job", grant.Job)
 		}
-		if grant.Fingerprint != "hash-0" {
-			t.Fatalf("fingerprint = %q, want unit 0's hash", grant.Fingerprint)
+		if want := st.UnitsFingerprint(fakeUnits(40)); grant.Fingerprint != want {
+			t.Fatalf("fingerprint = %q, want the expansion's fingerprint %q", grant.Fingerprint, want)
 		}
 		if got := unitCount(grant.Units); got > 16 {
 			t.Fatalf("granted %d units, want ≤ batch 16", got)
@@ -462,5 +463,78 @@ func TestDistributedRunByteIdentity(t *testing.T) {
 	}
 	if got := counterValue(reg, metricLeases); got < 2 {
 		t.Errorf("%s = %v, want ≥ 2 (the batch size forces multiple leases)", metricLeases, got)
+	}
+}
+
+// TestWorkerIdleExitReturns pins the IdleExit drain path: with the
+// parent context still alive, Run must cancel its own heartbeat
+// goroutine and return nil. A regression here leaves Run blocked in
+// its deferred heartbeat wait and a batch fleet never drains.
+func TestWorkerIdleExitReturns(t *testing.T) {
+	c := New(Config{RetryAfter: 20 * time.Millisecond})
+	srv := coordServer(t, c)
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "idle-w",
+		Heartbeat:   20 * time.Millisecond,
+		IdleExit:    50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v, want nil on idle exit", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after IdleExit elapsed")
+	}
+}
+
+// TestCompleteClampsReportedRanges pins that complete() bounds
+// worker-supplied ranges before iterating: a hostile or corrupt
+// report (hugely negative Start, End past the unit count, inverted
+// range) must neither spin under the coordinator lock nor corrupt the
+// run's completion accounting.
+func TestCompleteClampsReportedRanges(t *testing.T) {
+	c := New(Config{LeaseBatch: 64})
+	srv := coordServer(t, c)
+	done := startDistribute(context.Background(), c, 8)
+
+	var grant st.LeaseGrant
+	postJSON(t, srv.URL+"/dist/lease", st.LeaseRequest{Worker: "w1"}, &grant)
+	if grant.Run == "" {
+		t.Fatal("no work granted")
+	}
+	start := time.Now()
+	postJSON(t, srv.URL+"/dist/complete", st.UnitReport{
+		Worker: "w1", Run: grant.Run, Lease: grant.Lease,
+		Units: []st.UnitRange{{Start: math.MinInt, End: 3}, {Start: 5, End: 2}},
+	}, nil)
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("complete with hostile range took %s", el)
+	}
+	select {
+	case <-done:
+		t.Fatal("out-of-range report completed the run")
+	default:
+	}
+	// The clamped report marked only units [0,3); finishing the rest
+	// must complete the run exactly.
+	postJSON(t, srv.URL+"/dist/complete", st.UnitReport{
+		Worker: "w1", Run: grant.Run, Lease: grant.Lease,
+		Units: []st.UnitRange{{Start: 3, End: math.MaxInt}},
+	}, nil)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Distribute: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Distribute did not return after all real units completed")
 	}
 }

@@ -130,14 +130,18 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer w.closeSessions()
 
 	hbCtx, hbStop := context.WithCancel(ctx)
-	defer hbStop()
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
 		w.heartbeatLoop(hbCtx)
 	}()
-	defer hbWG.Wait()
+	// Cancel before waiting: on the IdleExit return path the parent ctx
+	// is still alive, so the loop only exits once hbStop fires.
+	defer func() {
+		hbStop()
+		hbWG.Wait()
+	}()
 
 	idleSince := time.Now()
 	for {
@@ -288,22 +292,15 @@ func (w *Worker) session(grant st.LeaseGrant) *workerRun {
 		run.bad = fmt.Sprintf("building session: %v", err)
 		return run
 	}
-	if units := sess.Units(); len(units) == 0 || units[0].Hash != grant.Fingerprint {
+	if fp := st.UnitsFingerprint(sess.Units()); fp != grant.Fingerprint {
 		client.Close()
 		run.bad = fmt.Sprintf("spec fingerprint mismatch (version skew): worker expands %q, coordinator expects %q",
-			firstHash(sess.Units()), grant.Fingerprint)
+			fp, grant.Fingerprint)
 		w.logf("stworker %s: refusing %s: %s", w.cfg.Name, grant.Run, run.bad)
 		return run
 	}
 	run.client, run.sess = client, sess
 	return run
-}
-
-func firstHash(units []st.UnitRef) string {
-	if len(units) == 0 {
-		return ""
-	}
-	return units[0].Hash
 }
 
 // report posts a completion; failures are logged, not fatal — an

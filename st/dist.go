@@ -2,6 +2,8 @@ package st
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"silenttracker/internal/campaign"
@@ -60,9 +62,9 @@ func WithDistributed(d Distributor) Option {
 }
 
 // Units expands the session's sweep into its deterministic unit list
-// — the coordination currency of the lease protocol. Unit 0's Hash
-// doubles as the spec fingerprint a worker uses to verify it rebuilt
-// the coordinator's exact spec before computing anything.
+// — the coordination currency of the lease protocol. Its
+// UnitsFingerprint is the spec fingerprint a worker uses to verify it
+// rebuilt the coordinator's exact spec before computing anything.
 func (s *Session) Units() []UnitRef {
 	units := s.spec.Expand(true)
 	out := make([]UnitRef, len(units))
@@ -70,6 +72,20 @@ func (s *Session) Units() []UnitRef {
 		out[i] = UnitRef(u)
 	}
 	return out
+}
+
+// UnitsFingerprint condenses an expansion into one spec fingerprint:
+// a SHA-256 over every unit's content hash in index order. Two
+// parties agree on it only if they expanded the same spec to the same
+// unit list — skew anywhere in the sweep changes it, not just in the
+// first cell.
+func UnitsFingerprint(units []UnitRef) string {
+	h := sha256.New()
+	for _, u := range units {
+		h.Write([]byte(u.Hash))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // UnitStats summarises a ComputeUnits call.
@@ -160,9 +176,10 @@ type LeaseGrant struct {
 	// Job is the resolved job shape: the worker rebuilds the spec from
 	// it (same experiment, seed, trials, quick ⇒ same unit list).
 	Job *JobRequest `json:"job,omitempty"`
-	// Fingerprint is unit 0's content hash. A worker whose rebuilt
-	// spec fingerprints differently is running different code (version
-	// skew) and must refuse the run rather than poison the store.
+	// Fingerprint is the UnitsFingerprint of the run's full expansion.
+	// A worker whose rebuilt spec fingerprints differently is running
+	// different code (version skew) and must refuse the run rather
+	// than poison the store.
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Units are the leased ranges, due within TTLMS.
 	Units []UnitRange `json:"units,omitempty"`
